@@ -1,0 +1,377 @@
+package acstab_test
+
+// Benchmark harness: one benchmark per paper table/figure plus the
+// ablation benches from DESIGN.md section 3. Results (reported metrics
+// and relative timings) feed EXPERIMENTS.md.
+
+import (
+	"io"
+	"testing"
+
+	"acstab/internal/analysis"
+	"acstab/internal/circuits"
+	"acstab/internal/mna"
+	"acstab/internal/netlist"
+	"acstab/internal/num"
+	"acstab/internal/report"
+	"acstab/internal/sos"
+	"acstab/internal/stab"
+	"acstab/internal/tool"
+)
+
+func benchSim(b *testing.B, c *netlist.Circuit) *analysis.Sim {
+	b.Helper()
+	flat, err := netlist.Flatten(c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := mna.Compile(flat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return analysis.New(sys)
+}
+
+// BenchmarkTable1 regenerates Table 1 by simulation (11 tank circuits
+// through the single-node flow).
+func BenchmarkTable1(b *testing.B) {
+	rows := sos.PaperTable1()
+	for i := 0; i < b.N; i++ {
+		for _, row := range rows {
+			if row.Zeta <= 0.05 || row.Zeta >= 1 {
+				continue
+			}
+			tl, err := tool.New(circuits.SecondOrder(row.Zeta, 1e6), tool.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tl.SingleNode("t"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable2AllNodes regenerates the all-nodes report of the full
+// op-amp + bias workload.
+func BenchmarkTable2AllNodes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tl, err := tool.New(circuits.FullCircuit(), tool.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := tl.AllNodes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := report.Text(io.Discard, rep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2StepResponse regenerates the transient step figure.
+func BenchmarkFig2StepResponse(b *testing.B) {
+	s := benchSim(b, circuits.OpAmpBuffer(circuits.OpAmpDefaults()))
+	var os float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.Tran(analysis.TranSpec{TStop: 3e-6, TStep: 1e-9, RecordEvery: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, _ := res.NodeWave("output")
+		os = w.OvershootPct()
+	}
+	b.ReportMetric(os, "overshoot_%")
+}
+
+// BenchmarkFig3Bode regenerates the broken-loop gain/phase baseline.
+func BenchmarkFig3Bode(b *testing.B) {
+	s := benchSim(b, circuits.OpAmpOpenLoop(circuits.OpAmpDefaults()))
+	op, err := s.OP()
+	if err != nil {
+		b.Fatal(err)
+	}
+	freqs := num.LogGridPPD(1e2, 1e9, 40)
+	var pm float64
+	for i := 0; i < b.N; i++ {
+		res, err := s.AC(freqs, op)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, _ := res.NodeWave("output")
+		fc := w.DB20().Cross(0)
+		pm = w.PhaseDeg().At(fc[0])
+	}
+	b.ReportMetric(pm, "pm_deg")
+}
+
+// BenchmarkFig4StabilityPlot regenerates the single-node stability plot.
+func BenchmarkFig4StabilityPlot(b *testing.B) {
+	tl, err := tool.New(circuits.OpAmpBuffer(circuits.OpAmpDefaults()), tool.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		nr, err := tl.SingleNode("output")
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = nr.Best.Value
+	}
+	b.ReportMetric(peak, "peak")
+}
+
+// BenchmarkFig5BiasAnnotation regenerates the annotated bias cell.
+func BenchmarkFig5BiasAnnotation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tl, err := tool.New(circuits.BiasCircuit(circuits.BiasDefaults()), tool.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := tl.AllNodes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := report.Annotate(io.Discard, tl.Flat, rep); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ---
+
+// BenchmarkAblationPerNodeVsShared compares the paper's one-AC-run-per-
+// node flow against the shared-factorization fast path (A1 in DESIGN.md).
+func BenchmarkAblationPerNodeVsShared(b *testing.B) {
+	run := func(b *testing.B, naive bool) {
+		opts := tool.DefaultOptions()
+		opts.Naive = naive
+		opts.Workers = 1
+		tl, err := tool.New(circuits.FullCircuit(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tl.AllNodes(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("naive-per-node", func(b *testing.B) { run(b, true) })
+	b.Run("shared-factorization", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkAblationDenseVsSparse locates the dense/sparse crossover on RC
+// ladders of growing size (A2).
+func BenchmarkAblationDenseVsSparse(b *testing.B) {
+	for _, n := range []int{20, 60, 150, 400} {
+		for _, mode := range []struct {
+			name string
+			m    analysis.MatrixMode
+		}{{"dense", analysis.MatrixDense}, {"sparse", analysis.MatrixSparse}} {
+			b.Run(mode.name+"/"+itoa(n), func(b *testing.B) {
+				s := benchSim(b, circuits.RCLadder(n))
+				s.Opt.Matrix = mode.m
+				op, err := s.OP()
+				if err != nil {
+					b.Fatal(err)
+				}
+				freqs := num.LogGridPPD(1e3, 1e9, 10)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.AC(freqs, op); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationParallelSweep measures worker-pool speedup of the
+// all-nodes sweep (A3, the paper's "distributed farm" substitute).
+func BenchmarkAblationParallelSweep(b *testing.B) {
+	ckt := circuits.ResonatorField(24, 1e5, 0.35)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers-"+itoa(workers), func(b *testing.B) {
+			opts := tool.DefaultOptions()
+			opts.Workers = workers
+			tl, err := tool.New(ckt, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tl.AllNodes(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGridResolution trades sweep density against damping-
+// estimate accuracy (A4).
+func BenchmarkAblationGridResolution(b *testing.B) {
+	for _, ppd := range []int{10, 20, 40, 80} {
+		b.Run("ppd-"+itoa(ppd), func(b *testing.B) {
+			opts := tool.DefaultOptions()
+			opts.PointsPerDecade = ppd
+			tl, err := tool.New(circuits.SecondOrder(0.186, 3.16e6), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var errPct float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nr, err := tl.SingleNode("t")
+				if err != nil {
+					b.Fatal(err)
+				}
+				errPct = 100 * abs(nr.Best.Value+28.905) / 28.905
+			}
+			b.ReportMetric(errPct, "peak_err_%")
+		})
+	}
+}
+
+// BenchmarkAblationStencil compares the 3-point and 5-point derivative
+// schemes (A5).
+func BenchmarkAblationStencil(b *testing.B) {
+	for _, stencil := range []int{3, 5} {
+		b.Run("stencil-"+itoa(stencil), func(b *testing.B) {
+			opts := tool.DefaultOptions()
+			opts.Stab = stab.Options{Stencil: stencil, MinPeakDepth: 0.75}
+			tl, err := tool.New(circuits.SecondOrder(0.186, 3.16e6), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var errPct float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				nr, err := tl.SingleNode("t")
+				if err != nil {
+					b.Fatal(err)
+				}
+				errPct = 100 * abs(nr.Best.Value+28.905) / 28.905
+			}
+			b.ReportMetric(errPct, "peak_err_%")
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// BenchmarkTransistorAllNodes measures the full flow on the transistor-
+// level op-amp (nonlinear OP + all-nodes sweep).
+func BenchmarkTransistorAllNodes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tl, err := tool.New(circuits.TransistorOpAmp(), tool.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tl.AllNodes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPoleAnalysis measures the exact eigenvalue pole analysis on the
+// full Table 2 workload.
+func BenchmarkPoleAnalysis(b *testing.B) {
+	s := benchSim(b, circuits.FullCircuit())
+	op, err := s.OP()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Poles(op, 1e3, 1e9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReturnRatio measures the Blackman loop-gain baseline.
+func BenchmarkReturnRatio(b *testing.B) {
+	ckt := circuits.OpAmpBuffer(circuits.OpAmpDefaults())
+	freqs := num.LogGridPPD(100, 1e9, 40)
+	for i := 0; i < b.N; i++ {
+		if _, err := tool.ReturnRatio(ckt, "g1", freqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllNodesScaling sweeps the all-nodes cost across circuit sizes
+// (resonator fields of 8..64 nodes).
+func BenchmarkAllNodesScaling(b *testing.B) {
+	for _, k := range []int{4, 8, 16, 32} {
+		b.Run("loops-"+itoa(k), func(b *testing.B) {
+			ckt := circuits.ResonatorField(k, 1e5, 0.35)
+			opts := tool.DefaultOptions()
+			opts.Workers = 1
+			tl, err := tool.New(ckt, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tl.AllNodes(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPulsingVsAC quantifies the paper's speed claim: the AC
+// stability plot "significantly speeds up the simulation compared to
+// time-domain analysis" (section 1.1). Same node, same circuit, same
+// recovered (fn, zeta).
+func BenchmarkAblationPulsingVsAC(b *testing.B) {
+	b.Run("node-pulsing-transient", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr, err := tool.NodePulse(circuits.OpAmpBuffer(circuits.OpAmpDefaults()), "output", 3e6)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if pr.Rings < 2 {
+				b.Fatal("no ringing")
+			}
+		}
+	})
+	b.Run("stability-plot-ac", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tl, err := tool.New(circuits.OpAmpBuffer(circuits.OpAmpDefaults()), tool.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tl.SingleNode("output"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

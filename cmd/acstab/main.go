@@ -1,0 +1,383 @@
+// Command acstab is the AC-stability analysis tool: the push-button CLI
+// equivalent of the paper's DFII tool. It reads a SPICE-style netlist and
+// runs either the single-node or the all-nodes stability analysis.
+//
+// Usage:
+//
+//	acstab -i circuit.cir                      # all-nodes report (text)
+//	acstab -i circuit.cir -node out -plot      # single node with ASCII plot
+//	acstab -i circuit.cir -format csv          # CSV report
+//	acstab -i circuit.cir -annotate            # annotated netlist (Fig. 5)
+//	acstab -i circuit.cir -temps 27,85,125     # temperature sweep
+//	acstab -i circuit.cir -set rload=2k        # design-variable override
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"acstab/internal/farm"
+	"acstab/internal/netlist"
+	"acstab/internal/num"
+	"acstab/internal/report"
+	"acstab/internal/tool"
+	"acstab/internal/wave"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "acstab: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("acstab", flag.ContinueOnError)
+	var (
+		input    = fs.String("i", "", "input netlist file (default: stdin)")
+		node     = fs.String("node", "", "single-node mode: analyze this node")
+		fstart   = fs.String("fstart", "1k", "sweep start frequency")
+		fstop    = fs.String("fstop", "1g", "sweep stop frequency")
+		ppd      = fs.Int("ppd", 40, "points per decade")
+		format   = fs.String("format", "text", "all-nodes output: text, csv, json")
+		annotate = fs.Bool("annotate", false, "print the annotated netlist instead of the report")
+		plot     = fs.Bool("plot", false, "render ASCII plots (single-node mode)")
+		workers  = fs.Int("workers", 0, "parallel sweep workers (0 = all CPUs)")
+		naive    = fs.Bool("naive", false, "one AC run per node (paper's original flow)")
+		loopTol  = fs.Float64("loop-tol", 0.12, "relative tolerance for loop clustering")
+		skip     = fs.String("skip", "", "comma-separated node-name substrings to skip")
+		subckt   = fs.String("subckt", "", "restrict all-nodes mode to one subcircuit instance (e.g. x1)")
+		temps    = fs.String("temps", "", "comma-separated temperatures (C) for a sweep")
+		sweep    = fs.String("sweep", "", "design-variable sweep: name=v1,v2,v3")
+		mcRuns   = fs.Int("mc", 0, "Monte Carlo runs (with -sigma)")
+		mcSeed   = fs.Int64("mc-seed", 1, "Monte Carlo seed")
+		sigmas   multiFlag
+		stateIn  = fs.String("state", "", "load run setup from a saved state file")
+		stateOut = fs.String("save-state", "", "save the run setup to a state file")
+		remote   = fs.String("remote", "", "submit the run to a remote acstabd worker (URL)")
+		sets     multiFlag
+		diagFile = fs.String("diag", "", "write a diagnostic report file on completion")
+	)
+	fs.Var(&sets, "set", "design-variable override name=value (repeatable)")
+	fs.Var(&sigmas, "sigma", "Monte Carlo relative sigma name=value (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	src, ckt, err := loadCircuit(*input)
+	if err != nil {
+		return err
+	}
+	for _, s := range sets {
+		name, vs, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("-set wants name=value, got %q", s)
+		}
+		v, err := num.ParseValue(vs)
+		if err != nil {
+			return fmt.Errorf("-set %s: %v", s, err)
+		}
+		name = strings.ToLower(name)
+		if _, ok := ckt.Params[name]; !ok {
+			return fmt.Errorf("-set: unknown design variable %q", name)
+		}
+		ckt.Params[name] = v
+		// Re-evaluate element expressions with the override.
+		for _, e := range ckt.Elems {
+			if e.ValueExpr != "" {
+				if v, err := netlist.EvalExpr(e.ValueExpr, ckt.Params); err == nil {
+					e.Value = v
+				}
+			}
+		}
+	}
+
+	opts := tool.DefaultOptions()
+	if opts.FStart, err = num.ParseValue(*fstart); err != nil {
+		return fmt.Errorf("-fstart: %v", err)
+	}
+	if opts.FStop, err = num.ParseValue(*fstop); err != nil {
+		return fmt.Errorf("-fstop: %v", err)
+	}
+	opts.PointsPerDecade = *ppd
+	opts.Workers = *workers
+	opts.Naive = *naive
+	opts.LoopTol = *loopTol
+	if *skip != "" {
+		opts.SkipNodes = strings.Split(*skip, ",")
+	}
+	opts.OnlySubckt = *subckt
+	if *stateIn != "" {
+		f, err := os.Open(*stateIn)
+		if err != nil {
+			return fmt.Errorf("-state: %v", err)
+		}
+		st, err := tool.LoadState(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if err := st.Apply(ckt, &opts, true); err != nil {
+			return err
+		}
+	}
+	if *stateOut != "" {
+		f, err := os.Create(*stateOut)
+		if err != nil {
+			return fmt.Errorf("-save-state: %v", err)
+		}
+		err = tool.CaptureState(ckt, opts).Save(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	var runErr error
+	switch {
+	case *remote != "":
+		runErr = runRemote(out, *remote, src, opts, *node, *format)
+	case *mcRuns > 0:
+		runErr = runMC(out, ckt, opts, *mcRuns, *mcSeed, sigmas)
+	default:
+		runErr = dispatch(out, ckt, opts, *node, *format, *annotate, *plot, *temps, *sweep)
+	}
+	if *diagFile != "" {
+		f, err := os.Create(*diagFile)
+		if err != nil {
+			return fmt.Errorf("diagnostic file: %v", err)
+		}
+		defer f.Close()
+		if derr := report.Diagnostic(f, ckt.Title, opts, runErr); derr != nil {
+			return derr
+		}
+	}
+	return runErr
+}
+
+func dispatch(out io.Writer, ckt *netlist.Circuit, opts tool.Options,
+	node, format string, annotate, plot bool, temps, sweep string) error {
+	if temps != "" {
+		return runTemps(out, ckt, opts, temps)
+	}
+	if sweep != "" {
+		return runSweep(out, ckt, opts, sweep)
+	}
+	t, err := tool.New(ckt, opts)
+	if err != nil {
+		return err
+	}
+	if node != "" {
+		return runSingle(out, t, node, plot)
+	}
+	rep, err := t.AllNodes()
+	if err != nil {
+		return err
+	}
+	if annotate {
+		return report.Annotate(out, t.Flat, rep)
+	}
+	switch format {
+	case "text":
+		return report.Text(out, rep)
+	case "csv":
+		return report.CSV(out, rep)
+	case "json":
+		return report.JSON(out, rep)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func runSingle(out io.Writer, t *tool.Tool, node string, plot bool) error {
+	nr, err := t.SingleNode(node)
+	if err != nil {
+		return err
+	}
+	if nr.Skipped {
+		fmt.Fprintf(out, "node %s skipped: %s\n", nr.Node, nr.SkipReason)
+		return nil
+	}
+	if plot {
+		if err := wave.Plot(out, wave.PlotOptions{
+			Title: "stability plot at " + nr.Node, LogX: true,
+			XLabel: "Hz", YLabel: "P",
+		}, nr.Stab.Plot); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(out, "node %s: %d peak(s)\n", nr.Node, len(nr.Stab.Peaks))
+	for _, p := range nr.Stab.Peaks {
+		kind := "pole"
+		if p.IsZero {
+			kind = "zero"
+		}
+		fmt.Fprintf(out, "  %-4s peak %9.3f at %.4g Hz (%s)\n", kind, p.Value, p.Freq, p.Type)
+	}
+	if nr.Best != nil && !nr.Best.IsZero {
+		fmt.Fprintf(out, "dominant: peak %.3f at %.4g Hz -> zeta %.3f, phase margin %.1f deg, overshoot %.1f%%\n",
+			nr.Best.Value, nr.Best.Freq, nr.Best.Zeta, nr.Best.PhaseMarginDeg, nr.Best.OvershootPct)
+	}
+	return nil
+}
+
+// runSweep executes a design-variable sweep and prints the worst loop at
+// each point (the trend is the interesting output of a sweep).
+func runSweep(out io.Writer, ckt *netlist.Circuit, opts tool.Options, sweep string) error {
+	name, list, ok := strings.Cut(sweep, "=")
+	if !ok {
+		return fmt.Errorf("-sweep wants name=v1,v2,..., got %q", sweep)
+	}
+	var vals []float64
+	for _, s := range strings.Split(list, ",") {
+		v, err := num.ParseValue(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("-sweep: %v", err)
+		}
+		vals = append(vals, v)
+	}
+	points, err := tool.RunParamSweep(ckt, opts, strings.ToLower(name), vals)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-14s %-14s %-16s %-10s %-12s %s\n",
+		name, "worst peak", "natural freq", "zeta", "PM deg", "overshoot %")
+	for _, p := range points {
+		if p.Err != nil {
+			fmt.Fprintf(out, "%-14g failed: %v\n", p.Value, p.Err)
+			continue
+		}
+		w := tool.WorstLoop(p.Report)
+		if w == nil {
+			fmt.Fprintf(out, "%-14g (no resonant loops)\n", p.Value)
+			continue
+		}
+		fmt.Fprintf(out, "%-14g %-14.3f %-16.4g %-10.3f %-12.1f %.1f\n",
+			p.Value, w.WorstPeak, w.Freq, w.Zeta, w.PhaseMarginDeg, w.OvershootPct)
+	}
+	return nil
+}
+
+func runTemps(out io.Writer, ckt *netlist.Circuit, opts tool.Options, temps string) error {
+	var list []float64
+	for _, s := range strings.Split(temps, ",") {
+		v, err := num.ParseValue(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("-temps: %v", err)
+		}
+		list = append(list, v)
+	}
+	results := tool.RunTemps(ckt, opts, list)
+	for _, r := range results {
+		fmt.Fprintf(out, "=== TEMP %g C ===\n", r.Temp)
+		if r.Err != nil {
+			fmt.Fprintf(out, "failed: %v\n", r.Err)
+			continue
+		}
+		if err := report.Text(out, r.Report); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// runMC runs a Monte Carlo mismatch study over the design variables.
+func runMC(out io.Writer, ckt *netlist.Circuit, opts tool.Options, runs int, seed int64, sigmas multiFlag) error {
+	spec := tool.MCSpec{Runs: runs, Seed: seed, Sigma: map[string]float64{}}
+	for _, s := range sigmas {
+		name, vs, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("-sigma wants name=value, got %q", s)
+		}
+		v, err := num.ParseValue(vs)
+		if err != nil {
+			return fmt.Errorf("-sigma %s: %v", s, err)
+		}
+		spec.Sigma[strings.ToLower(name)] = v
+	}
+	res, err := tool.MonteCarlo(ckt, opts, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-6s %-14s %-16s %-10s\n", "run", "worst peak", "natural freq", "PM deg")
+	for i, sm := range res.Samples {
+		if sm.Err != nil {
+			fmt.Fprintf(out, "%-6d failed: %v\n", i, sm.Err)
+			continue
+		}
+		fmt.Fprintf(out, "%-6d %-14.3f %-16.4g %-10.1f\n", i, sm.WorstPeak, sm.FreqHz, sm.PMDeg)
+	}
+	if p5, ok := res.PMQuantile(0.05); ok {
+		p50, _ := res.PMQuantile(0.50)
+		p95, _ := res.PMQuantile(0.95)
+		fmt.Fprintf(out, "phase margin quantiles: p5=%.1f p50=%.1f p95=%.1f (deg), %d/%d runs failed\n",
+			p5, p50, p95, res.Failed, runs)
+	}
+	return nil
+}
+
+// runRemote ships the job to an acstabd farm worker.
+func runRemote(out io.Writer, url, src string, opts tool.Options, node, format string) error {
+	c := &farm.Client{BaseURL: strings.TrimRight(url, "/")}
+	body, err := c.Submit(&farm.Request{
+		Netlist: src,
+		Format:  format,
+		Node:    node,
+		Options: farm.RequestOptions{
+			FStartHz:        opts.FStart,
+			FStopHz:         opts.FStop,
+			PointsPerDecade: opts.PointsPerDecade,
+			LoopTol:         opts.LoopTol,
+			Workers:         opts.Workers,
+			Naive:           opts.Naive,
+			SkipNodes:       opts.SkipNodes,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(body)
+	return err
+}
+
+// loadCircuit reads the netlist from a file (resolving .include relative
+// to it) or from stdin (no includes).
+func loadCircuit(path string) (string, *netlist.Circuit, error) {
+	if path == "" {
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return "", nil, err
+		}
+		c, err := netlist.Parse(string(b))
+		return string(b), c, err
+	}
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return "", nil, err
+	}
+	dir, base := filepath.Dir(abs), filepath.Base(abs)
+	// Expand includes so remote submission ships a self-contained deck.
+	src, err := netlist.ExpandFS(os.DirFS(dir), base)
+	if err != nil {
+		return "", nil, err
+	}
+	c, err := netlist.Parse(src)
+	return src, c, err
+}
+
+// multiFlag collects repeated flag values.
+type multiFlag []string
+
+// String implements flag.Value.
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+// Set implements flag.Value.
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}

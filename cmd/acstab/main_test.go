@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"acstab/internal/farm"
+)
+
+const tankNetlist = `test tank
+.param rq=318
+R1 t 0 {rq}
+L1 t 0 25.33u
+C1 t 0 1n
+`
+
+func writeNetlist(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ckt.cir")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAllNodesText(t *testing.T) {
+	path := writeNetlist(t, tankNetlist)
+	var out bytes.Buffer
+	if err := run([]string{"-i", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Loop at 1 MHz") {
+		t.Errorf("missing loop header:\n%s", s)
+	}
+	if !strings.Contains(s, "t ") {
+		t.Errorf("missing node row:\n%s", s)
+	}
+}
+
+func TestSingleNodeWithPlot(t *testing.T) {
+	path := writeNetlist(t, tankNetlist)
+	var out bytes.Buffer
+	if err := run([]string{"-i", path, "-node", "t", "-plot"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "stability plot at t") || !strings.Contains(s, "dominant:") {
+		t.Errorf("output:\n%s", s)
+	}
+	if !strings.Contains(s, "phase margin") {
+		t.Error("missing phase margin estimate")
+	}
+}
+
+func TestFormats(t *testing.T) {
+	path := writeNetlist(t, tankNetlist)
+	for _, format := range []string{"csv", "json"} {
+		var out bytes.Buffer
+		if err := run([]string{"-i", path, "-format", format}, &out); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if out.Len() == 0 {
+			t.Errorf("%s output empty", format)
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-i", path, "-format", "bogus"}, &out); err == nil {
+		t.Error("expected bad-format error")
+	}
+}
+
+func TestAnnotateFlag(t *testing.T) {
+	path := writeNetlist(t, tankNetlist)
+	var out bytes.Buffer
+	if err := run([]string{"-i", path, "-annotate"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "* node t") {
+		t.Errorf("annotation missing:\n%s", out.String())
+	}
+}
+
+func TestSetOverride(t *testing.T) {
+	path := writeNetlist(t, tankNetlist)
+	var nominal, light bytes.Buffer
+	if err := run([]string{"-i", path, "-node", "t"}, &nominal); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-i", path, "-node", "t", "-set", "rq=2k"}, &light); err != nil {
+		t.Fatal(err)
+	}
+	if nominal.String() == light.String() {
+		t.Error("-set had no effect")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-i", path, "-set", "nosuch=1"}, &out); err == nil {
+		t.Error("unknown variable should fail")
+	}
+	if err := run([]string{"-i", path, "-set", "malformed"}, &out); err == nil {
+		t.Error("malformed -set should fail")
+	}
+}
+
+func TestTempsSweep(t *testing.T) {
+	path := writeNetlist(t, `temp tank
+R1 t 0 318 tc1=2m
+L1 t 0 25.33u
+C1 t 0 1n
+`)
+	var out bytes.Buffer
+	if err := run([]string{"-i", path, "-temps", "27,125"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "TEMP 27") || !strings.Contains(s, "TEMP 125") {
+		t.Errorf("temps missing:\n%s", s)
+	}
+}
+
+func TestDiagnosticFile(t *testing.T) {
+	path := writeNetlist(t, tankNetlist)
+	diag := filepath.Join(t.TempDir(), "diag.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-i", path, "-diag", diag}, &out); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(diag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "status: ok") {
+		t.Errorf("diagnostic:\n%s", b)
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-i", "/nonexistent/file.cir"}, &out); err == nil {
+		t.Error("missing file should fail")
+	}
+	bad := writeNetlist(t, "broken\nZZ bogus\n")
+	if err := run([]string{"-i", bad}, &out); err == nil {
+		t.Error("bad netlist should fail")
+	}
+	good := writeNetlist(t, tankNetlist)
+	if err := run([]string{"-i", good, "-node", "nosuch"}, &out); err == nil {
+		t.Error("unknown node should fail")
+	}
+	if err := run([]string{"-i", good, "-fstart", "zz"}, &out); err == nil {
+		t.Error("bad fstart should fail")
+	}
+}
+
+func TestRemoteSubmission(t *testing.T) {
+	srv := httptest.NewServer(farm.Handler())
+	defer srv.Close()
+	path := writeNetlist(t, tankNetlist)
+	var out bytes.Buffer
+	if err := run([]string{"-i", path, "-remote", srv.URL}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Loop at 1 MHz") {
+		t.Errorf("remote report:\n%s", out.String())
+	}
+	if err := run([]string{"-i", path, "-remote", "http://127.0.0.1:1"}, &out); err == nil {
+		t.Error("unreachable worker should fail")
+	}
+}
+
+func TestMonteCarloFlag(t *testing.T) {
+	path := writeNetlist(t, tankNetlist)
+	var out bytes.Buffer
+	if err := run([]string{"-i", path, "-mc", "8", "-sigma", "rq=0.2",
+		"-fstart", "10k", "-fstop", "100meg"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "quantiles") || !strings.Contains(s, "p5=") {
+		t.Errorf("MC output:\n%s", s)
+	}
+	if err := run([]string{"-i", path, "-mc", "2", "-sigma", "bad"}, &out); err == nil {
+		t.Error("malformed sigma should fail")
+	}
+	if err := run([]string{"-i", path, "-mc", "2"}, &out); err == nil {
+		t.Error("MC without sigma should fail")
+	}
+}
+
+func TestSubcktFlag(t *testing.T) {
+	path := writeNetlist(t, `scoped
+.subckt tank t
+R1 t 0 318
+L1 t 0 25.33u
+C1 t 0 1n
+.ends
+X1 a tank
+X2 b tank
+R9 a b 1e6
+Rg a 0 1e6
+`)
+	var out bytes.Buffer
+	if err := run([]string{"-i", path, "-subckt", "x2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "b ") || strings.Contains(s, "\na ") {
+		t.Errorf("subckt scope wrong:\n%s", s)
+	}
+}
+
+func TestIncludeFromCLI(t *testing.T) {
+	dir := t.TempDir()
+	top := filepath.Join(dir, "top.cir")
+	inc := filepath.Join(dir, "tank.inc")
+	if err := os.WriteFile(inc, []byte("R1 t 0 318\nL1 t 0 25.33u\nC1 t 0 1n\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(top, []byte("with include\n.include tank.inc\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-i", top, "-node", "t"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dominant:") {
+		t.Errorf("include run failed:\n%s", out.String())
+	}
+}

@@ -1,0 +1,31 @@
+// Command acstabd is a stability-analysis farm worker: the remote
+// simulation capability the paper lists under future development. It
+// serves POST /run (netlist + options JSON in, rendered report out) and
+// GET /healthz. Point any number of acstab clients — or a load balancer —
+// at a fleet of workers.
+//
+// Usage:
+//
+//	acstabd -listen :8080
+//	acstab -i circuit.cir -remote http://worker:8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"acstab/internal/farm"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "listen address")
+	flag.Parse()
+	log.Printf("acstabd listening on %s", *listen)
+	if err := http.ListenAndServe(*listen, farm.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "acstabd: %v\n", err)
+		os.Exit(1)
+	}
+}

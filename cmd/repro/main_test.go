@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReproAll(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, ""); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5",
+		"Table 1", "Loop at", "step response", "stability plot",
+		"overshoot", "phase margin",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestReproOnly(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "fig4"); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "fig4") || strings.Contains(s, "table1") {
+		t.Errorf("only filter broken:\n%s", s)
+	}
+	if !strings.Contains(s, "-28") && !strings.Contains(s, "-29") {
+		t.Errorf("fig4 peak missing:\n%s", s)
+	}
+}

@@ -1,0 +1,383 @@
+// Command spicesim is the general-purpose circuit simulator CLI: the
+// Spectre substitute the stability tool runs on, exposed directly. It
+// supports operating-point, AC, transient, and DC-sweep analyses with
+// tabular or ASCII-plot output.
+//
+// Usage:
+//
+//	spicesim -i ckt.cir -op
+//	spicesim -i ckt.cir -ac -fstart 1 -fstop 1meg -probe out -plot
+//	spicesim -i ckt.cir -tran 1m -tstep 1u -probe out
+//	spicesim -i ckt.cir -dc V1 -from 0 -to 5 -steps 51 -probe out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"acstab/internal/analysis"
+	"acstab/internal/mna"
+	"acstab/internal/netlist"
+	"acstab/internal/num"
+	"acstab/internal/wave"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "spicesim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("spicesim", flag.ContinueOnError)
+	var (
+		input  = fs.String("i", "", "input netlist (default: stdin)")
+		doOP   = fs.Bool("op", false, "operating-point analysis")
+		poles  = fs.Bool("poles", false, "pole analysis of the linearized circuit")
+		doAC   = fs.Bool("ac", false, "AC sweep")
+		tran   = fs.String("tran", "", "transient stop time (e.g. 1m)")
+		tstep  = fs.String("tstep", "", "transient time step")
+		dcSrc  = fs.String("dc", "", "DC sweep: source name")
+		from   = fs.String("from", "0", "DC sweep start")
+		to     = fs.String("to", "1", "DC sweep stop")
+		steps  = fs.Int("steps", 21, "DC sweep points")
+		fstart = fs.String("fstart", "1", "AC start frequency")
+		fstop  = fs.String("fstop", "1g", "AC stop frequency")
+		ppd    = fs.Int("ppd", 20, "AC points per decade")
+		probe  = fs.String("probe", "", "comma-separated nodes to report")
+		plot   = fs.Bool("plot", false, "ASCII plot instead of a table")
+		expr   = fs.String("expr", "", "waveform-calculator expression to evaluate")
+		csvOut = fs.Bool("csvout", false, "CSV table output (wavecalc-compatible)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, ckt, err := loadCircuit(*input)
+	if err != nil {
+		return err
+	}
+	flat, err := netlist.Flatten(ckt)
+	if err != nil {
+		return err
+	}
+	sys, err := mna.Compile(flat)
+	if err != nil {
+		return err
+	}
+	sim := analysis.New(sys)
+
+	var probes []string
+	if *probe != "" {
+		for _, p := range strings.Split(*probe, ",") {
+			probes = append(probes, strings.ToLower(strings.TrimSpace(p)))
+		}
+	}
+
+	switch {
+	case *doOP:
+		return runOP(out, sim)
+	case *poles:
+		f0, err := num.ParseValue(*fstart)
+		if err != nil {
+			return err
+		}
+		f1, err := num.ParseValue(*fstop)
+		if err != nil {
+			return err
+		}
+		return runPoles(out, sim, f0, f1)
+	case *doAC:
+		f0, err := num.ParseValue(*fstart)
+		if err != nil {
+			return err
+		}
+		f1, err := num.ParseValue(*fstop)
+		if err != nil {
+			return err
+		}
+		return runAC(out, sim, f0, f1, *ppd, probes, *plot, *csvOut, *expr)
+	case *tran != "":
+		tstop, err := num.ParseValue(*tran)
+		if err != nil {
+			return err
+		}
+		var dt float64
+		if *tstep != "" {
+			if dt, err = num.ParseValue(*tstep); err != nil {
+				return err
+			}
+		} else {
+			dt = tstop / 1000
+		}
+		return runTran(out, sim, tstop, dt, probes, *plot, *csvOut, *expr)
+	case *dcSrc != "":
+		v0, err := num.ParseValue(*from)
+		if err != nil {
+			return err
+		}
+		v1, err := num.ParseValue(*to)
+		if err != nil {
+			return err
+		}
+		return runDC(out, sim, *dcSrc, v0, v1, *steps, probes, *plot)
+	default:
+		return fmt.Errorf("pick an analysis: -op, -poles, -ac, -tran, or -dc")
+	}
+}
+
+// runPoles lists the natural frequencies of the linearized circuit.
+func runPoles(out io.Writer, sim *analysis.Sim, f0, f1 float64) error {
+	op, err := sim.OP()
+	if err != nil {
+		return err
+	}
+	ps, err := sim.Poles(op, f0, f1)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%-28s %-14s %-10s\n", "pole (rad/s)", "freq (Hz)", "zeta")
+	for _, p := range ps {
+		fmt.Fprintf(out, "%-28s %-14.6g %-10.4g\n",
+			fmt.Sprintf("%.6g%+.6gj", real(p.S), imag(p.S)), p.FreqHz, p.Zeta)
+	}
+	if len(ps) == 0 {
+		fmt.Fprintln(out, "(no poles in band)")
+	}
+	return nil
+}
+
+func runOP(out io.Writer, sim *analysis.Sim) error {
+	op, err := sim.OP()
+	if err != nil {
+		return err
+	}
+	names := append([]string(nil), sim.Sys.NodeNames...)
+	sort.Strings(names)
+	fmt.Fprintf(out, "%-20s %s\n", "node", "voltage")
+	for _, n := range names {
+		idx, _ := sim.Sys.NodeOf(n)
+		fmt.Fprintf(out, "%-20s %.6g\n", n, op.X[idx])
+	}
+	for _, info := range sim.Sys.MOSOperatingInfo(op.X) {
+		region := []string{"cutoff", "triode", "saturation"}[info.Region]
+		fmt.Fprintf(out, "mosfet %-12s id=%.4g gm=%.4g region=%s\n",
+			info.Name, info.Id, info.Gm, region)
+	}
+	return nil
+}
+
+func runAC(out io.Writer, sim *analysis.Sim, f0, f1 float64, ppd int, probes []string, plot, csvOut bool, expr string) error {
+	op, err := sim.OP()
+	if err != nil {
+		return err
+	}
+	res, err := sim.AC(num.LogGridPPD(f0, f1, ppd), op)
+	if err != nil {
+		return err
+	}
+	if expr != "" {
+		return evalExpr(out, expr, func(kind, name string) (*wave.Wave, error) {
+			if kind == "i" {
+				return res.BranchWave(name)
+			}
+			return res.NodeWave(name)
+		}, plot)
+	}
+	if len(probes) == 0 {
+		return fmt.Errorf("-ac needs -probe or -expr")
+	}
+	var waves []*wave.Wave
+	for _, p := range probes {
+		w, err := res.NodeWave(p)
+		if err != nil {
+			return err
+		}
+		waves = append(waves, w)
+	}
+	if plot {
+		var dbs []*wave.Wave
+		for _, w := range waves {
+			dbs = append(dbs, w.DB20())
+		}
+		return wave.Plot(out, wave.PlotOptions{Title: "AC response (dB)", LogX: true, XLabel: "Hz"}, dbs...)
+	}
+	if csvOut {
+		return writeCSV(out, "freq", probes, waves, true)
+	}
+	fmt.Fprintf(out, "%-14s", "freq")
+	for _, p := range probes {
+		fmt.Fprintf(out, " %-14s %-10s", "mag("+p+")", "ph("+p+")")
+	}
+	fmt.Fprintln(out)
+	for k, f := range waves[0].X {
+		fmt.Fprintf(out, "%-14.6g", f)
+		for _, w := range waves {
+			mag := w.Mag()
+			ph := w.PhaseDeg()
+			fmt.Fprintf(out, " %-14.6g %-10.4g", real(mag.Y[k]), real(ph.Y[k]))
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+func runTran(out io.Writer, sim *analysis.Sim, tstop, dt float64, probes []string, plot, csvOut bool, expr string) error {
+	res, err := sim.Tran(analysis.TranSpec{TStop: tstop, TStep: dt,
+		RecordEvery: max(1, int(tstop/dt)/2000)})
+	if err != nil {
+		return err
+	}
+	if expr != "" {
+		return evalExpr(out, expr, func(kind, name string) (*wave.Wave, error) {
+			return res.NodeWave(name)
+		}, plot)
+	}
+	if len(probes) == 0 {
+		return fmt.Errorf("-tran needs -probe or -expr")
+	}
+	var waves []*wave.Wave
+	for _, p := range probes {
+		w, err := res.NodeWave(p)
+		if err != nil {
+			return err
+		}
+		waves = append(waves, w)
+	}
+	if plot {
+		return wave.Plot(out, wave.PlotOptions{Title: "transient", XLabel: "s"}, waves...)
+	}
+	if csvOut {
+		return writeCSV(out, "time", probes, waves, false)
+	}
+	fmt.Fprintf(out, "%-14s", "time")
+	for _, p := range probes {
+		fmt.Fprintf(out, " %-14s", "v("+p+")")
+	}
+	fmt.Fprintln(out)
+	for k, t := range waves[0].X {
+		fmt.Fprintf(out, "%-14.6g", t)
+		for _, w := range waves {
+			fmt.Fprintf(out, " %-14.6g", real(w.Y[k]))
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+func runDC(out io.Writer, sim *analysis.Sim, src string, v0, v1 float64, steps int, probes []string, plot bool) error {
+	if steps < 2 {
+		steps = 2
+	}
+	res, err := sim.DCSweep(src, num.LinSpace(v0, v1, steps))
+	if err != nil {
+		return err
+	}
+	if len(probes) == 0 {
+		return fmt.Errorf("-dc needs -probe")
+	}
+	var waves []*wave.Wave
+	for _, p := range probes {
+		w, err := res.NodeWave(p)
+		if err != nil {
+			return err
+		}
+		waves = append(waves, w)
+	}
+	if plot {
+		return wave.Plot(out, wave.PlotOptions{Title: "DC sweep", XLabel: src}, waves...)
+	}
+	fmt.Fprintf(out, "%-14s", src)
+	for _, p := range probes {
+		fmt.Fprintf(out, " %-14s", "v("+p+")")
+	}
+	fmt.Fprintln(out)
+	for k, v := range waves[0].X {
+		fmt.Fprintf(out, "%-14.6g", v)
+		for _, w := range waves {
+			fmt.Fprintf(out, " %-14.6g", real(w.Y[k]))
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// writeCSV emits a wavecalc-compatible table: complex waveforms become
+// name_re/name_im column pairs.
+func writeCSV(out io.Writer, xName string, names []string, waves []*wave.Wave, cmplxCols bool) error {
+	fmt.Fprint(out, xName)
+	for _, n := range names {
+		if cmplxCols {
+			fmt.Fprintf(out, ",%s_re,%s_im", n, n)
+		} else {
+			fmt.Fprintf(out, ",%s", n)
+		}
+	}
+	fmt.Fprintln(out)
+	for k, x := range waves[0].X {
+		fmt.Fprintf(out, "%g", x)
+		for _, w := range waves {
+			if cmplxCols {
+				fmt.Fprintf(out, ",%g,%g", real(w.Y[k]), imag(w.Y[k]))
+			} else {
+				fmt.Fprintf(out, ",%g", real(w.Y[k]))
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+func evalExpr(out io.Writer, expr string, lookup func(kind, name string) (*wave.Wave, error), plot bool) error {
+	v, err := wave.Eval(expr, wave.EnvFunc(lookup))
+	if err != nil {
+		return err
+	}
+	if !v.IsWave {
+		fmt.Fprintf(out, "%g\n", v.Scalar)
+		return nil
+	}
+	if plot {
+		return wave.Plot(out, wave.PlotOptions{Title: expr, LogX: v.Wave.LogX}, v.Wave)
+	}
+	for k, x := range v.Wave.X {
+		fmt.Fprintf(out, "%-14.6g %-14.6g\n", x, real(v.Wave.Y[k]))
+	}
+	return nil
+}
+
+// loadCircuit reads the netlist from a file (resolving .include relative
+// to it) or from stdin (no includes).
+func loadCircuit(path string) (string, *netlist.Circuit, error) {
+	if path == "" {
+		b, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return "", nil, err
+		}
+		c, err := netlist.Parse(string(b))
+		return string(b), c, err
+	}
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return "", nil, err
+	}
+	dir, base := filepath.Dir(abs), filepath.Base(abs)
+	src, err := netlist.ExpandFS(os.DirFS(dir), base)
+	if err != nil {
+		return "", nil, err
+	}
+	c, err := netlist.Parse(src)
+	return src, c, err
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

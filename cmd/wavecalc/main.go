@@ -1,0 +1,151 @@
+// Command wavecalc is the standalone waveform calculator — the substitute
+// for the DFII Waveform Calculator capability the paper's tool requires.
+// It reads waveforms from a CSV file (first column x, remaining columns
+// named signals; a column pair "name_re,name_im" forms a complex signal)
+// and evaluates calculator expressions against them.
+//
+// Usage:
+//
+//	wavecalc -csv sweep.csv -expr "db20(v(out))"
+//	wavecalc -csv sweep.csv -expr "cross(phase(v(out)), 0)"
+//	wavecalc -csv step.csv -expr "overshoot(v(out))"
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"acstab/internal/wave"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "wavecalc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("wavecalc", flag.ContinueOnError)
+	var (
+		csvPath = fs.String("csv", "", "input CSV file (default: stdin)")
+		expr    = fs.String("expr", "", "calculator expression (required)")
+		plot    = fs.Bool("plot", false, "ASCII-plot waveform results")
+		logx    = fs.Bool("logx", false, "logarithmic x axis for plots")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *expr == "" {
+		return fmt.Errorf("-expr is required")
+	}
+	var r io.Reader = os.Stdin
+	if *csvPath != "" {
+		f, err := os.Open(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	waves, err := loadCSV(r, *logx)
+	if err != nil {
+		return err
+	}
+	env := wave.EnvFunc(func(kind, name string) (*wave.Wave, error) {
+		if kind != "v" && kind != "i" {
+			return nil, fmt.Errorf("unknown access %q", kind)
+		}
+		w, ok := waves[strings.ToLower(name)]
+		if !ok {
+			return nil, fmt.Errorf("no column %q in the CSV", name)
+		}
+		return w, nil
+	})
+	v, err := wave.Eval(*expr, env)
+	if err != nil {
+		return err
+	}
+	if !v.IsWave {
+		fmt.Fprintf(out, "%g\n", v.Scalar)
+		return nil
+	}
+	if *plot {
+		return wave.Plot(out, wave.PlotOptions{Title: *expr, LogX: *logx}, v.Wave)
+	}
+	for k, x := range v.Wave.X {
+		fmt.Fprintf(out, "%g,%g\n", x, real(v.Wave.Y[k]))
+	}
+	return nil
+}
+
+// loadCSV parses the waveform table: header row names the columns, the
+// first column is x. "name_re"/"name_im" pairs merge into one complex
+// signal.
+func loadCSV(r io.Reader, logx bool) (map[string]*wave.Wave, error) {
+	rows, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("CSV needs a header row and data")
+	}
+	header := rows[0]
+	ncol := len(header)
+	if ncol < 2 {
+		return nil, fmt.Errorf("CSV needs an x column and at least one signal")
+	}
+	data := make([][]float64, ncol)
+	for _, row := range rows[1:] {
+		if len(row) != ncol {
+			return nil, fmt.Errorf("ragged CSV row %v", row)
+		}
+		for j, cell := range row {
+			v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad number %q: %v", cell, err)
+			}
+			data[j] = append(data[j], v)
+		}
+	}
+	x := data[0]
+	out := map[string]*wave.Wave{}
+	used := make([]bool, ncol)
+	for j := 1; j < ncol; j++ {
+		if used[j] {
+			continue
+		}
+		name := strings.ToLower(strings.TrimSpace(header[j]))
+		if strings.HasSuffix(name, "_re") {
+			base := strings.TrimSuffix(name, "_re")
+			imCol := -1
+			for k := 1; k < ncol; k++ {
+				if strings.ToLower(strings.TrimSpace(header[k])) == base+"_im" {
+					imCol = k
+					break
+				}
+			}
+			if imCol >= 0 {
+				y := make([]complex128, len(x))
+				for i := range x {
+					y[i] = complex(data[j][i], data[imCol][i])
+				}
+				w := wave.New(base, append([]float64(nil), x...), y)
+				w.LogX = logx
+				out[base] = w
+				used[j], used[imCol] = true, true
+				continue
+			}
+		}
+		w := wave.NewReal(name, append([]float64(nil), x...), data[j])
+		w.LogX = logx
+		out[name] = w
+		used[j] = true
+	}
+	return out, nil
+}

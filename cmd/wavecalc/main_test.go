@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func writeCSV(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "w.csv")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestScalarResult(t *testing.T) {
+	path := writeCSV(t, "t,out\n0,0\n1,0.5\n2,1.4\n3,1.0\n4,1.0\n")
+	var out bytes.Buffer
+	if err := run([]string{"-csv", path, "-expr", "overshoot(v(out))"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(out.String()), 64)
+	if err != nil || math.Abs(v-40) > 1e-9 {
+		t.Errorf("overshoot = %q, want 40", out.String())
+	}
+}
+
+func TestWaveResultAndPlot(t *testing.T) {
+	path := writeCSV(t, "f,out\n1,10\n10,10\n100,1\n")
+	var out bytes.Buffer
+	if err := run([]string{"-csv", path, "-expr", "db20(v(out))"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "1,20") {
+		t.Errorf("wave output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-csv", path, "-expr", "db20(v(out))", "-plot", "-logx"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "db20") {
+		t.Error("plot title missing")
+	}
+}
+
+func TestComplexColumns(t *testing.T) {
+	path := writeCSV(t, "f,out_re,out_im\n1,1,0\n10,0,1\n100,-1,0\n")
+	var out bytes.Buffer
+	if err := run([]string{"-csv", path, "-expr", "at(phase(v(out)), 10)"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(out.String()), 64)
+	if err != nil || math.Abs(v-90) > 1e-6 {
+		t.Errorf("phase = %q, want 90", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-expr", ""}, &out); err == nil {
+		t.Error("missing expr should fail")
+	}
+	path := writeCSV(t, "f,out\n1,1\n2,2\n")
+	if err := run([]string{"-csv", path, "-expr", "v(nosuch)"}, &out); err == nil {
+		t.Error("unknown column should fail")
+	}
+	bad := writeCSV(t, "f,out\n1,xx\n")
+	if err := run([]string{"-csv", bad, "-expr", "v(out)"}, &out); err == nil {
+		t.Error("bad number should fail")
+	}
+	empty := writeCSV(t, "f,out\n")
+	if err := run([]string{"-csv", empty, "-expr", "v(out)"}, &out); err == nil {
+		t.Error("empty CSV should fail")
+	}
+}

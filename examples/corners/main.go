@@ -1,0 +1,67 @@
+// Corners and temperature sweeps (the paper's "features in development",
+// implemented here): how a loop's damping moves across design-variable
+// corners and temperature, driven from the public API by rebuilding the
+// circuit per point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	acstab "acstab"
+)
+
+// A compensation-sensitive resonant node: rq sets the damping, and its
+// temperature coefficient couples stability to temperature.
+const netlistTemplate = `corner study
+.param rq=400
+R1 t 0 {rq} tc1=2m
+L1 t 0 25.33u
+C1 t 0 1n
+`
+
+func main() {
+	fmt.Println("=== design-variable corners (rq) ===")
+	fmt.Printf("%-10s %-12s %-10s %-14s %-10s\n", "corner", "rq", "peak", "zeta", "PM deg")
+	for _, corner := range []struct {
+		name string
+		rq   float64
+	}{
+		{"slow", 200},
+		{"nominal", 400},
+		{"fast", 800},
+	} {
+		ckt, err := acstab.ParseNetlist(netlistTemplate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Element expressions like {rq} re-evaluate against the updated
+		// design variables when the analysis flattens the circuit.
+		ckt.SetParam("rq", corner.rq)
+		res, err := acstab.AnalyzeNode(ckt, "t", acstab.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := res.Dominant
+		fmt.Printf("%-10s %-12g %-10.2f %-14.3f %-10.1f\n",
+			corner.name, corner.rq, d.Value, d.Zeta, d.PhaseMarginDeg)
+	}
+
+	fmt.Println("\n=== temperature sweep ===")
+	fmt.Printf("%-8s %-10s %-14s %-10s\n", "temp C", "peak", "zeta", "PM deg")
+	for _, temp := range []float64{-40, 27, 85, 125} {
+		ckt, err := acstab.ParseNetlist(netlistTemplate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ckt.SetTemp(temp)
+		res, err := acstab.AnalyzeNode(ckt, "t", acstab.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := res.Dominant
+		fmt.Printf("%-8g %-10.2f %-14.3f %-10.1f\n", temp, d.Value, d.Zeta, d.PhaseMarginDeg)
+	}
+	fmt.Println("\nhotter -> larger R (tc1 > 0) -> lighter damping -> deeper peak:")
+	fmt.Println("the stability margin of this loop degrades with temperature.")
+}

@@ -1,0 +1,74 @@
+// Three ways to measure the stability of the same loop — the paper's
+// method against two rigorous baselines — plus the exact answer:
+//
+//  1. the stability plot on the unmodified closed loop (the paper),
+//  2. Blackman's return ratio through the loop transconductance
+//     (the modern Spectre-stb-style measurement),
+//  3. exact pole analysis of the linearized circuit (eigenvalues of the
+//     MNA pencil): the ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	acstab "acstab"
+)
+
+// A deliberately under-damped two-stage loop: integrator gm into an RC,
+// second gm closing the loop.
+const loopNetlist = `two-stage loop
+R1 a 0 10k
+C1 a 0 1.59p
+R2 b 0 10k
+C2 b 0 1.59p
+GF 0 b a 0 0.45m
+GR a 0 b 0 0.45m
+`
+
+func main() {
+	ckt, err := acstab.ParseNetlist(loopNetlist)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. The paper's method: probe a node, read the peak.
+	nr, err := acstab.AnalyzeNode(ckt, "a", acstab.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := nr.Dominant
+	fmt.Println("1) stability plot (no loop breaking):")
+	fmt.Printf("   peak %.2f at %.4g Hz -> zeta %.4f, PM %.1f deg\n\n",
+		d.Value, d.FreqHz, d.Zeta, d.PhaseMarginDeg)
+
+	// 2. Return ratio through the forward transconductance.
+	fc, pm, f180, _, err := ckt.LoopGain("GF", 1e4, 1e9, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("2) Blackman return ratio (loop gain, loop still closed):")
+	fmt.Printf("   0 dB at %.4g Hz, PM %.1f deg", fc, pm)
+	if f180 > 0 {
+		fmt.Printf(", -180 deg at %.4g Hz", f180)
+	} else {
+		fmt.Printf(" (a two-pole loop never reaches -180 deg)")
+	}
+	fmt.Print("\n\n")
+
+	// 3. Exact poles of the linearized network.
+	poles, err := ckt.Poles(1e4, 1e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("3) exact pole analysis (MNA eigenvalues):")
+	for _, p := range poles {
+		if p.Imag > 0 {
+			fmt.Printf("   pole %.4g%+.4gj rad/s -> fn %.4g Hz, zeta %.4f\n",
+				p.Real, p.Imag, p.FreqHz, p.Zeta)
+		}
+	}
+	fmt.Println("\nthe stability plot recovers the exact pole's zeta and fn without")
+	fmt.Println("opening the loop, touching the bias, or naming the loop element —")
+	fmt.Println("which is precisely the paper's claim.")
+}

@@ -1,0 +1,43 @@
+// Quickstart: probe a single node of a resonant circuit and read off the
+// loop's natural frequency, damping ratio, and estimated phase margin —
+// without breaking any loop.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	acstab "acstab"
+)
+
+func main() {
+	// A parallel RLC tank: its driving-point impedance carries a complex
+	// pole pair at 1 MHz with damping ratio ~0.25 (zeta = sqrt(L/C)/(2R)).
+	ckt, err := acstab.ParseNetlist(`quickstart tank
+R1 t 0 318
+L1 t 0 25.33u
+C1 t 0 1n
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := acstab.AnalyzeNode(ckt, "t", acstab.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := res.StabilityPlot.Plot(os.Stdout, "stability plot at node t"); err != nil {
+		log.Fatal(err)
+	}
+	d := res.Dominant
+	if d == nil {
+		fmt.Println("no resonance found")
+		return
+	}
+	fmt.Printf("\nresonance at %.4g Hz\n", d.FreqHz)
+	fmt.Printf("performance index %.2f  ->  zeta %.3f\n", d.Value, d.Zeta)
+	fmt.Printf("estimated phase margin %.1f deg, equivalent step overshoot %.1f%%\n",
+		d.PhaseMarginDeg, d.OvershootPct)
+}

@@ -1,0 +1,41 @@
+package acstab_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example main end to end and spot-checks
+// its output, keeping the documented walkthroughs honest.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples spawn the go tool")
+	}
+	cases := []struct {
+		dir  string
+		want []string
+	}{
+		{"quickstart", []string{"resonance at 1e+06 Hz", "phase margin"}},
+		{"opamp", []string{"phase margin", "natural frequency", "consistency"}},
+		{"bias", []string{"Loop at", "worst local loop", "annotated"}},
+		{"corners", []string{"corner", "temperature sweep", "degrades"}},
+		{"methods", []string{"stability plot", "return ratio", "pole analysis"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./examples/"+c.dir)
+			cmd.Dir = "."
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", c.dir, err, out)
+			}
+			for _, want := range c.want {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("example %s output missing %q", c.dir, want)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module acstab
+
+go 1.22

@@ -1,0 +1,380 @@
+// Package analysis implements the circuit analyses the tool depends on:
+// DC operating point (Newton-Raphson with step damping, gmin stepping, and
+// source stepping homotopies), DC and temperature sweeps, small-signal AC
+// sweeps (with a shared-factorization multi-node fast path used by the
+// all-nodes stability run), and transient simulation (trapezoidal or
+// backward-Euler companion integration). It is the Spectre substitute the
+// reproduction runs on.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"acstab/internal/linalg"
+	"acstab/internal/mna"
+	"acstab/internal/sparse"
+	"acstab/internal/wave"
+)
+
+// Options tunes the solvers.
+type Options struct {
+	AbsTol  float64 // branch-current tolerance (A)
+	VnTol   float64 // node-voltage tolerance (V)
+	RelTol  float64 // relative tolerance
+	Gmin    float64 // junction shunt conductance
+	MaxIter int     // Newton iteration limit per solve
+	// MaxStepV damps Newton: no node voltage moves more than this per
+	// iteration.
+	MaxStepV float64
+	// Matrix selects the linear solver for AC sweeps: auto (0), dense (1),
+	// sparse (2). DC always uses the dense solver (systems are re-assembled
+	// each Newton iteration and stay small in this repo's workloads).
+	Matrix MatrixMode
+	// SparseThreshold is the system size above which auto mode picks the
+	// sparse solver.
+	SparseThreshold int
+}
+
+// MatrixMode selects the AC linear solver.
+type MatrixMode int
+
+// Matrix modes.
+const (
+	MatrixAuto MatrixMode = iota
+	MatrixDense
+	MatrixSparse
+)
+
+// DefaultOptions returns the solver defaults documented in DESIGN.md.
+func DefaultOptions() Options {
+	return Options{
+		AbsTol:          1e-12,
+		VnTol:           1e-9,
+		RelTol:          1e-6,
+		Gmin:            1e-12,
+		MaxIter:         200,
+		MaxStepV:        1.0,
+		SparseThreshold: 64,
+	}
+}
+
+// Sim couples a compiled system with solver options.
+type Sim struct {
+	Sys *mna.System
+	Opt Options
+}
+
+// New returns a simulator over the compiled system with default options.
+func New(sys *mna.System) *Sim {
+	return &Sim{Sys: sys, Opt: DefaultOptions()}
+}
+
+// ErrNoConvergence is returned when every DC homotopy fails.
+var ErrNoConvergence = errors.New("analysis: DC did not converge")
+
+// assembleFn stamps the companion system at candidate x.
+type assembleFn func(a mna.RealAdder, b []float64, x []float64)
+
+// newton runs damped Newton iteration with the given assembler, starting
+// from x0. It returns the converged solution.
+func (s *Sim) newton(assemble assembleFn, x0 []float64) ([]float64, error) {
+	n := s.Sys.NumUnknowns()
+	nn := s.Sys.NumNodes()
+	x := append([]float64(nil), x0...)
+	a := linalg.NewMatrix(n)
+	b := make([]float64, n)
+	for iter := 0; iter < s.Opt.MaxIter; iter++ {
+		a.Zero()
+		for i := range b {
+			b[i] = 0
+		}
+		assemble(a, b, x)
+		f, err := linalg.Factor(a)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: singular matrix during Newton: %w", err)
+		}
+		xn, err := f.Solve(b)
+		if err != nil {
+			return nil, err
+		}
+		// Damping: bound the largest node-voltage step.
+		maxdv := 0.0
+		for i := 0; i < nn; i++ {
+			if dv := math.Abs(xn[i] - x[i]); dv > maxdv {
+				maxdv = dv
+			}
+		}
+		if s.Opt.MaxStepV > 0 && maxdv > s.Opt.MaxStepV {
+			k := s.Opt.MaxStepV / maxdv
+			for i := range xn {
+				xn[i] = x[i] + k*(xn[i]-x[i])
+			}
+		}
+		converged := true
+		for i := range xn {
+			tol := s.Opt.AbsTol
+			if i < nn {
+				tol = s.Opt.VnTol
+			}
+			lim := tol + s.Opt.RelTol*math.Max(math.Abs(xn[i]), math.Abs(x[i]))
+			if math.Abs(xn[i]-x[i]) > lim {
+				converged = false
+				break
+			}
+		}
+		x = xn
+		if converged {
+			return x, nil
+		}
+	}
+	return nil, ErrNoConvergence
+}
+
+// OP computes the DC operating point. On plain-Newton failure it falls
+// back to gmin stepping and then source stepping.
+func (s *Sim) OP() (*mna.OpPoint, error) {
+	// Initial guess: zeros, overridden by any .nodeset hints.
+	zero := make([]float64, s.Sys.NumUnknowns())
+	for node, v := range s.Sys.Ckt.NodeSet {
+		if idx, ok := s.Sys.NodeOf(node); ok && idx >= 0 {
+			zero[idx] = v
+		}
+	}
+	stamp := func(gshunt, srcScale float64) assembleFn {
+		return func(a mna.RealAdder, b []float64, x []float64) {
+			s.Sys.StampDC(a, b, x, mna.DCOptions{
+				Gmin:         s.Opt.Gmin,
+				SrcScale:     srcScale,
+				GminToGround: gshunt,
+			})
+		}
+	}
+	// Plain Newton.
+	if x, err := s.newton(stamp(0, 1), zero); err == nil {
+		return s.Sys.Linearize(x, s.Opt.Gmin), nil
+	}
+	// Gmin stepping: heavy shunt first, relax, warm start each stage.
+	x := zero
+	ok := true
+	for g := 1e-2; g >= 1e-13; g /= 10 {
+		xn, err := s.newton(stamp(g, 1), x)
+		if err != nil {
+			ok = false
+			break
+		}
+		x = xn
+	}
+	if ok {
+		if xn, err := s.newton(stamp(0, 1), x); err == nil {
+			return s.Sys.Linearize(xn, s.Opt.Gmin), nil
+		}
+	}
+	// Source stepping.
+	x = zero
+	for scale := 0.05; ; scale += 0.05 {
+		if scale > 1 {
+			scale = 1
+		}
+		xn, err := s.newton(stamp(0, scale), x)
+		if err != nil {
+			return nil, fmt.Errorf("%w (source stepping failed at scale %.2f)", ErrNoConvergence, scale)
+		}
+		x = xn
+		if scale == 1 {
+			return s.Sys.Linearize(x, s.Opt.Gmin), nil
+		}
+	}
+}
+
+// NodeVoltage reads a node voltage from an operating point.
+func (s *Sim) NodeVoltage(op *mna.OpPoint, node string) (float64, error) {
+	idx, ok := s.Sys.NodeOf(node)
+	if !ok {
+		return 0, fmt.Errorf("analysis: unknown node %q", node)
+	}
+	if idx < 0 {
+		return 0, nil
+	}
+	return op.X[idx], nil
+}
+
+// SourceCurrent reads the branch current of a voltage-defined element.
+func (s *Sim) SourceCurrent(op *mna.OpPoint, elem string) (float64, error) {
+	br, ok := s.Sys.BranchOf(elem)
+	if !ok {
+		return 0, fmt.Errorf("analysis: element %q has no branch current", elem)
+	}
+	return op.X[br], nil
+}
+
+// complexSolverFor builds the AC matrix+solver pair sized for the system.
+func (s *Sim) useSparse() bool {
+	switch s.Opt.Matrix {
+	case MatrixDense:
+		return false
+	case MatrixSparse:
+		return true
+	default:
+		return s.Sys.NumUnknowns() > s.Opt.SparseThreshold
+	}
+}
+
+// ACResult holds an AC sweep: per-frequency solution vectors.
+type ACResult struct {
+	sys   *mna.System
+	Freqs []float64
+	// Sol[k] is the MNA solution vector at Freqs[k].
+	Sol [][]complex128
+}
+
+// NodeWave returns the complex node voltage across frequency.
+func (r *ACResult) NodeWave(node string) (*wave.Wave, error) {
+	idx, ok := r.sys.NodeOf(node)
+	if !ok {
+		return nil, fmt.Errorf("analysis: unknown node %q", node)
+	}
+	y := make([]complex128, len(r.Freqs))
+	for k := range r.Freqs {
+		if idx >= 0 {
+			y[k] = r.Sol[k][idx]
+		}
+	}
+	w := wave.New("v("+node+")", append([]float64(nil), r.Freqs...), y)
+	w.XUnit = "Hz"
+	w.YUnit = "V"
+	w.LogX = true
+	return w, nil
+}
+
+// BranchWave returns the complex branch current of a voltage-defined
+// element across frequency.
+func (r *ACResult) BranchWave(elem string) (*wave.Wave, error) {
+	br, ok := r.sys.BranchOf(elem)
+	if !ok {
+		return nil, fmt.Errorf("analysis: element %q has no branch current", elem)
+	}
+	y := make([]complex128, len(r.Freqs))
+	for k := range r.Freqs {
+		y[k] = r.Sol[k][br]
+	}
+	w := wave.New("i("+elem+")", append([]float64(nil), r.Freqs...), y)
+	w.XUnit = "Hz"
+	w.YUnit = "A"
+	w.LogX = true
+	return w, nil
+}
+
+// AC runs a small-signal sweep over the given frequencies (Hz) with the
+// circuit's own AC sources as excitation.
+func (s *Sim) AC(freqs []float64, op *mna.OpPoint) (*ACResult, error) {
+	n := s.Sys.NumUnknowns()
+	res := &ACResult{sys: s.Sys, Freqs: append([]float64(nil), freqs...)}
+	res.Sol = make([][]complex128, len(freqs))
+	sparseMode := s.useSparse()
+	var dm *linalg.CMatrix
+	var sm *sparse.Matrix
+	if sparseMode {
+		sm = sparse.New(n)
+	} else {
+		dm = linalg.NewCMatrix(n)
+	}
+	b := make([]complex128, n)
+	for k, f := range freqs {
+		omega := 2 * math.Pi * f
+		for i := range b {
+			b[i] = 0
+		}
+		var x []complex128
+		var err error
+		if sparseMode {
+			sm.Zero()
+			s.Sys.StampAC(sm, b, omega, op)
+			x, err = sparse.Solve(sm, b)
+		} else {
+			dm.Zero()
+			s.Sys.StampAC(dm, b, omega, op)
+			x, err = linalg.CSolveDense(dm, b)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("analysis: AC at %g Hz: %w", f, err)
+		}
+		res.Sol[k] = x
+	}
+	return res, nil
+}
+
+// ImpedanceMatrixColumns computes driving-point impedances: for every
+// frequency it factors the AC matrix once and back-substitutes one RHS per
+// requested node (unit current injection), returning Z[nodeIdxInList][freq].
+// This is the shared-factorization fast path of the all-nodes stability
+// sweep; the naive alternative (one full AC analysis per node) is kept in
+// the tool package for the ablation benchmark.
+func (s *Sim) ImpedanceMatrixColumns(freqs []float64, op *mna.OpPoint, nodeIdx []int) ([][]complex128, error) {
+	n := s.Sys.NumUnknowns()
+	out := make([][]complex128, len(nodeIdx))
+	for i := range out {
+		out[i] = make([]complex128, len(freqs))
+	}
+	sparseMode := s.useSparse()
+	var dm *linalg.CMatrix
+	var sm *sparse.Matrix
+	if sparseMode {
+		sm = sparse.New(n)
+	} else {
+		dm = linalg.NewCMatrix(n)
+	}
+	b := make([]complex128, n)
+	for k, f := range freqs {
+		omega := 2 * math.Pi * f
+		var solve func([]complex128) ([]complex128, error)
+		if sparseMode {
+			sm.Zero()
+			s.Sys.StampAC(sm, nil, omega, op)
+			fac, err := sparse.Factor(sm)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: impedance at %g Hz: %w", f, err)
+			}
+			solve = fac.Solve
+		} else {
+			dm.Zero()
+			s.Sys.StampAC(dm, nil, omega, op)
+			fac, err := linalg.CFactor(dm)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: impedance at %g Hz: %w", f, err)
+			}
+			solve = fac.Solve
+		}
+		for i, idx := range nodeIdx {
+			for j := range b {
+				b[j] = 0
+			}
+			b[idx] = 1 // 1 A injection into the node
+			x, err := solve(b)
+			if err != nil {
+				return nil, err
+			}
+			out[i][k] = x[idx]
+		}
+	}
+	return out, nil
+}
+
+// Impedance computes the driving-point impedance of one node across
+// frequency (unit AC current injection, reading the same node's voltage).
+func (s *Sim) Impedance(freqs []float64, op *mna.OpPoint, node string) (*wave.Wave, error) {
+	idx, ok := s.Sys.NodeOf(node)
+	if !ok || idx < 0 {
+		return nil, fmt.Errorf("analysis: cannot probe node %q", node)
+	}
+	z, err := s.ImpedanceMatrixColumns(freqs, op, []int{idx})
+	if err != nil {
+		return nil, err
+	}
+	w := wave.New("z("+node+")", append([]float64(nil), freqs...), z[0])
+	w.XUnit = "Hz"
+	w.YUnit = "Ohm"
+	w.LogX = true
+	return w, nil
+}

@@ -1,0 +1,666 @@
+package analysis
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"acstab/internal/device"
+	"acstab/internal/linalg"
+	"acstab/internal/mna"
+	"acstab/internal/netlist"
+	"acstab/internal/num"
+)
+
+func compile(t *testing.T, c *netlist.Circuit) *Sim {
+	t.Helper()
+	flat, err := netlist.Flatten(c)
+	if err != nil {
+		t.Fatalf("Flatten: %v", err)
+	}
+	sys, err := mna.Compile(flat)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return New(sys)
+}
+
+func mustOP(t *testing.T, s *Sim) *mna.OpPoint {
+	t.Helper()
+	op, err := s.OP()
+	if err != nil {
+		t.Fatalf("OP: %v", err)
+	}
+	return op
+}
+
+func v(t *testing.T, s *Sim, op *mna.OpPoint, node string) float64 {
+	t.Helper()
+	val, err := s.NodeVoltage(op, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return val
+}
+
+func TestOPVoltageDivider(t *testing.T) {
+	c := netlist.NewCircuit("divider")
+	c.AddVDC("V1", "in", "0", 10)
+	c.AddR("R1", "in", "out", 1e3)
+	c.AddR("R2", "out", "0", 3e3)
+	s := compile(t, c)
+	op := mustOP(t, s)
+	if got := v(t, s, op, "out"); math.Abs(got-7.5) > 1e-9 {
+		t.Errorf("v(out) = %g, want 7.5", got)
+	}
+	// Source current = -10/4k (current flows out of + terminal through
+	// the circuit; MNA branch current is into the + terminal).
+	i, err := s.SourceCurrent(op, "V1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(i-(-2.5e-3)) > 1e-9 {
+		t.Errorf("i(V1) = %g, want -2.5m", i)
+	}
+}
+
+func TestOPControlledSources(t *testing.T) {
+	c := netlist.NewCircuit("ctrl")
+	c.AddVDC("V1", "in", "0", 1)
+	c.AddR("R1", "in", "0", 1e3)
+	c.AddE("E1", "e", "0", "in", "0", 5)
+	c.AddR("Re", "e", "0", 1e3)
+	c.AddG("G1", "g", "0", "in", "0", 2e-3) // pushes current g->0
+	c.AddR("Rg", "g", "0", 1e3)
+	c.AddF("F1", "f", "0", "V1", 3)
+	c.AddR("Rf", "f", "0", 1e3)
+	c.AddH("H1", "h", "0", "V1", 2e3)
+	c.AddR("Rh", "h", "0", 1e3)
+	s := compile(t, c)
+	op := mustOP(t, s)
+	if got := v(t, s, op, "e"); math.Abs(got-5) > 1e-9 {
+		t.Errorf("VCVS: v(e) = %g, want 5", got)
+	}
+	// G1: i = 2mA from node g to ground -> v(g) = -2mA * 1k = -2V.
+	if got := v(t, s, op, "g"); math.Abs(got-(-2)) > 1e-9 {
+		t.Errorf("VCCS: v(g) = %g, want -2", got)
+	}
+	// i(V1): R1 draws 1mA, E/G/H don't load V1. F injects 3*i(V1) into f.
+	// i(V1) = -(1mA) (into + terminal). F1 gain 3 -> current 3*(-1mA) from
+	// f to ground -> v(f) = -3*(-1m)*1k? F current = gain * i(V1) = -3mA
+	// flowing f->0 through the source: leaves f: v(f) = -(-3m)*1k = 3.
+	if got := v(t, s, op, "f"); math.Abs(got-3) > 1e-9 {
+		t.Errorf("CCCS: v(f) = %g, want 3", got)
+	}
+	// H1: v(h) = 2k * i(V1) = 2k * (-1mA) = -2V.
+	if got := v(t, s, op, "h"); math.Abs(got-(-2)) > 1e-9 {
+		t.Errorf("CCVS: v(h) = %g, want -2", got)
+	}
+}
+
+func TestOPDiodeResistor(t *testing.T) {
+	c := netlist.NewCircuit("diode bias")
+	c.AddVDC("V1", "in", "0", 5)
+	c.AddR("R1", "in", "d", 1e3)
+	c.AddD("D1", "d", "0", "dm")
+	c.SetModel("dm", "d", map[string]float64{"is": 1e-14})
+	s := compile(t, c)
+	op := mustOP(t, s)
+	vd := v(t, s, op, "d")
+	// Must satisfy (5-vd)/1k = IS*(exp(vd/vt)-1).
+	ir := (5 - vd) / 1e3
+	vt := device.Vt(27)
+	id := 1e-14 * (math.Exp(vd/vt) - 1)
+	if math.Abs(ir-id) > 1e-6*ir {
+		t.Errorf("KCL violated: iR=%g iD=%g (vd=%g)", ir, id, vd)
+	}
+	if vd < 0.55 || vd > 0.75 {
+		t.Errorf("vd = %g, expected ~0.65", vd)
+	}
+}
+
+func TestOPBJTCurrentMirror(t *testing.T) {
+	c := netlist.NewCircuit("mirror")
+	c.AddVDC("VCC", "vcc", "0", 5)
+	c.AddR("Rref", "vcc", "ref", 4.3e3) // ~1mA reference
+	c.AddQ("Q1", "ref", "ref", "0", "qn")
+	c.AddQ("Q2", "out", "ref", "0", "qn")
+	c.AddR("Rload", "vcc", "out", 1e3)
+	c.SetModel("qn", "npn", map[string]float64{"is": 1e-15, "bf": 100})
+	s := compile(t, c)
+	op := mustOP(t, s)
+	iref := (5 - v(t, s, op, "ref")) / 4.3e3
+	iout := (5 - v(t, s, op, "out")) / 1e3
+	// Mirror ratio with finite beta: iout/iref = 1/(1+2/beta) ~ 0.98.
+	ratio := iout / iref
+	if ratio < 0.95 || ratio > 1.0 {
+		t.Errorf("mirror ratio = %g (iref=%g iout=%g)", ratio, iref, iout)
+	}
+}
+
+func TestOPPNPMirror(t *testing.T) {
+	c := netlist.NewCircuit("pnp mirror")
+	c.AddVDC("VCC", "vcc", "0", 5)
+	c.AddR("Rref", "ref", "0", 4.3e3)
+	c.AddQ("Q1", "ref", "ref", "vcc", "qp")
+	c.AddQ("Q2", "out", "ref", "vcc", "qp")
+	c.AddR("Rload", "out", "0", 1e3)
+	c.SetModel("qp", "pnp", map[string]float64{"is": 1e-15, "bf": 50})
+	s := compile(t, c)
+	op := mustOP(t, s)
+	iref := v(t, s, op, "ref") / 4.3e3
+	iout := v(t, s, op, "out") / 1e3
+	if iref < 0.5e-3 || iref > 1.5e-3 {
+		t.Fatalf("iref = %g", iref)
+	}
+	ratio := iout / iref
+	if ratio < 0.9 || ratio > 1.05 {
+		t.Errorf("pnp mirror ratio = %g", ratio)
+	}
+}
+
+func TestOPMOSInverter(t *testing.T) {
+	c := netlist.NewCircuit("nmos common source")
+	c.AddVDC("VDD", "vdd", "0", 5)
+	c.AddVDC("VG", "g", "0", 1.2)
+	c.AddR("RD", "vdd", "d", 10e3)
+	c.AddM("M1", "d", "g", "0", "0", "nch", 10e-6, 1e-6)
+	c.SetModel("nch", "nmos", map[string]float64{"vto": 0.7, "kp": 100e-6})
+	s := compile(t, c)
+	op := mustOP(t, s)
+	// Id = 0.5*KP*(W/L)*(vgs-vt)^2 = 0.5*100u*10*0.25 = 125uA.
+	// vd = 5 - 10k*125u = 3.75.
+	if got := v(t, s, op, "d"); math.Abs(got-3.75) > 0.01 {
+		t.Errorf("v(d) = %g, want 3.75", got)
+	}
+}
+
+func TestOPMOSTriodeAndSwappedTerminals(t *testing.T) {
+	// Transmission-gate-like use: drain below source voltage forces the
+	// internal D/S swap path.
+	c := netlist.NewCircuit("swap")
+	c.AddVDC("VDD", "vdd", "0", 5)
+	c.AddVDC("VG", "g", "0", 5)
+	c.AddVDC("VIN", "a", "0", 2)
+	c.AddM("M1", "a", "g", "b", "0", "nch", 10e-6, 1e-6)
+	c.AddR("RL", "b", "0", 10e3)
+	c.SetModel("nch", "nmos", map[string]float64{"vto": 0.7, "kp": 100e-6})
+	s := compile(t, c)
+	op := mustOP(t, s)
+	vb := v(t, s, op, "b")
+	// The pass transistor pulls b close to a (2V) through the 10k load.
+	if vb < 1.5 || vb > 2.0 {
+		t.Errorf("v(b) = %g, want ~2", vb)
+	}
+}
+
+func TestACLowpass(t *testing.T) {
+	c := netlist.NewCircuit("rc lowpass")
+	c.AddV("V1", "in", "0", netlist.SourceSpec{ACMag: 1})
+	c.AddR("R1", "in", "out", 1e3)
+	c.AddC("C1", "out", "0", 1e-6)
+	s := compile(t, c)
+	op := mustOP(t, s)
+	fc := 1 / (2 * math.Pi * 1e3 * 1e-6)
+	res, err := s.AC([]float64{fc / 100, fc, fc * 100}, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := res.NodeWave("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At fc: magnitude 1/sqrt(2), phase -45.
+	if got := cmplx.Abs(w.Y[1]); math.Abs(got-1/math.Sqrt2) > 1e-6 {
+		t.Errorf("|H(fc)| = %g", got)
+	}
+	if got := cmplx.Phase(w.Y[1]) * 180 / math.Pi; math.Abs(got-(-45)) > 1e-3 {
+		t.Errorf("phase(fc) = %g", got)
+	}
+	if got := cmplx.Abs(w.Y[0]); math.Abs(got-1) > 1e-3 {
+		t.Errorf("|H(DC)| = %g", got)
+	}
+	// 100x above fc: ~ -40dB relative slope for 1 pole ~ 1/100.
+	if got := cmplx.Abs(w.Y[2]); math.Abs(got-0.01) > 2e-3 {
+		t.Errorf("|H(100fc)| = %g", got)
+	}
+}
+
+func TestACInductorAndBranch(t *testing.T) {
+	// Series RL: i = V/(R + jwL).
+	c := netlist.NewCircuit("rl")
+	c.AddV("V1", "in", "0", netlist.SourceSpec{ACMag: 1})
+	c.AddR("R1", "in", "m", 100)
+	c.AddL("L1", "m", "0", 1e-3)
+	s := compile(t, c)
+	op := mustOP(t, s)
+	f := 100 / (2 * math.Pi * 1e-3) // wL = 100 ohm
+	res, err := s.AC([]float64{f}, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iw, err := res.BranchWave("L1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / math.Sqrt(100*100+100*100)
+	if got := cmplx.Abs(iw.Y[0]); math.Abs(got-want) > 1e-6 {
+		t.Errorf("|i| = %g, want %g", got, want)
+	}
+}
+
+func TestACCommonEmitterGain(t *testing.T) {
+	c := netlist.NewCircuit("ce amp")
+	c.AddVDC("VCC", "vcc", "0", 10)
+	c.AddV("VIN", "b", "0", netlist.SourceSpec{DC: 0.65, ACMag: 1})
+	c.AddR("RC", "vcc", "c", 1e3)
+	c.AddQ("Q1", "c", "b", "0", "qn")
+	c.SetModel("qn", "npn", map[string]float64{"is": 1e-15, "bf": 100})
+	s := compile(t, c)
+	op := mustOP(t, s)
+	ic := (10 - v(t, s, op, "c")) / 1e3
+	gm := ic / 0.02585
+	res, err := s.AC([]float64{1e3}, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := res.NodeWave("c")
+	gain := cmplx.Abs(w.Y[0])
+	want := gm * 1e3
+	if math.Abs(gain-want) > 0.05*want {
+		t.Errorf("CE gain = %g, want ~%g", gain, want)
+	}
+	// Phase inversion.
+	if ph := cmplx.Phase(w.Y[0]); math.Abs(math.Abs(ph)-math.Pi) > 0.05 {
+		t.Errorf("CE phase = %g, want ~pi", ph)
+	}
+}
+
+func TestImpedanceParallelRLC(t *testing.T) {
+	// Parallel RLC driving-point impedance: peak R at resonance.
+	c := netlist.NewCircuit("tank")
+	c.AddR("R1", "t", "0", 1e3)
+	c.AddL("L1", "t", "0", 1e-6)
+	c.AddC("C1", "t", "0", 1e-9)
+	s := compile(t, c)
+	op := mustOP(t, s)
+	f0 := 1 / (2 * math.Pi * math.Sqrt(1e-6*1e-9))
+	zw, err := s.Impedance([]float64{f0 / 10, f0, f0 * 10}, op, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cmplx.Abs(zw.Y[1]); math.Abs(got-1e3) > 1 {
+		t.Errorf("|Z(f0)| = %g, want 1000", got)
+	}
+	if cmplx.Abs(zw.Y[0]) > 100 || cmplx.Abs(zw.Y[2]) > 100 {
+		t.Errorf("off-resonance |Z| too large: %g %g",
+			cmplx.Abs(zw.Y[0]), cmplx.Abs(zw.Y[2]))
+	}
+}
+
+func TestACSparseMatchesDense(t *testing.T) {
+	// RC ladder big enough to trigger sparse in auto mode.
+	c := netlist.NewCircuit("ladder")
+	c.AddV("V1", "n0", "0", netlist.SourceSpec{ACMag: 1})
+	prev := "n0"
+	for i := 1; i <= 80; i++ {
+		cur := nodeName(i)
+		c.AddR("R"+cur, prev, cur, 100)
+		c.AddC("C"+cur, cur, "0", 1e-9)
+		prev = cur
+	}
+	s := compile(t, c)
+	op := mustOP(t, s)
+	freqs := []float64{1e3, 1e5, 1e7}
+
+	s.Opt.Matrix = MatrixDense
+	rd, err := s.AC(freqs, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Opt.Matrix = MatrixSparse
+	rs, err := s.AC(freqs, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range []string{nodeName(5), nodeName(40), nodeName(80)} {
+		wd, _ := rd.NodeWave(node)
+		ws, _ := rs.NodeWave(node)
+		for k := range freqs {
+			mag := cmplx.Abs(wd.Y[k])
+			if mag < 1e-30 {
+				// Deep in the ladder at high frequency the response
+				// underflows; any tiny absolute error dominates. Require
+				// only that the sparse result underflows too.
+				if cmplx.Abs(ws.Y[k]) > 1e-20 {
+					t.Errorf("%s at %g Hz: sparse %g should underflow like dense %g",
+						node, freqs[k], cmplx.Abs(ws.Y[k]), mag)
+				}
+				continue
+			}
+			if cmplx.Abs(wd.Y[k]-ws.Y[k]) > 1e-6*mag {
+				t.Errorf("%s sparse/dense mismatch at %g Hz: %g vs %g",
+					node, freqs[k], mag, cmplx.Abs(ws.Y[k]))
+			}
+		}
+	}
+}
+
+func nodeName(i int) string {
+	return "n" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+// Property: AC reciprocity. For a reciprocal network (R, C only),
+// Z_jk = Z_kj.
+func TestACReciprocityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := netlist.NewCircuit("random rc")
+		nodes := []string{"a", "b", "c", "d"}
+		// Random RC mesh, every node shunted to ground to avoid floating.
+		for i, n := range nodes {
+			c.AddR("Rg"+n, n, "0", 1e3*(1+r.Float64()))
+			for j := i + 1; j < len(nodes); j++ {
+				if r.Intn(2) == 0 {
+					c.AddR("R"+n+nodes[j], n, nodes[j], 500*(1+r.Float64()))
+				} else {
+					c.AddC("C"+n+nodes[j], n, nodes[j], 1e-9*(1+r.Float64()))
+				}
+			}
+		}
+		flat, _ := netlist.Flatten(c)
+		sys, err := mna.Compile(flat)
+		if err != nil {
+			return false
+		}
+		s := New(sys)
+		op, err := s.OP()
+		if err != nil {
+			return false
+		}
+		ia, _ := sys.NodeOf("a")
+		ib, _ := sys.NodeOf("b")
+		z, err := s.ImpedanceMatrixColumns([]float64{1e5}, op, []int{ia, ib})
+		if err != nil {
+			return false
+		}
+		// Solve full columns to read cross terms.
+		n := sys.NumUnknowns()
+		_ = n
+		// Z_ab: inject at b, read a. Reuse ImpedanceMatrixColumns is
+		// self-impedance only, so compute manually via AC with an isrc.
+		zab := crossImpedance(t, c, "b", "a")
+		zba := crossImpedance(t, c, "a", "b")
+		_ = z
+		return cmplx.Abs(zab-zba) <= 1e-9*(1+cmplx.Abs(zab))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// crossImpedance injects 1A AC at inj and reads the voltage at read.
+func crossImpedance(t *testing.T, c *netlist.Circuit, inj, read string) complex128 {
+	cc := netlist.NewCircuit(c.Title)
+	for _, e := range c.Elems {
+		copied := *e
+		cc.Add(&copied)
+	}
+	for k, v := range c.Models {
+		cc.Models[k] = v
+	}
+	cc.AddI("Iprobe", "0", inj, netlist.SourceSpec{ACMag: 1})
+	flat, err := netlist.Flatten(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := mna.Compile(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys)
+	op, err := s.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.AC([]float64{1e5}, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := res.NodeWave(read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Y[0]
+}
+
+func TestTranRCCharge(t *testing.T) {
+	c := netlist.NewCircuit("rc step")
+	c.AddV("V1", "in", "0", netlist.SourceSpec{
+		Tran: netlist.PulseFunc{V1: 0, V2: 1, TD: 0, TR: 1e-9, TF: 1e-9, PW: 1, PER: 2},
+	})
+	c.AddR("R1", "in", "out", 1e3)
+	c.AddC("C1", "out", "0", 1e-6)
+	s := compile(t, c)
+	res, err := s.Tran(TranSpec{TStop: 5e-3, TStep: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := res.NodeWave("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare with analytic 1 - exp(-t/tau) at several points.
+	tau := 1e-3
+	for _, tt := range []float64{0.5e-3, 1e-3, 2e-3, 4e-3} {
+		want := 1 - math.Exp(-tt/tau)
+		got := w.At(tt)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("v(out) at %g = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestTranRLCStepOvershoot(t *testing.T) {
+	// Series RLC: R=20, L=1mH, C=1uF: zeta = R/2*sqrt(C/L) = 0.316.
+	c := netlist.NewCircuit("rlc step")
+	c.AddV("V1", "in", "0", netlist.SourceSpec{
+		Tran: netlist.PulseFunc{V1: 0, V2: 1, TR: 1e-9, TF: 1e-9, PW: 1, PER: 2},
+	})
+	c.AddR("R1", "in", "a", 20)
+	c.AddL("L1", "a", "out", 1e-3)
+	c.AddC("C1", "out", "0", 1e-6)
+	s := compile(t, c)
+	res, err := s.Tran(TranSpec{TStop: 2e-3, TStep: 0.5e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := res.NodeWave("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeta := 20.0 / 2 * math.Sqrt(1e-6/1e-3)
+	wantOS := 100 * math.Exp(-math.Pi*zeta/math.Sqrt(1-zeta*zeta))
+	gotOS := w.OvershootPct()
+	if math.Abs(gotOS-wantOS) > 2 {
+		t.Errorf("overshoot = %g%%, want %g%%", gotOS, wantOS)
+	}
+}
+
+func TestTranBackwardEulerDamping(t *testing.T) {
+	// BE is more dissipative than trapezoidal: overshoot should be lower
+	// or equal, and both should finish near the final value.
+	c := netlist.NewCircuit("rlc step")
+	c.AddV("V1", "in", "0", netlist.SourceSpec{
+		Tran: netlist.PulseFunc{V1: 0, V2: 1, TR: 1e-9, TF: 1e-9, PW: 1, PER: 2},
+	})
+	c.AddR("R1", "in", "a", 20)
+	c.AddL("L1", "a", "out", 1e-3)
+	c.AddC("C1", "out", "0", 1e-6)
+	s := compile(t, c)
+	trap, err := s.Tran(TranSpec{TStop: 1.5e-3, TStep: 2e-6, Method: Trapezoidal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := s.Tran(TranSpec{TStop: 1.5e-3, TStep: 2e-6, Method: BackwardEuler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wt, _ := trap.NodeWave("out")
+	wb, _ := be.NodeWave("out")
+	if wb.OvershootPct() > wt.OvershootPct()+0.5 {
+		t.Errorf("BE overshoot %g should not exceed trapezoidal %g",
+			wb.OvershootPct(), wt.OvershootPct())
+	}
+}
+
+func TestTranSinSource(t *testing.T) {
+	c := netlist.NewCircuit("sin through buffer")
+	c.AddV("V1", "in", "0", netlist.SourceSpec{Tran: netlist.SinFunc{VA: 1, Freq: 1e3}})
+	c.AddR("R1", "in", "0", 1e3)
+	s := compile(t, c)
+	res, err := s.Tran(TranSpec{TStop: 2e-3, TStep: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := res.NodeWave("in")
+	if got := w.At(0.25e-3); math.Abs(got-1) > 1e-3 {
+		t.Errorf("sin peak = %g", got)
+	}
+	if got := w.At(0.75e-3); math.Abs(got+1) > 1e-3 {
+		t.Errorf("sin trough = %g", got)
+	}
+}
+
+func TestTranNonlinearDiodeClipper(t *testing.T) {
+	c := netlist.NewCircuit("clipper")
+	c.AddV("V1", "in", "0", netlist.SourceSpec{Tran: netlist.SinFunc{VA: 5, Freq: 1e3}})
+	c.AddR("R1", "in", "out", 1e3)
+	c.AddD("D1", "out", "0", "dm")
+	c.SetModel("dm", "d", map[string]float64{"is": 1e-14})
+	s := compile(t, c)
+	res, err := s.Tran(TranSpec{TStop: 1e-3, TStep: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := res.NodeWave("out")
+	// Positive half clipped near 0.7V, negative half follows input.
+	maxv := real(w.Y[w.MaxIndex()])
+	minv := real(w.Y[w.MinIndex()])
+	if maxv > 0.85 {
+		t.Errorf("clipped max = %g, want < 0.85", maxv)
+	}
+	if minv > -4 {
+		t.Errorf("negative peak = %g, want ~ -5", minv)
+	}
+}
+
+func TestDCSweepDiodeIV(t *testing.T) {
+	c := netlist.NewCircuit("iv")
+	c.AddVDC("V1", "a", "0", 0)
+	c.AddD("D1", "a", "0", "dm")
+	c.SetModel("dm", "d", map[string]float64{"is": 1e-14})
+	s := compile(t, c)
+	vals := num.LinSpace(0.4, 0.75, 15)
+	res, err := s.DCSweep("V1", vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotonic current: check node "a" voltage is the source value and
+	// the branch current grows.
+	w, err := res.NodeWave("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range vals {
+		if math.Abs(real(w.Y[k])-vals[k]) > 1e-9 {
+			t.Fatalf("swept voltage not applied at step %d", k)
+		}
+	}
+}
+
+func TestTempSweepDiodeVf(t *testing.T) {
+	c := netlist.NewCircuit("vf vs temp")
+	c.AddIDC("I1", "0", "d", 1e-3) // 1mA into the diode
+	c.AddD("D1", "d", "0", "dm")
+	c.SetModel("dm", "d", map[string]float64{"is": 1e-14})
+	ops, sys, err := TempSweep(c, DefaultOptions(), []float64{-40, 27, 125})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := sys.NodeOf("d")
+	vfs := []float64{ops[0].X[idx], ops[1].X[idx], ops[2].X[idx]}
+	if !(vfs[0] > vfs[1] && vfs[1] > vfs[2]) {
+		t.Errorf("Vf should fall with temperature: %v", vfs)
+	}
+	// Roughly -2mV/K: from -40 to 125 expect ~0.33V drop.
+	drop := vfs[0] - vfs[2]
+	if drop < 0.15 || drop > 0.6 {
+		t.Errorf("Vf drop over 165K = %g, want ~0.3", drop)
+	}
+}
+
+func TestKCLAtOPQuick(t *testing.T) {
+	// Property: at a converged OP of a random resistive network with
+	// sources, KCL holds at every node (residual of G*x - b is zero).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := netlist.NewCircuit("random resistive")
+		n := 3 + r.Intn(4)
+		names := make([]string, n)
+		for i := range names {
+			names[i] = "n" + string(rune('a'+i))
+		}
+		c.AddVDC("V1", names[0], "0", 1+5*r.Float64())
+		for i, nm := range names {
+			c.AddR("Rg"+nm, nm, "0", 100+1e3*r.Float64())
+			if i > 0 {
+				c.AddR("Rc"+nm, names[i-1], nm, 100+1e3*r.Float64())
+			}
+		}
+		flat, _ := netlist.Flatten(c)
+		sys, err := mna.Compile(flat)
+		if err != nil {
+			return false
+		}
+		s := New(sys)
+		op, err := s.OP()
+		if err != nil {
+			return false
+		}
+		// Reassemble at the solution; A*x must equal b.
+		nu := sys.NumUnknowns()
+		a := linalg.NewMatrix(nu)
+		b := make([]float64, nu)
+		sys.StampDC(a, b, op.X, mna.DCOptions{Gmin: s.Opt.Gmin, SrcScale: 1})
+		ax := a.MulVec(op.X)
+		for i := range ax {
+			if math.Abs(ax[i]-b[i]) > 1e-9*(1+math.Abs(b[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOPErrors(t *testing.T) {
+	c := netlist.NewCircuit("probe errors")
+	c.AddVDC("V1", "a", "0", 1)
+	c.AddR("R1", "a", "0", 1e3)
+	s := compile(t, c)
+	op := mustOP(t, s)
+	if _, err := s.NodeVoltage(op, "nosuch"); err == nil {
+		t.Error("expected unknown node error")
+	}
+	if _, err := s.SourceCurrent(op, "R1"); err == nil {
+		t.Error("expected no-branch error")
+	}
+	if got, _ := s.NodeVoltage(op, "0"); got != 0 {
+		t.Error("ground voltage must be 0")
+	}
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"acstab/internal/mna"
+	"acstab/internal/netlist"
+)
+
+// Failure injection: pathological circuits must produce clean errors, not
+// panics or silent garbage.
+
+func TestFloatingCurrentSourceFails(t *testing.T) {
+	// A current source into a node with no DC path to ground makes the
+	// DC system singular.
+	c := netlist.NewCircuit("floating")
+	c.AddIDC("I1", "0", "x", 1e-3)
+	c.AddC("C1", "x", "0", 1e-9) // capacitor is open at DC
+	s := compile(t, c)
+	_, err := s.OP()
+	if err == nil {
+		t.Fatal("expected failure for a floating DC node")
+	}
+	if !strings.Contains(err.Error(), "singular") && !errors.Is(err, ErrNoConvergence) {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}
+
+func TestVoltageSourceLoopFails(t *testing.T) {
+	// Two ideal voltage sources in parallel with different values: no
+	// solution exists.
+	c := netlist.NewCircuit("vloop")
+	c.AddVDC("V1", "a", "0", 1)
+	c.AddVDC("V2", "a", "0", 2)
+	c.AddR("R1", "a", "0", 1e3)
+	s := compile(t, c)
+	if _, err := s.OP(); err == nil {
+		t.Fatal("conflicting ideal sources should fail")
+	}
+}
+
+func TestShortedInductorLoopFails(t *testing.T) {
+	// Inductor directly across an ideal voltage source: DC current is
+	// unbounded (singular branch system).
+	c := netlist.NewCircuit("lshort")
+	c.AddVDC("V1", "a", "0", 1)
+	c.AddL("L1", "a", "0", 1e-3)
+	s := compile(t, c)
+	if _, err := s.OP(); err == nil {
+		t.Fatal("ideal V across ideal L should fail at DC")
+	}
+}
+
+func TestTranBadSpec(t *testing.T) {
+	c := netlist.NewCircuit("ok")
+	c.AddVDC("V1", "a", "0", 1)
+	c.AddR("R1", "a", "0", 1e3)
+	s := compile(t, c)
+	if _, err := s.Tran(TranSpec{TStop: 0, TStep: 1e-6}); err == nil {
+		t.Error("zero TStop should fail")
+	}
+	if _, err := s.Tran(TranSpec{TStop: 1e-3, TStep: 0}); err == nil {
+		t.Error("zero TStep should fail")
+	}
+}
+
+func TestACOnSingularCircuit(t *testing.T) {
+	// Two ideal voltage sources fighting: AC assembly is singular too.
+	c := netlist.NewCircuit("acfail")
+	c.AddV("V1", "a", "0", netlist.SourceSpec{ACMag: 1})
+	c.AddV("V2", "a", "0", netlist.SourceSpec{})
+	c.AddR("R1", "a", "0", 1e3)
+	flat, _ := netlist.Flatten(c)
+	sys, err := mna.Compile(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(sys)
+	op := sys.Linearize(make([]float64, sys.NumUnknowns()), 0)
+	if _, err := s.AC([]float64{1e3}, op); err == nil {
+		t.Error("singular AC system should fail")
+	}
+}
+
+func TestDCSweepBadSource(t *testing.T) {
+	c := netlist.NewCircuit("sweep")
+	c.AddVDC("V1", "a", "0", 1)
+	c.AddR("R1", "a", "0", 1e3)
+	s := compile(t, c)
+	if _, err := s.DCSweep("R1", []float64{1, 2}); err == nil {
+		t.Error("sweeping a resistor should fail")
+	}
+	if _, err := s.DCSweep("nosuch", []float64{1}); err == nil {
+		t.Error("unknown source should fail")
+	}
+}
+
+func TestPolesOnDrivenOnlyCircuit(t *testing.T) {
+	// Purely resistive circuit: no finite poles; Poles returns empty.
+	c := netlist.NewCircuit("resistive")
+	c.AddVDC("V1", "a", "0", 1)
+	c.AddR("R1", "a", "b", 1e3)
+	c.AddR("R2", "b", "0", 1e3)
+	s := compile(t, c)
+	op := mustOP(t, s)
+	poles, err := s.Poles(op, 1, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(poles) != 0 {
+		t.Errorf("resistive circuit has no poles, got %+v", poles)
+	}
+}

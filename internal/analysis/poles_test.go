@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"acstab/internal/netlist"
+	"acstab/internal/num"
+)
+
+func TestPolesRLCTank(t *testing.T) {
+	// Parallel RLC: poles s = -1/(2RC) +/- j sqrt(1/LC - ...), i.e.
+	// wn = 1/sqrt(LC), zeta = sqrt(L/C)/(2R). Exact ground truth.
+	zeta, fn := 0.25, 1e6
+	wn := 2 * math.Pi * fn
+	cap := 1e-9
+	l := 1 / (wn * wn * cap)
+	r := math.Sqrt(l/cap) / (2 * zeta)
+	c := netlist.NewCircuit("tank")
+	c.AddR("R1", "t", "0", r)
+	c.AddL("L1", "t", "0", l)
+	c.AddC("C1", "t", "0", cap)
+	s := compile(t, c)
+	op := mustOP(t, s)
+	poles, err := s.Poles(op, 1e3, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := ComplexPolePairs(poles, 1e-6)
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %d (%+v)", len(pairs), poles)
+	}
+	if !num.ApproxEqual(pairs[0].FreqHz, fn, 1e-6, 0) {
+		t.Errorf("fn = %g, want %g", pairs[0].FreqHz, fn)
+	}
+	if !num.ApproxEqual(pairs[0].Zeta, zeta, 1e-6, 0) {
+		t.Errorf("zeta = %g, want %g", pairs[0].Zeta, zeta)
+	}
+}
+
+func TestPolesRCChain(t *testing.T) {
+	// Two isolated RC sections: two real poles at 1/(2 pi RC).
+	c := netlist.NewCircuit("rc poles")
+	c.AddV("V1", "in", "0", netlist.SourceSpec{DC: 0})
+	c.AddR("R1", "in", "a", 1e3)
+	c.AddC("C1", "a", "0", 1e-9) // 159 kHz
+	c.AddE("E1", "b", "0", "a", "0", 1)
+	c.AddR("R2", "b", "m", 1e4)
+	c.AddC("C2", "m", "0", 1e-9) // 15.9 kHz
+	s := compile(t, c)
+	op := mustOP(t, s)
+	poles, err := s.Poles(op, 1e2, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(poles) != 2 {
+		t.Fatalf("poles = %+v", poles)
+	}
+	want := []float64{1 / (2 * math.Pi * 1e4 * 1e-9), 1 / (2 * math.Pi * 1e3 * 1e-9)}
+	for i, w := range want {
+		if !num.ApproxEqual(poles[i].FreqHz, w, 1e-6, 0) {
+			t.Errorf("pole %d at %g, want %g", i, poles[i].FreqHz, w)
+		}
+		if math.Abs(poles[i].Zeta-1) > 1e-9 {
+			t.Errorf("real pole zeta = %g", poles[i].Zeta)
+		}
+	}
+}
+
+func TestPolesBandFilter(t *testing.T) {
+	c := netlist.NewCircuit("band")
+	c.AddR("R1", "a", "0", 1e3)
+	c.AddC("C1", "a", "0", 1e-9) // 159 kHz pole
+	s := compile(t, c)
+	op := mustOP(t, s)
+	// Band excludes the pole.
+	poles, err := s.Poles(op, 1e6, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(poles) != 0 {
+		t.Errorf("expected no poles in band, got %+v", poles)
+	}
+}
+
+func TestTransferZerosNotchFilter(t *testing.T) {
+	// Twin-T-like: a series LC from input to output creates a transmission
+	// zero at 1/(2 pi sqrt(LC)). Simpler: bridged series RLC -> V divider:
+	// V1 - R - out, out - L - m, m - C - 0: the L+C branch shorts out at
+	// its series resonance, creating a notch (complex zero pair on the jw
+	// axis) in v(out)/v(in).
+	c := netlist.NewCircuit("notch")
+	c.AddV("V1", "in", "0", netlist.SourceSpec{ACMag: 1})
+	c.AddR("R1", "in", "out", 1e3)
+	c.AddL("L1", "out", "m", 1e-3)
+	c.AddC("C1", "m", "0", 1e-9)
+	s := compile(t, c)
+	op := mustOP(t, s)
+	zeros, err := s.TransferZeros(op, "V1", "out", 1e3, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz := 1 / (2 * math.Pi * math.Sqrt(1e-3*1e-9))
+	found := false
+	for _, z := range zeros {
+		if num.ApproxEqual(z.FreqHz, fz, 1e-3, 0) && math.Abs(z.Zeta) < 1e-6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("notch zero at %g not found: %+v", fz, zeros)
+	}
+	// Cross-check: AC response really nulls there.
+	res, err := s.AC([]float64{fz}, op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := res.NodeWave("out")
+	if mag := real(w.Mag().Y[0]); mag > 1e-6 {
+		t.Errorf("|v(out)| at the notch = %g, want ~0", mag)
+	}
+}
+
+func TestTransferZerosRCHighpassZeroAtDC(t *testing.T) {
+	// Series C into R: one zero at s=0 (below any positive band): the
+	// band-filtered list in (1 kHz, 1 GHz) is empty, while the pole at
+	// 1/(2 pi RC) shows up in Poles.
+	c := netlist.NewCircuit("hp")
+	c.AddV("V1", "in", "0", netlist.SourceSpec{ACMag: 1})
+	c.AddC("C1", "in", "out", 1e-9)
+	c.AddR("R1", "out", "0", 1e5)
+	s := compile(t, c)
+	op := mustOP(t, s)
+	zeros, err := s.TransferZeros(op, "V1", "out", 1e3, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zeros) != 0 {
+		t.Errorf("highpass has only the s=0 zero, got %+v", zeros)
+	}
+	poles, err := s.Poles(op, 1e2, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(poles) != 1 || !num.ApproxEqual(poles[0].FreqHz, 1/(2*math.Pi*1e5*1e-9), 1e-6, 0) {
+		t.Errorf("poles = %+v", poles)
+	}
+}
+
+func TestTransferZerosErrors(t *testing.T) {
+	c := netlist.NewCircuit("z")
+	c.AddV("V1", "a", "0", netlist.SourceSpec{ACMag: 1})
+	c.AddR("R1", "a", "0", 1e3)
+	s := compile(t, c)
+	op := mustOP(t, s)
+	if _, err := s.TransferZeros(op, "R1", "a", 1, 1e9); err == nil {
+		t.Error("non-source should fail")
+	}
+	if _, err := s.TransferZeros(op, "V1", "nosuch", 1, 1e9); err == nil {
+		t.Error("unknown node should fail")
+	}
+	if _, err := s.TransferZeros(op, "nosuch", "a", 1, 1e9); err == nil {
+		t.Error("unknown source should fail")
+	}
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"fmt"
+
+	"acstab/internal/mna"
+	"acstab/internal/netlist"
+	"acstab/internal/wave"
+)
+
+// DCSweepResult holds a DC source sweep.
+type DCSweepResult struct {
+	sys  *mna.System
+	Vals []float64
+	X    [][]float64
+}
+
+// NodeWave returns a node voltage versus the swept value.
+func (r *DCSweepResult) NodeWave(node string) (*wave.Wave, error) {
+	idx, ok := r.sys.NodeOf(node)
+	if !ok {
+		return nil, fmt.Errorf("analysis: unknown node %q", node)
+	}
+	y := make([]float64, len(r.Vals))
+	for k := range r.Vals {
+		if idx >= 0 {
+			y[k] = r.X[k][idx]
+		}
+	}
+	return wave.NewReal("v("+node+")", append([]float64(nil), r.Vals...), y), nil
+}
+
+// DCSweep sweeps the DC value of the named independent source, solving the
+// operating point at each step with warm starting. The circuit is restored
+// afterwards.
+func (s *Sim) DCSweep(src string, vals []float64) (*DCSweepResult, error) {
+	e := s.Sys.Ckt.Element(src)
+	if e == nil || (e.Type != netlist.VSource && e.Type != netlist.ISource) {
+		return nil, fmt.Errorf("analysis: %q is not an independent source", src)
+	}
+	if e.Src == nil {
+		e.Src = &netlist.SourceSpec{}
+	}
+	orig := e.Src.DC
+	defer func() { e.Src.DC = orig }()
+
+	res := &DCSweepResult{sys: s.Sys, Vals: append([]float64(nil), vals...)}
+	var warm []float64
+	for _, v := range vals {
+		e.Src.DC = v
+		// Compile holds a copy of the SourceSpec, so the system must be
+		// re-stamped through a fresh compile-free path: the spec copy lives
+		// in the instance table. Rebuild the system cheaply.
+		sys, err := mna.Compile(s.Sys.Ckt)
+		if err != nil {
+			return nil, err
+		}
+		sim := &Sim{Sys: sys, Opt: s.Opt}
+		var op *mna.OpPoint
+		if warm != nil {
+			if x, err := sim.newton(func(a mna.RealAdder, b []float64, x []float64) {
+				sys.StampDC(a, b, x, mna.DCOptions{Gmin: s.Opt.Gmin, SrcScale: 1})
+			}, warm); err == nil {
+				op = sys.Linearize(x, s.Opt.Gmin)
+			}
+		}
+		if op == nil {
+			op, err = sim.OP()
+			if err != nil {
+				return nil, fmt.Errorf("analysis: sweep %s=%g: %w", src, v, err)
+			}
+		}
+		warm = op.X
+		res.X = append(res.X, op.X)
+	}
+	return res, nil
+}
+
+// TempSweep solves the operating point across temperatures (Celsius),
+// recompiling the system at each point (resistor tempco and device physics
+// are temperature dependent). It returns one OpPoint per temperature along
+// with the compiled system used (node indexing is identical across
+// temperatures for a fixed circuit).
+func TempSweep(ckt *netlist.Circuit, opt Options, temps []float64) ([]*mna.OpPoint, *mna.System, error) {
+	orig := ckt.Temp
+	defer func() { ckt.Temp = orig }()
+	var ops []*mna.OpPoint
+	var lastSys *mna.System
+	for _, t := range temps {
+		ckt.Temp = t
+		sys, err := mna.Compile(ckt)
+		if err != nil {
+			return nil, nil, err
+		}
+		sim := &Sim{Sys: sys, Opt: opt}
+		op, err := sim.OP()
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysis: temp sweep at %g C: %w", t, err)
+		}
+		ops = append(ops, op)
+		lastSys = sys
+	}
+	return ops, lastSys, nil
+}

@@ -1,0 +1,278 @@
+// Package circuits builds the circuits of the paper's evaluation — the
+// 2 MHz op-amp of Fig. 1 connected as a buffer, the zero-TC bias cell of
+// Fig. 5 with its under-compensated local loops, the normalized
+// second-order reference used to regenerate Table 1 — plus synthetic
+// workload generators for the benchmarks.
+//
+// The TI production circuits are proprietary; these are behavioral
+// equivalents tuned so the published figures hold: the buffer shows an
+// open-loop 0 dB crossover near 2.4 MHz with ~20° phase margin and 180°
+// lag near 3.5 MHz (Fig. 3), ~55 % step overshoot (Fig. 2), a stability
+// peak of ~-28.9 at ~3.16 MHz on the output node (Fig. 4), and the bias
+// cell contributes local loops in the tens of MHz with shallow peaks
+// (Table 2). DESIGN.md documents the substitution.
+package circuits
+
+import (
+	"math"
+
+	"acstab/internal/netlist"
+)
+
+// SecondOrder returns a circuit whose driving-point impedance at node
+// "t" is a second-order resonance with the given damping ratio and
+// natural frequency: a parallel RLC tank. Used to regenerate Table 1 by
+// simulation.
+//
+//	Z(s) = (s/C) / (s^2 + s/(RC) + 1/(LC))
+//
+// so wn = 1/sqrt(LC) and zeta = sqrt(L/C)/(2R). The s=0 zero is real and
+// is cancelled by the stability plot's double log differentiation.
+func SecondOrder(zeta, fn float64) *netlist.Circuit {
+	c := netlist.NewCircuit("normalized second-order tank")
+	wn := 2 * math.Pi * fn
+	cap := 1e-9
+	l := 1 / (wn * wn * cap)
+	r := math.Sqrt(l/cap) / (2 * zeta)
+	c.AddR("R1", "t", "0", r)
+	c.AddL("L1", "t", "0", l)
+	c.AddC("C1", "t", "0", cap)
+	return c
+}
+
+// OpAmpParams are the tunable elements of the behavioral Fig. 1 op-amp.
+// Defaults (from OpAmpDefaults) hit the paper's published numbers.
+type OpAmpParams struct {
+	Gm1   float64 // input-stage transconductance
+	R1    float64 // first-stage output resistance
+	C1    float64 // Miller compensation capacitor (paper's "C1")
+	RZero float64 // series zero resistor in the Miller branch ("rzero")
+	Gm2   float64 // second-stage transconductance
+	R2    float64 // second-stage output resistance
+	C2    float64 // second-stage output capacitance
+	ROut  float64 // output buffer series resistance
+	CLoad float64 // load capacitance ("cload")
+	RFb   float64 // feedback sense resistance
+	CFb   float64 // feedback sense parasitic capacitance
+}
+
+// OpAmpDefaults returns the tuned nominal values. Derivation: a loop
+// model GBW/s * (1 - s/z)/((1+s/p2)(1+s/p3)) fitted to the paper's six
+// published measurements (0 dB at 2.4 MHz, PM 20 deg, 180 deg at 3.5 MHz,
+// closed-loop peak -28.9 at 3.16 MHz, step overshoot ~55 %) solves to
+// GBW = 3.0 MHz, p2 = 4.07 MHz, p3 = 9.3 MHz, RHP zero z = 7.6 MHz; the
+// element values below were then refined against the simulated circuit
+// itself, landing at fc 2.64 MHz, PM 21.8 deg, f180 4.02 MHz, stability
+// peak -28.8 at 2.91 MHz, overshoot 60 % — every Fig. 2/3/4 observable
+// within ~15 % of the paper's reading.
+func OpAmpDefaults() OpAmpParams {
+	return OpAmpParams{
+		Gm1:   175.3e-6,
+		R1:    10e6,
+		C1:    8e-12,
+		RZero: 503,
+		Gm2:   280.5e-6,
+		R2:    1e6,
+		C2:    2.41e-12,
+		ROut:  547,
+		CLoad: 12.9e-12,
+		RFb:   10,
+		CFb:   1e-12,
+	}
+}
+
+// OpAmpBuffer builds the Fig. 1 op-amp connected as a unity-gain buffer.
+// Node names follow the paper's Table 2: the main loop is visible at
+// Output, net052 (inside the Miller branch), net136 (first-stage output),
+// net138 (second-stage output), and net99 (feedback sense node). The
+// input source V1 carries both an AC magnitude (for the Fig. 3 response)
+// and a small step (for Fig. 2).
+func OpAmpBuffer(p OpAmpParams) *netlist.Circuit {
+	c := netlist.NewCircuit("2 MHz op-amp as unity-gain buffer (Fig. 1)")
+	// Input step: 100 mV to keep the macro linear region meaningless (the
+	// macro is linear; amplitude is arbitrary) while matching Fig. 2's
+	// small-signal character.
+	c.AddV("V1", "inp", "0", netlist.SourceSpec{
+		ACMag: 1,
+		Tran:  netlist.PulseFunc{V1: 0, V2: 0.1, TD: 1e-7, TR: 1e-9, TF: 1e-9, PW: 1, PER: 2},
+	})
+	// First stage (inverting): net136 = -gm1*R1*(inp - net99); combined
+	// with the inverting second stage the forward gain A is positive, so
+	// the net99 subtraction closes a negative feedback loop.
+	c.AddG("G1", "net136", "0", "inp", "net99", p.Gm1)
+	c.AddR("R1", "net136", "0", p.R1)
+	// Miller branch with the paper's rzero and C1: net136 -C1- net052
+	// -rzero- net138.
+	c.AddC("C1", "net136", "net052", p.C1)
+	c.AddR("RZERO", "net052", "net138", p.RZero)
+	// Second stage (inverting): gm2 * v(net136) into net138.
+	c.AddG("G2", "net138", "0", "net136", "0", p.Gm2)
+	c.AddR("R2", "net138", "0", p.R2)
+	c.AddC("C2", "net138", "0", p.C2)
+	// Output buffer resistance and load.
+	c.AddR("ROUT", "net138", "output", p.ROut)
+	c.AddC("CLOAD", "output", "0", p.CLoad)
+	// Feedback sense path: output -> net99 (inverting input).
+	c.AddR("RFB", "output", "net99", p.RFb)
+	c.AddC("CFB", "net99", "0", p.CFb)
+	return c
+}
+
+// OpAmpOpenLoop builds the same op-amp with the main feedback loop broken
+// for the traditional Fig. 3 gain/phase analysis: the inverting input is
+// driven by the AC source (through the same sense network) and the output
+// is left loaded. This is the "black-box" baseline the paper compares
+// against, and is only possible because the macro circuit has no biasing
+// to disturb — the very limitation the methodology removes.
+func OpAmpOpenLoop(p OpAmpParams) *netlist.Circuit {
+	c := netlist.NewCircuit("2 MHz op-amp, loop opened for Bode analysis (Fig. 3)")
+	c.AddV("V1", "inp", "0", netlist.SourceSpec{ACMag: 1})
+	// Drive the inverting input directly; positive input grounded.
+	// Loop gain observed at "output" is -A(s) * (sense transfer).
+	c.AddR("RFB", "inp", "net99", p.RFb)
+	c.AddC("CFB", "net99", "0", p.CFb)
+	c.AddG("G1", "net136", "0", "0", "net99", p.Gm1)
+	c.AddR("R1", "net136", "0", p.R1)
+	c.AddC("C1", "net136", "net052", p.C1)
+	c.AddR("RZERO", "net052", "net138", p.RZero)
+	c.AddG("G2", "net138", "0", "net136", "0", p.Gm2)
+	c.AddR("R2", "net138", "0", p.R2)
+	c.AddC("C2", "net138", "0", p.C2)
+	c.AddR("ROUT", "net138", "output", p.ROut)
+	c.AddC("CLOAD", "output", "0", p.CLoad)
+	return c
+}
+
+// BiasParams tune the zero-TC bias cell's local loops.
+type BiasParams struct {
+	// Loop A: the 47.9 MHz loop (nodes net81, net056 deep; net17 shallow).
+	FnA, ZetaA float64
+	// Loop B: the 51.3 MHz loop (net013, net75 deep; net57 medium;
+	// net16, net019 shallow).
+	FnB, ZetaB float64
+	// Loop C: the 36.3 MHz borderline loop (net066).
+	FnC float64
+}
+
+// BiasDefaults places the loops at the paper's Table 2 frequencies with
+// damping matching the published peak depths (4.5-5.3 -> zeta ~ 0.44,
+// i.e. 16-25 % equivalent overshoot as the paper reads from Table 1).
+func BiasDefaults() BiasParams {
+	// Values are pre-compensated for spectator loading (which detunes and
+	// damps the cores): loop A lands at ~47.9 MHz with peak ~ -5.3, loop B
+	// at ~51.3 MHz with peak ~ -5.1, loop C at ~36.3 MHz with peak ~ -0.95.
+	return BiasParams{
+		FnA: 48.3e6, ZetaA: 0.405,
+		FnB: 54.5e6, ZetaB: 0.345,
+		FnC: 35.2e6,
+	}
+}
+
+// twoPoleLoop adds a two-stage gm loop (one inverting, one non-inverting:
+// net negative feedback) between nodes a and b with equal R/C at both.
+// Closed-loop poles satisfy (1+sRC)^2 + K = 0, so
+//
+//	wn = sqrt(1+K)/(RC),  zeta = 1/sqrt(1+K),  K = (gm R)^2.
+func twoPoleLoop(c *netlist.Circuit, tag, a, b string, fn, zeta float64) {
+	k := 1/(zeta*zeta) - 1
+	gmr := math.Sqrt(k)
+	r := 10e3
+	rc := math.Sqrt(1+k) / (2 * math.Pi * fn)
+	cap := rc / r
+	gm := gmr / r
+	c.AddR("RA"+tag, a, "0", r)
+	c.AddC("CA"+tag, a, "0", cap)
+	c.AddR("RB"+tag, b, "0", r)
+	c.AddC("CB"+tag, b, "0", cap)
+	// a -> b non-inverting, b -> a inverting: loop sign negative.
+	c.AddG("GF"+tag, "0", b, a, "0", gm)
+	c.AddG("GR"+tag, a, "0", b, "0", gm)
+}
+
+// spectator couples a lightly loaded node to a loop node through a large
+// resistance, producing the shallow "participating" peaks of Table 2.
+func spectator(c *netlist.Circuit, tag, node, loopNode string, r, cap float64) {
+	c.AddR("RS"+tag, loopNode, node, r)
+	c.AddC("CS"+tag, node, "0", cap)
+}
+
+// BiasCircuit builds the zero-TC bias cell equivalent (Fig. 5): three
+// local feedback loops with the paper's node names.
+func BiasCircuit(p BiasParams) *netlist.Circuit {
+	c := netlist.NewCircuit("zero-TC bias cell with local loops (Fig. 5)")
+	addBias(c, p)
+	return c
+}
+
+func addBias(c *netlist.Circuit, p BiasParams) {
+	// Loop A at ~47.9 MHz: resonator core net81 <-> net056, spectator net17.
+	twoPoleLoop(c, "a", "net81", "net056", p.FnA, p.ZetaA)
+	spectator(c, "a17", "net17", "net81", 100e3, 0.03e-12)
+
+	// Loop B at ~51.3 MHz: core net013 <-> net75; net57 taps the coupling
+	// path; net16 and net019 are weakly coupled spectators.
+	twoPoleLoop(c, "b", "net013", "net75", p.FnB, p.ZetaB)
+	spectator(c, "b57", "net57", "net013", 15e3, 0.15e-12)
+	spectator(c, "b16", "net16", "net75", 80e3, 0.04e-12)
+	spectator(c, "b19", "net019", "net57", 80e3, 0.04e-12)
+
+	// Loop C at ~36.3 MHz: barely-resonant single visible node net066:
+	// a low-gain loop whose poles sit near coincidence (peak ~ -1).
+	twoPoleLoop(c, "c", "net066", "net066x", p.FnC, 0.82)
+}
+
+// FullCircuit builds the complete Table 2 workload: the buffer op-amp and
+// the bias cell in one netlist (the bias cell rails the op-amp in the real
+// product; the macro keeps them electrically separate, which leaves the
+// per-node stability signatures unchanged).
+func FullCircuit() *netlist.Circuit {
+	c := OpAmpBuffer(OpAmpDefaults())
+	c.Title = "2 MHz op-amp buffer + zero-TC bias cell (Table 2 workload)"
+	addBias(c, BiasDefaults())
+	return c
+}
+
+// Table2Nodes lists the report nodes of the paper's Table 2 in paper
+// order.
+func Table2Nodes() []string {
+	return []string{
+		"output", "net052", "net136", "net138", "net99",
+		"net066",
+		"net81", "net17", "net056",
+		"net013", "net57", "net16", "net75", "net019",
+	}
+}
+
+// RCLadder builds an n-stage RC ladder driven by a source, used by the
+// solver benchmarks.
+func RCLadder(n int) *netlist.Circuit {
+	c := netlist.NewCircuit("rc ladder")
+	c.AddV("V1", "n000", "0", netlist.SourceSpec{ACMag: 1})
+	prev := "n000"
+	for i := 1; i <= n; i++ {
+		cur := ladderName(i)
+		c.AddR("R"+cur, prev, cur, 1e3)
+		c.AddC("C"+cur, cur, "0", 1e-12)
+		prev = cur
+	}
+	return c
+}
+
+func ladderName(i int) string {
+	digits := []byte{'0' + byte(i/100%10), '0' + byte(i/10%10), '0' + byte(i%10)}
+	return "n" + string(digits)
+}
+
+// ResonatorField builds a circuit with k independent two-pole loops at
+// geometrically spaced frequencies — a synthetic all-nodes workload with a
+// known answer, used for scaling benchmarks and property tests.
+func ResonatorField(k int, f0 float64, zeta float64) *netlist.Circuit {
+	c := netlist.NewCircuit("resonator field")
+	for i := 0; i < k; i++ {
+		fn := f0 * math.Pow(2, float64(i))
+		a := "ra" + ladderName(i)[1:]
+		b := "rb" + ladderName(i)[1:]
+		twoPoleLoop(c, "f"+ladderName(i)[1:], a, b, fn, zeta)
+	}
+	return c
+}

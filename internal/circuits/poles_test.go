@@ -1,0 +1,113 @@
+package circuits
+
+import (
+	"math"
+	"testing"
+
+	"acstab/internal/analysis"
+	"acstab/internal/num"
+)
+
+// dominantPair returns the least-damped complex pole pair in band.
+func dominantPair(t *testing.T, s *analysis.Sim, minHz, maxHz float64) *analysis.Pole {
+	t.Helper()
+	op, err := s.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	poles, err := s.Poles(op, minHz, maxHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := analysis.ComplexPolePairs(poles, 1e-6)
+	var dom *analysis.Pole
+	for i := range pairs {
+		if dom == nil || pairs[i].Zeta < dom.Zeta {
+			dom = &pairs[i]
+		}
+	}
+	return dom
+}
+
+// TestStabilityPlotMatchesExactPolesMacro is the repo's strongest
+// validation of the paper's method: the zeta and natural frequency the
+// stability plot reads off the node response must match the exact
+// dominant eigenvalues of the linearized MNA system.
+func TestStabilityPlotMatchesExactPolesMacro(t *testing.T) {
+	c := OpAmpBuffer(OpAmpDefaults())
+	c.ZeroACSources()
+	s := sim(t, c)
+	dom := dominantPair(t, s, 1e4, 1e9)
+	if dom == nil {
+		t.Fatal("no complex poles found")
+	}
+	est := nodePeak(t, s, "output", 1e3, 1e9)
+	if est == nil {
+		t.Fatal("no stability peak")
+	}
+	t.Logf("exact pole: fn=%.5g zeta=%.5g; stability plot: fn=%.5g zeta=%.5g",
+		dom.FreqHz, dom.Zeta, est.Freq, est.Zeta)
+	if !num.ApproxEqual(est.Freq, dom.FreqHz, 0.02, 0) {
+		t.Errorf("fn: plot %g vs exact %g", est.Freq, dom.FreqHz)
+	}
+	if !num.ApproxEqual(est.Zeta, dom.Zeta, 0.05, 0) {
+		t.Errorf("zeta: plot %g vs exact %g", est.Zeta, dom.Zeta)
+	}
+}
+
+// TestStabilityPlotMatchesExactPolesTransistor repeats the cross-check on
+// the transistor-level op-amp, where the poles come from real device
+// capacitances.
+func TestStabilityPlotMatchesExactPolesTransistor(t *testing.T) {
+	c := TransistorOpAmp()
+	c.ZeroACSources()
+	s := sim(t, c)
+	dom := dominantPair(t, s, 1e6, 1e10)
+	if dom == nil {
+		t.Fatal("no complex poles found")
+	}
+	est := nodePeak(t, s, "vout", 1e4, 1e10)
+	if est == nil {
+		t.Fatal("no stability peak")
+	}
+	t.Logf("exact pole: fn=%.5g zeta=%.5g; stability plot: fn=%.5g zeta=%.5g",
+		dom.FreqHz, dom.Zeta, est.Freq, est.Zeta)
+	if !num.ApproxEqual(est.Freq, dom.FreqHz, 0.03, 0) {
+		t.Errorf("fn: plot %g vs exact %g", est.Freq, dom.FreqHz)
+	}
+	if !num.ApproxEqual(est.Zeta, dom.Zeta, 0.08, 0) {
+		t.Errorf("zeta: plot %g vs exact %g", est.Zeta, dom.Zeta)
+	}
+}
+
+// TestBiasLoopsMatchExactPoles validates the local-loop findings (the
+// Table 2 content) against the exact pole set.
+func TestBiasLoopsMatchExactPoles(t *testing.T) {
+	s := sim(t, BiasCircuit(BiasDefaults()))
+	op, err := s.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	poles, err := s.Poles(op, 1e6, 1e10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := analysis.ComplexPolePairs(poles, 1e-6)
+	if len(pairs) < 3 {
+		t.Fatalf("expected >= 3 complex pairs, got %+v", pairs)
+	}
+	// The deep loops found by the tool at ~47.9 and ~51.2 MHz must be
+	// genuine eigenvalues.
+	foundA, foundB := false, false
+	for _, p := range pairs {
+		if num.ApproxEqual(p.FreqHz, 47.9e6, 0.03, 0) && math.Abs(p.Zeta-0.42) < 0.05 {
+			foundA = true
+		}
+		if num.ApproxEqual(p.FreqHz, 51.2e6, 0.03, 0) && math.Abs(p.Zeta-0.43) < 0.05 {
+			foundB = true
+		}
+	}
+	if !foundA || !foundB {
+		t.Errorf("bias loop poles not found exactly: %+v", pairs)
+	}
+}

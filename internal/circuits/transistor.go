@@ -1,0 +1,121 @@
+package circuits
+
+import "acstab/internal/netlist"
+
+// TransistorOpAmp builds a transistor-level two-stage Miller op-amp
+// connected as a unity-gain buffer: a PMOS input pair with NMOS mirror
+// load, an NMOS common-source second stage with PMOS current-source load,
+// Miller compensation with a series zero resistor, and a current-mirror
+// bias chain. Unlike the behavioral macro of OpAmpBuffer, every pole here
+// comes from real device small-signal capacitances, so the circuit
+// exercises the full device-model path of the simulator (DC bias with
+// Newton, junction/Meyer capacitances, AC linearization at the operating
+// point).
+//
+// With the default element values the buffer is deliberately
+// under-compensated (small Miller cap against a large load), giving the
+// stability tool a clear main-loop peak to find.
+func TransistorOpAmp() *netlist.Circuit {
+	c := netlist.NewCircuit("transistor-level two-stage Miller op-amp buffer")
+	c.SetModel("nch", "nmos", map[string]float64{
+		"vto": 0.7, "kp": 100e-6, "lambda": 0.04, "gamma": 0.4, "phi": 0.7,
+		"tox": 20e-9, "cgso": 0.3e-9, "cgdo": 0.3e-9,
+	})
+	c.SetModel("pch", "pmos", map[string]float64{
+		"vto": -0.8, "kp": 50e-6, "lambda": 0.05, "gamma": 0.5, "phi": 0.7,
+		"tox": 20e-9, "cgso": 0.3e-9, "cgdo": 0.3e-9,
+	})
+
+	c.AddVDC("VDD", "vdd", "0", 3.3)
+	// Input: 1.5 V common mode with an AC probe and a small step.
+	c.AddV("VIN", "inp", "0", netlist.SourceSpec{
+		DC:    1.5,
+		ACMag: 1,
+		Tran:  netlist.PulseFunc{V1: 1.5, V2: 1.55, TD: 2e-7, TR: 1e-9, TF: 1e-9, PW: 1, PER: 2},
+	})
+
+	// Bias chain: 20 uA reference into a diode-connected PMOS, mirrored
+	// to the tail source and the output-stage load.
+	c.AddIDC("IB", "pb", "0", 20e-6)
+	c.AddM("M8", "pb", "pb", "vdd", "vdd", "pch", 20e-6, 1e-6)
+	c.AddM("M9", "tail", "pb", "vdd", "vdd", "pch", 40e-6, 1e-6) // 40 uA tail
+	c.AddM("M6", "vout", "pb", "vdd", "vdd", "pch", 100e-6, 1e-6)
+
+	// Input pair (PMOS) with NMOS mirror load. The diode-side input (M1)
+	// is the inverting one once the second stage's inversion is counted,
+	// so the buffer feedback drives M1's gate.
+	c.AddM("M1", "n1m", "vout", "tail", "vdd", "pch", 50e-6, 1e-6)
+	c.AddM("M2", "n1", "inp", "tail", "vdd", "pch", 50e-6, 1e-6)
+	c.AddM("M3", "n1m", "n1m", "0", "0", "nch", 25e-6, 1e-6)
+	c.AddM("M4", "n1", "n1m", "0", "0", "nch", 25e-6, 1e-6)
+
+	// Second stage with Miller compensation.
+	c.AddM("M5", "vout", "n1", "0", "0", "nch", 100e-6, 1e-6)
+	c.AddC("CC", "n1", "nz", 0.5e-12)
+	c.AddR("RZ", "nz", "vout", 1e3)
+	c.AddC("CL", "vout", "0", 10e-12)
+
+	// The buffer has a second, latched DC equilibrium (M2 cut off with the
+	// output railed high); nodeset hints steer Newton to the intended
+	// operating point, exactly as SPICE users do for multi-stable loops.
+	for node, v := range map[string]float64{
+		"vout": 1.5, "n1": 0.9, "n1m": 0.9, "nz": 1.5, "tail": 2.5, "pb": 2.3,
+	} {
+		c.NodeSet[node] = v
+	}
+	return c
+}
+
+// TransistorBias builds a transistor-level bias current mirror with a
+// beta-helper — the circuit family of the paper's Fig. 5 zero-TC bias,
+// and the textbook hidden-oscillator of bias design: the helper follower
+// (Q5) closes a local negative-feedback loop from the mirror input node
+// (the collector of Q3) through the shared base rail back to Q3. Two
+// high-impedance nodes with parasitic capacitance put two poles inside
+// that loop, and with the default values it rings in the tens of MHz —
+// invisible to any main-loop analysis, found immediately by the
+// all-nodes stability run.
+//
+// SnubbedBias applies the damping remedy and the loop's stability peak
+// shrinks (TestTransistorBiasCompensation) — the same find-then-fix
+// workflow the paper walks through on its Fig. 5 circuit.
+func TransistorBias() *netlist.Circuit {
+	c := netlist.NewCircuit("bias mirror with beta helper (Fig. 5 family)")
+	c.SetModel("qn", "npn", map[string]float64{
+		"is": 1e-15, "bf": 150, "vaf": 80,
+		"cje": 0.3e-12, "cjc": 0.2e-12, "tf": 0.3e-9,
+	})
+	c.AddVDC("VCC", "vcc", "0", 5)
+	// Reference current into the mirror input (Q3's collector). RX loads
+	// the node, setting a moderate loop gain (~20) so the collector pole
+	// dominates the local loop.
+	c.AddIDC("IREF", "vcc", "x", 75e-6)
+	c.AddR("RX", "x", "0", 50e3)
+	// NPN mirror with shared base rail nb; Q3 is the input device.
+	c.AddQ("Q3", "x", "nb", "0", "qn")
+	c.AddQ("Q2", "out", "nb", "0", "qn")
+	c.AddR("RL", "vcc", "out", 40e3)
+	// Beta helper: follower from the input node onto the base rail.
+	c.AddQ("Q5", "vcc", "x", "nb", "qn")
+	// Base-rail pulldown sets the helper's standing current.
+	c.AddR("RB", "nb", "0", 30e3)
+	// Wiring parasitics at the loop's two high-impedance nodes.
+	c.AddC("CX", "x", "0", 0.4e-12)
+	c.AddC("CNB", "nb", "0", 6e-12)
+	for node, v := range map[string]float64{"x": 1.3, "nb": 0.65, "out": 3} {
+		c.NodeSet[node] = v
+	}
+	return c
+}
+
+// SnubbedBias returns the bias cell with a series-RC snubber on the base
+// rail — the standard damping fix for a follower-driven rail. (The paper
+// tames its own Fig. 5 loop with a plain 1 pF at the collector of Q3;
+// which remedy applies depends on which node's pole dominates, and the
+// all-nodes report is exactly the tool that tells you.)
+func SnubbedBias(r, cap float64) *netlist.Circuit {
+	c := TransistorBias()
+	c.AddR("RSNUB", "nb", "snub", r)
+	c.AddC("CSNUB", "snub", "0", cap)
+	return c
+}

@@ -1,0 +1,107 @@
+package device
+
+import "math"
+
+// MOSParams are the model parameters of a level-1 MOSFET.
+type MOSParams struct {
+	PMOS   bool
+	VTO    float64 // zero-bias threshold voltage (V, positive for NMOS)
+	KP     float64 // transconductance parameter (A/V^2)
+	LAMBDA float64 // channel-length modulation (1/V)
+	GAMMA  float64 // body-effect coefficient (sqrt(V))
+	PHI    float64 // surface potential (V)
+	CGSO   float64 // G-S overlap capacitance per meter width (F/m)
+	CGDO   float64 // G-D overlap capacitance per meter width (F/m)
+	COX    float64 // gate-oxide capacitance per area (F/m^2)
+	W, L   float64 // channel width and length (m)
+}
+
+// DefaultMOS returns SPICE-default level-1 parameters (dimensions must be
+// set from the instance).
+func DefaultMOS() MOSParams {
+	return MOSParams{VTO: 0, KP: 2e-5, PHI: 0.6, W: 1e-4, L: 1e-4}
+}
+
+// MOSOP is the evaluated state of a MOSFET. Voltages are in the NMOS frame
+// (the caller flips signs for PMOS using Polarity). Source and drain refer
+// to the terminals as connected, with vds >= 0 handled by the caller
+// swapping terminals when needed (this evaluator requires vds >= 0).
+type MOSOP struct {
+	Id  float64 // drain->source channel current
+	Gm  float64 // dId/dVgs
+	Gds float64 // dId/dVds
+	Gmb float64 // dId/dVbs
+	// Meyer capacitances plus overlaps.
+	Cgs, Cgd, Cgb float64
+	Region        int // 0=cutoff, 1=triode, 2=saturation
+}
+
+// Region names.
+const (
+	RegionCutoff = iota
+	RegionTriode
+	RegionSaturation
+)
+
+// Polarity returns +1 for NMOS, -1 for PMOS.
+func (p MOSParams) Polarity() float64 {
+	if p.PMOS {
+		return -1
+	}
+	return 1
+}
+
+// Eval evaluates the transistor at vgs, vds (>= 0), vbs in the NMOS frame.
+func (p MOSParams) Eval(vgs, vds, vbs float64) MOSOP {
+	beta := p.KP * p.W / p.L
+	// Threshold with body effect.
+	vth := p.VTO
+	dVthDVbs := 0.0
+	if p.GAMMA != 0 {
+		phi := p.PHI
+		if phi <= 0 {
+			phi = 0.6
+		}
+		arg := phi - vbs
+		if arg < 1e-3 {
+			arg = 1e-3
+		}
+		sq := math.Sqrt(arg)
+		vth = p.VTO + p.GAMMA*(sq-math.Sqrt(phi))
+		dVthDVbs = -p.GAMMA / (2 * sq)
+	}
+	vov := vgs - vth
+	op := MOSOP{}
+	lam := 1 + p.LAMBDA*vds
+	switch {
+	case vov <= 0:
+		op.Region = RegionCutoff
+	case vds < vov:
+		op.Region = RegionTriode
+		op.Id = beta * (vov - vds/2) * vds * lam
+		op.Gm = beta * vds * lam
+		op.Gds = beta*(vov-vds)*lam + beta*(vov-vds/2)*vds*p.LAMBDA
+		op.Gmb = -dVthDVbs * op.Gm
+	default:
+		op.Region = RegionSaturation
+		op.Id = beta / 2 * vov * vov * lam
+		op.Gm = beta * vov * lam
+		op.Gds = beta / 2 * vov * vov * p.LAMBDA
+		op.Gmb = -dVthDVbs * op.Gm
+	}
+
+	// Meyer capacitance model (simplified piecewise) plus overlaps.
+	cox := p.COX * p.W * p.L
+	switch op.Region {
+	case RegionCutoff:
+		op.Cgb = cox
+	case RegionTriode:
+		op.Cgs = cox / 2
+		op.Cgd = cox / 2
+	default:
+		op.Cgs = 2.0 / 3.0 * cox
+	}
+	op.Cgs += p.CGSO * p.W
+	op.Cgd += p.CGDO * p.W
+	return op
+}

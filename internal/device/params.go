@@ -1,0 +1,109 @@
+package device
+
+import (
+	"fmt"
+	"strings"
+
+	"acstab/internal/netlist"
+)
+
+// DiodeFromModel builds diode parameters from a .model card and the
+// instance area factor.
+func DiodeFromModel(m *netlist.Model, area float64) (DiodeParams, error) {
+	if !strings.EqualFold(m.Type, "d") {
+		return DiodeParams{}, fmt.Errorf("device: model %q is %q, want d", m.Name, m.Type)
+	}
+	p := DefaultDiode()
+	p.IS = m.Param("is", p.IS)
+	p.N = m.Param("n", p.N)
+	p.CJO = m.Param("cjo", m.Param("cj0", p.CJO))
+	p.VJ = m.Param("vj", p.VJ)
+	p.M = m.Param("m", p.M)
+	p.TT = m.Param("tt", p.TT)
+	p.FC = m.Param("fc", p.FC)
+	p.XTI = m.Param("xti", p.XTI)
+	p.EG = m.Param("eg", p.EG)
+	if area > 0 {
+		p.Area = area
+	}
+	return p, nil
+}
+
+// BJTFromModel builds BJT parameters from a .model card (type npn or pnp)
+// and the instance area factor.
+func BJTFromModel(m *netlist.Model, area float64) (BJTParams, error) {
+	p := DefaultBJT()
+	switch strings.ToLower(m.Type) {
+	case "npn":
+	case "pnp":
+		p.PNP = true
+	default:
+		return BJTParams{}, fmt.Errorf("device: model %q is %q, want npn/pnp", m.Name, m.Type)
+	}
+	p.IS = m.Param("is", p.IS)
+	p.BF = m.Param("bf", p.BF)
+	p.BR = m.Param("br", p.BR)
+	p.NF = m.Param("nf", p.NF)
+	p.NR = m.Param("nr", p.NR)
+	p.VAF = m.Param("vaf", p.VAF)
+	p.CJE = m.Param("cje", p.CJE)
+	p.VJE = m.Param("vje", p.VJE)
+	p.MJE = m.Param("mje", p.MJE)
+	p.CJC = m.Param("cjc", p.CJC)
+	p.VJC = m.Param("vjc", p.VJC)
+	p.MJC = m.Param("mjc", p.MJC)
+	p.TF = m.Param("tf", p.TF)
+	p.TR = m.Param("tr", p.TR)
+	p.FC = m.Param("fc", p.FC)
+	p.XTI = m.Param("xti", p.XTI)
+	p.EG = m.Param("eg", p.EG)
+	if area > 0 {
+		p.Area = area
+	}
+	return p, nil
+}
+
+// MOSFromModel builds MOSFET parameters from a .model card (type nmos or
+// pmos) and the instance W and L.
+func MOSFromModel(m *netlist.Model, w, l float64) (MOSParams, error) {
+	p := DefaultMOS()
+	switch strings.ToLower(m.Type) {
+	case "nmos":
+	case "pmos":
+		p.PMOS = true
+	default:
+		return MOSParams{}, fmt.Errorf("device: model %q is %q, want nmos/pmos", m.Name, m.Type)
+	}
+	p.VTO = m.Param("vto", m.Param("vt0", p.VTO))
+	p.KP = m.Param("kp", p.KP)
+	p.LAMBDA = m.Param("lambda", p.LAMBDA)
+	p.GAMMA = m.Param("gamma", p.GAMMA)
+	p.PHI = m.Param("phi", p.PHI)
+	p.CGSO = m.Param("cgso", p.CGSO)
+	p.CGDO = m.Param("cgdo", p.CGDO)
+	p.COX = m.Param("cox", p.COX)
+	if tox := m.Param("tox", 0); tox > 0 && p.COX == 0 {
+		const eps0 = 8.8541878128e-12
+		const epsrSiO2 = 3.9
+		p.COX = eps0 * epsrSiO2 / tox
+	}
+	if w > 0 {
+		p.W = w
+	}
+	if l > 0 {
+		p.L = l
+	}
+	// PMOS models conventionally carry negative VTO; the evaluator works in
+	// the NMOS frame where threshold is positive.
+	if p.PMOS && p.VTO < 0 {
+		p.VTO = -p.VTO
+	}
+	return p, nil
+}
+
+// ResistorAtTemp applies the standard resistor temperature law
+// r(T) = r * (1 + tc1*dT + tc2*dT^2) with dT measured from TNomC.
+func ResistorAtTemp(r, tc1, tc2, tempC float64) float64 {
+	dt := tempC - TNomC
+	return r * (1 + tc1*dt + tc2*dt*dt)
+}

@@ -1,0 +1,221 @@
+// Package farm implements the remote-simulation capability the paper
+// lists as future work ("remote server simulation and distributed
+// computer farm run control"): an HTTP job server that accepts a netlist
+// plus run options and returns the rendered all-nodes stability report,
+// and the matching client. A fleet of acstabd processes behind any HTTP
+// load balancer is the modern equivalent of the compute-farm dispatch the
+// authors planned.
+package farm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"acstab/internal/netlist"
+	"acstab/internal/report"
+	"acstab/internal/tool"
+)
+
+// Request is one remote stability job.
+type Request struct {
+	// Netlist is the circuit source text.
+	Netlist string `json:"netlist"`
+	// Format selects the response rendering: text (default), csv, json,
+	// annotate.
+	Format string `json:"format,omitempty"`
+	// Node switches to single-node mode when non-empty.
+	Node string `json:"node,omitempty"`
+	// Options carries the sweep setup (zero values take server defaults).
+	Options RequestOptions `json:"options"`
+	// Variables override design variables before the run.
+	Variables map[string]float64 `json:"variables,omitempty"`
+}
+
+// RequestOptions mirrors the CLI sweep flags.
+type RequestOptions struct {
+	FStartHz        float64  `json:"fstart_hz,omitempty"`
+	FStopHz         float64  `json:"fstop_hz,omitempty"`
+	PointsPerDecade int      `json:"points_per_decade,omitempty"`
+	LoopTol         float64  `json:"loop_tol,omitempty"`
+	Workers         int      `json:"workers,omitempty"`
+	Naive           bool     `json:"naive,omitempty"`
+	SkipNodes       []string `json:"skip_nodes,omitempty"`
+	OnlySubckt      string   `json:"only_subckt,omitempty"`
+}
+
+// MaxNetlistBytes bounds request size.
+const MaxNetlistBytes = 4 << 20
+
+// Handler returns the HTTP handler of a farm worker: POST /run executes a
+// job, GET /healthz reports liveness.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/run", handleRun)
+	return mux
+}
+
+func handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxNetlistBytes+4096))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, "bad request JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	out, contentType, err := Run(&req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Write(out)
+}
+
+// Run executes one job locally (the server calls this; tests can too).
+func Run(req *Request) (body []byte, contentType string, err error) {
+	if len(req.Netlist) > MaxNetlistBytes {
+		return nil, "", fmt.Errorf("farm: netlist larger than %d bytes", MaxNetlistBytes)
+	}
+	ckt, err := netlist.Parse(req.Netlist)
+	if err != nil {
+		return nil, "", err
+	}
+	for k, v := range req.Variables {
+		if _, ok := ckt.Params[k]; !ok {
+			return nil, "", fmt.Errorf("farm: unknown design variable %q", k)
+		}
+		ckt.Params[k] = v
+	}
+	opts := tool.DefaultOptions()
+	if o := req.Options; true {
+		if o.FStartHz > 0 {
+			opts.FStart = o.FStartHz
+		}
+		if o.FStopHz > 0 {
+			opts.FStop = o.FStopHz
+		}
+		if o.PointsPerDecade > 0 {
+			opts.PointsPerDecade = o.PointsPerDecade
+		}
+		if o.LoopTol > 0 {
+			opts.LoopTol = o.LoopTol
+		}
+		opts.Workers = o.Workers
+		opts.Naive = o.Naive
+		opts.SkipNodes = o.SkipNodes
+		opts.OnlySubckt = o.OnlySubckt
+	}
+	t, err := tool.New(ckt, opts)
+	if err != nil {
+		return nil, "", err
+	}
+
+	var buf bytes.Buffer
+	if req.Node != "" {
+		nr, err := t.SingleNode(req.Node)
+		if err != nil {
+			return nil, "", err
+		}
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(singleNodeJSON(nr)); err != nil {
+			return nil, "", err
+		}
+		return buf.Bytes(), "application/json", nil
+	}
+
+	rep, err := t.AllNodes()
+	if err != nil {
+		return nil, "", err
+	}
+	switch req.Format {
+	case "", "text":
+		err = report.Text(&buf, rep)
+		contentType = "text/plain; charset=utf-8"
+	case "csv":
+		err = report.CSV(&buf, rep)
+		contentType = "text/csv"
+	case "json":
+		err = report.JSON(&buf, rep)
+		contentType = "application/json"
+	case "annotate":
+		err = report.Annotate(&buf, t.Flat, rep)
+		contentType = "text/plain; charset=utf-8"
+	default:
+		return nil, "", fmt.Errorf("farm: unknown format %q", req.Format)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	return buf.Bytes(), contentType, nil
+}
+
+type singleNodeResult struct {
+	Node       string  `json:"node"`
+	Skipped    bool    `json:"skipped,omitempty"`
+	SkipReason string  `json:"skip_reason,omitempty"`
+	PeakValue  float64 `json:"peak,omitempty"`
+	FreqHz     float64 `json:"natural_freq_hz,omitempty"`
+	Zeta       float64 `json:"zeta,omitempty"`
+	PMDeg      float64 `json:"phase_margin_deg,omitempty"`
+	Overshoot  float64 `json:"overshoot_pct,omitempty"`
+}
+
+func singleNodeJSON(nr *tool.NodeResult) singleNodeResult {
+	out := singleNodeResult{Node: nr.Node, Skipped: nr.Skipped, SkipReason: nr.SkipReason}
+	if nr.Best != nil {
+		out.PeakValue = nr.Best.Value
+		out.FreqHz = nr.Best.Freq
+		out.Zeta = nr.Best.Zeta
+		out.PMDeg = nr.Best.PhaseMarginDeg
+		out.Overshoot = nr.Best.OvershootPct
+	}
+	return out
+}
+
+// Client submits jobs to a farm worker.
+type Client struct {
+	// BaseURL is the worker address, e.g. "http://farm:8080".
+	BaseURL string
+	// HTTPClient defaults to a client with a 5-minute timeout.
+	HTTPClient *http.Client
+}
+
+// Submit posts the job and returns the rendered report body.
+func (c *Client) Submit(req *Request) ([]byte, error) {
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 5 * time.Minute}
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Post(c.BaseURL+"/run", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("farm: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("farm: worker returned %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	return body, nil
+}

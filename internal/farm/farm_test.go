@@ -1,0 +1,125 @@
+package farm
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+const tankNetlist = `farm tank
+.param rq=318
+R1 t 0 {rq}
+L1 t 0 25.33u
+C1 t 0 1n
+`
+
+func TestRunAllNodesText(t *testing.T) {
+	body, ct, err := Run(&Request{Netlist: tankNetlist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(string(body), "Loop at 1 MHz") {
+		t.Errorf("report:\n%s", body)
+	}
+}
+
+func TestRunFormats(t *testing.T) {
+	for _, f := range []string{"csv", "json", "annotate"} {
+		body, _, err := Run(&Request{Netlist: tankNetlist, Format: f})
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if len(body) == 0 {
+			t.Errorf("%s: empty body", f)
+		}
+	}
+	if _, _, err := Run(&Request{Netlist: tankNetlist, Format: "bogus"}); err == nil {
+		t.Error("bad format should fail")
+	}
+}
+
+func TestRunSingleNode(t *testing.T) {
+	body, ct, err := Run(&Request{Netlist: tankNetlist, Node: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var res struct {
+		Node   string  `json:"node"`
+		Peak   float64 `json:"peak"`
+		FreqHz float64 `json:"natural_freq_hz"`
+		Zeta   float64 `json:"zeta"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Node != "t" || math.Abs(res.Zeta-0.25) > 0.02 ||
+		math.Abs(res.FreqHz-1e6) > 0.05e6 {
+		t.Errorf("result: %+v", res)
+	}
+}
+
+func TestRunVariables(t *testing.T) {
+	a, _, err := Run(&Request{Netlist: tankNetlist, Node: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Run(&Request{Netlist: tankNetlist, Node: "t",
+		Variables: map[string]float64{"rq": 1000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) == string(b) {
+		t.Error("variable override had no effect")
+	}
+	if _, _, err := Run(&Request{Netlist: tankNetlist,
+		Variables: map[string]float64{"nosuch": 1}}); err == nil {
+		t.Error("unknown variable should fail")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, _, err := Run(&Request{Netlist: "broken\nZZ\n"}); err == nil {
+		t.Error("bad netlist should fail")
+	}
+	if _, _, err := Run(&Request{Netlist: strings.Repeat("x", MaxNetlistBytes+1)}); err == nil {
+		t.Error("oversized netlist should fail")
+	}
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL}
+	body, err := c.Submit(&Request{Netlist: tankNetlist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "Loop at 1 MHz") {
+		t.Errorf("remote report:\n%s", body)
+	}
+	// Errors propagate with status text.
+	if _, err := c.Submit(&Request{Netlist: "broken\nZZ\n"}); err == nil {
+		t.Error("remote error should surface")
+	}
+	// Health endpoint.
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+	resp.Body.Close()
+	// Method check.
+	resp, err = srv.Client().Get(srv.URL + "/run")
+	if err != nil || resp.StatusCode != 405 {
+		t.Fatalf("GET /run should 405, got %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+}

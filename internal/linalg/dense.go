@@ -1,0 +1,321 @@
+// Package linalg implements the dense linear solvers used by the MNA
+// engine: LU factorization with partial pivoting for real and complex
+// square systems, with reusable factorizations for multiple right-hand
+// sides (the fast path of the all-nodes stability sweep).
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ErrSingular is returned when factorization encounters an (effectively)
+// singular matrix.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Matrix is a dense real matrix in row-major order.
+type Matrix struct {
+	N    int
+	Data []float64 // len N*N
+}
+
+// NewMatrix returns an n-by-n zero matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i,j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i,j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// Add accumulates into element (i,j). This is the MNA "stamp" primitive.
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.N+j] += v }
+
+// Zero clears all entries, preserving storage.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			s += fmt.Sprintf("%12.4g ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// LU holds an LU factorization with partial pivoting of a real matrix.
+type LU struct {
+	n    int
+	lu   []float64
+	piv  []int
+	sign int
+}
+
+// Factor computes the LU factorization of m (m is not modified).
+func Factor(m *Matrix) (*LU, error) {
+	n := m.N
+	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
+	copy(f.lu, m.Data)
+	lu := f.lu
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivoting: find largest magnitude in column k at/below row k.
+		p, pmax := k, math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu[i*n+k]); a > pmax {
+				p, pmax = i, a
+			}
+		}
+		if pmax == 0 {
+			return nil, fmt.Errorf("%w (column %d)", ErrSingular, k)
+		}
+		if p != k {
+			rk, rp := lu[k*n:k*n+n], lu[p*n:p*n+n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+			f.sign = -f.sign
+		}
+		d := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := lu[i*n+k] / d
+			lu[i*n+k] = l
+			if l != 0 {
+				ri, rk := lu[i*n:i*n+n], lu[k*n:k*n+n]
+				for j := k + 1; j < n; j++ {
+					ri[j] -= l * rk[j]
+				}
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A x = b using the factorization; b is unchanged.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("linalg: rhs length %d, want %d", len(b), f.n)
+	}
+	n, lu := f.n, f.lu
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution (unit lower triangular).
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= lu[i*n+j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= lu[i*n+j] * x[j]
+		}
+		x[i] = s / lu[i*n+i]
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	for i := 0; i < f.n; i++ {
+		d *= f.lu[i*f.n+i]
+	}
+	return d
+}
+
+// SolveDense factors m and solves m x = b in one call.
+func SolveDense(m *Matrix, b []float64) ([]float64, error) {
+	f, err := Factor(m)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// CMatrix is a dense complex matrix in row-major order.
+type CMatrix struct {
+	N    int
+	Data []complex128
+}
+
+// NewCMatrix returns an n-by-n zero complex matrix.
+func NewCMatrix(n int) *CMatrix {
+	return &CMatrix{N: n, Data: make([]complex128, n*n)}
+}
+
+// At returns element (i,j).
+func (m *CMatrix) At(i, j int) complex128 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i,j).
+func (m *CMatrix) Set(i, j int, v complex128) { m.Data[i*m.N+j] = v }
+
+// Add accumulates into element (i,j).
+func (m *CMatrix) Add(i, j int, v complex128) { m.Data[i*m.N+j] += v }
+
+// Zero clears all entries, preserving storage.
+func (m *CMatrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy.
+func (m *CMatrix) Clone() *CMatrix {
+	c := NewCMatrix(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CLU holds an LU factorization with partial pivoting of a complex matrix.
+type CLU struct {
+	n   int
+	lu  []complex128
+	piv []int
+}
+
+// CFactor computes the complex LU factorization of m (m is not modified).
+func CFactor(m *CMatrix) (*CLU, error) {
+	n := m.N
+	f := &CLU{n: n, lu: make([]complex128, n*n), piv: make([]int, n)}
+	copy(f.lu, m.Data)
+	lu := f.lu
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		p, pmax := k, cmplx.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := cmplx.Abs(lu[i*n+k]); a > pmax {
+				p, pmax = i, a
+			}
+		}
+		if pmax == 0 {
+			return nil, fmt.Errorf("%w (column %d)", ErrSingular, k)
+		}
+		if p != k {
+			rk, rp := lu[k*n:k*n+n], lu[p*n:p*n+n]
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+		}
+		d := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			l := lu[i*n+k] / d
+			lu[i*n+k] = l
+			if l != 0 {
+				ri, rk := lu[i*n:i*n+n], lu[k*n:k*n+n]
+				for j := k + 1; j < n; j++ {
+					ri[j] -= l * rk[j]
+				}
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A x = b using the factorization; b is unchanged.
+// A single factorization may be reused for many right-hand sides, which is
+// the key optimization of the all-nodes stability sweep (one LU per
+// frequency point serves current injection at every node).
+func (f *CLU) Solve(b []complex128) ([]complex128, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("linalg: rhs length %d, want %d", len(b), f.n)
+	}
+	n, lu := f.n, f.lu
+	x := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= lu[i*n+j] * x[j]
+		}
+		x[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= lu[i*n+j] * x[j]
+		}
+		x[i] = s / lu[i*n+i]
+	}
+	return x, nil
+}
+
+// SolveColumn solves A x = e_k (unit vector excitation at index k) and
+// returns only component idx of the solution. It avoids allocating the RHS.
+func (f *CLU) SolveColumn(k, idx int) (complex128, error) {
+	b := make([]complex128, f.n)
+	b[k] = 1
+	x, err := f.Solve(b)
+	if err != nil {
+		return 0, err
+	}
+	return x[idx], nil
+}
+
+// CSolveDense factors m and solves m x = b in one call.
+func CSolveDense(m *CMatrix, b []complex128) ([]complex128, error) {
+	f, err := CFactor(m)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// MulVec computes y = m * x for a real matrix.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	y := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		s := 0.0
+		row := m.Data[i*m.N : i*m.N+m.N]
+		for j, a := range row {
+			s += a * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// MulVec computes y = m * x for a complex matrix.
+func (m *CMatrix) MulVec(x []complex128) []complex128 {
+	y := make([]complex128, m.N)
+	for i := 0; i < m.N; i++ {
+		s := complex(0, 0)
+		row := m.Data[i*m.N : i*m.N+m.N]
+		for j, a := range row {
+			s += a * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}

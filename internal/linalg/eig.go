@@ -1,0 +1,223 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Eigenvalues computes all eigenvalues of a dense complex matrix using
+// Hessenberg reduction followed by the implicitly shifted QR iteration
+// (Wilkinson shifts, with deflation). The input matrix is not modified.
+//
+// It backs the simulator's pole analysis: circuit poles are eigenvalues of
+// a shift-inverted MNA pencil (see analysis.Poles), giving exact natural
+// frequencies and damping ratios to validate the stability-plot estimates
+// against.
+func Eigenvalues(m *CMatrix) ([]complex128, error) {
+	n := m.N
+	if n == 0 {
+		return nil, nil
+	}
+	a := make([]complex128, n*n)
+	copy(a, m.Data)
+	hessenberg(a, n)
+	return qrEigen(a, n)
+}
+
+// hessenberg reduces a (row-major n*n) to upper Hessenberg form in place
+// using Householder reflections.
+func hessenberg(a []complex128, n int) {
+	at := func(i, j int) complex128 { return a[i*n+j] }
+	set := func(i, j int, v complex128) { a[i*n+j] = v }
+	for k := 0; k < n-2; k++ {
+		norm := 0.0
+		for i := k + 1; i < n; i++ {
+			norm = math.Hypot(norm, cmplx.Abs(at(i, k)))
+		}
+		if norm == 0 {
+			continue
+		}
+		alpha := at(k+1, k)
+		var phase complex128 = 1
+		if alpha != 0 {
+			phase = alpha / complex(cmplx.Abs(alpha), 0)
+		}
+		beta := -phase * complex(norm, 0)
+		v := make([]complex128, n)
+		v[k+1] = alpha - beta
+		for i := k + 2; i < n; i++ {
+			v[i] = at(i, k)
+		}
+		vnorm2 := 0.0
+		for i := k + 1; i < n; i++ {
+			vnorm2 += real(v[i])*real(v[i]) + imag(v[i])*imag(v[i])
+		}
+		if vnorm2 == 0 {
+			continue
+		}
+		// A = H A with H = I - 2 v v^H / (v^H v).
+		for j := k; j < n; j++ {
+			var s complex128
+			for i := k + 1; i < n; i++ {
+				s += cmplx.Conj(v[i]) * at(i, j)
+			}
+			s *= complex(2/vnorm2, 0)
+			for i := k + 1; i < n; i++ {
+				set(i, j, at(i, j)-v[i]*s)
+			}
+		}
+		// A = A H.
+		for i := 0; i < n; i++ {
+			var s complex128
+			for j := k + 1; j < n; j++ {
+				s += at(i, j) * v[j]
+			}
+			s *= complex(2/vnorm2, 0)
+			for j := k + 1; j < n; j++ {
+				set(i, j, at(i, j)-s*cmplx.Conj(v[j]))
+			}
+		}
+		set(k+1, k, beta)
+		for i := k + 2; i < n; i++ {
+			set(i, k, 0)
+		}
+	}
+}
+
+// givens returns c (real, >= 0) and s with c^2 + |s|^2 = 1 such that
+//
+//	[ c   s  ] [x]   [r]
+//	[-s~  c  ] [y] = [0]
+//
+// (s~ denotes the conjugate of s).
+func givens(x, y complex128) (c float64, s complex128) {
+	ay := cmplx.Abs(y)
+	if ay == 0 {
+		return 1, 0
+	}
+	ax := cmplx.Abs(x)
+	if ax == 0 {
+		// Pure swap with phase: c=0, s chosen so -s~ x + c y = 0 trivially
+		// and row 1 becomes s*y with |s|=1.
+		return 0, cmplx.Conj(y) / complex(ay, 0)
+	}
+	r := math.Hypot(ax, ay)
+	c = ax / r
+	s = complex(ax/r, 0) * cmplx.Conj(y) / cmplx.Conj(x)
+	// Normalize |s| exactly: |s| should be ay/r.
+	return c, s
+}
+
+// qrEigen runs the implicitly single-shifted QR iteration on an upper
+// Hessenberg matrix (row-major n*n), returning its eigenvalues.
+func qrEigen(h []complex128, n int) ([]complex128, error) {
+	at := func(i, j int) complex128 { return h[i*n+j] }
+	set := func(i, j int, v complex128) { h[i*n+j] = v }
+
+	// applyLeft rotates rows r1=k, r2=k+1 over columns jlo..jhi.
+	applyLeft := func(k, jlo, jhi int, c float64, s complex128) {
+		for j := jlo; j <= jhi; j++ {
+			t1 := at(k, j)
+			t2 := at(k+1, j)
+			set(k, j, complex(c, 0)*t1+s*t2)
+			set(k+1, j, -cmplx.Conj(s)*t1+complex(c, 0)*t2)
+		}
+	}
+	// applyRight rotates columns k, k+1 over rows ilo..ihi with G^H.
+	applyRight := func(k, ilo, ihi int, c float64, s complex128) {
+		for i := ilo; i <= ihi; i++ {
+			t1 := at(i, k)
+			t2 := at(i, k+1)
+			set(i, k, t1*complex(c, 0)+t2*cmplx.Conj(s))
+			set(i, k+1, -t1*s+t2*complex(c, 0))
+		}
+	}
+
+	eig := make([]complex128, 0, n)
+	hi := n - 1
+	iter := 0
+	const maxIter = 200
+	for hi >= 0 {
+		if hi == 0 {
+			eig = append(eig, at(0, 0))
+			break
+		}
+		// Deflation scan.
+		lo := hi
+		for lo > 0 {
+			sum := cmplx.Abs(at(lo-1, lo-1)) + cmplx.Abs(at(lo, lo))
+			if sum == 0 {
+				sum = 1
+			}
+			if cmplx.Abs(at(lo, lo-1)) <= 1e-15*sum {
+				set(lo, lo-1, 0)
+				break
+			}
+			lo--
+		}
+		if lo == hi {
+			eig = append(eig, at(hi, hi))
+			hi--
+			iter = 0
+			continue
+		}
+		if hi-lo == 1 {
+			// Solve the 2x2 block directly.
+			a11, a12 := at(lo, lo), at(lo, hi)
+			a21, a22 := at(hi, lo), at(hi, hi)
+			tr := a11 + a22
+			det := a11*a22 - a12*a21
+			disc := cmplx.Sqrt(tr*tr - 4*det)
+			eig = append(eig, (tr+disc)/2, (tr-disc)/2)
+			hi = lo - 1
+			iter = 0
+			continue
+		}
+		if iter >= maxIter {
+			return nil, fmt.Errorf("linalg: QR iteration failed to converge")
+		}
+		iter++
+
+		// Wilkinson shift from the trailing 2x2.
+		a11 := at(hi-1, hi-1)
+		a12 := at(hi-1, hi)
+		a21 := at(hi, hi-1)
+		a22 := at(hi, hi)
+		tr := a11 + a22
+		det := a11*a22 - a12*a21
+		disc := cmplx.Sqrt(tr*tr - 4*det)
+		l1 := (tr + disc) / 2
+		l2 := (tr - disc) / 2
+		shift := l1
+		if cmplx.Abs(l2-a22) < cmplx.Abs(l1-a22) {
+			shift = l2
+		}
+		if iter%40 == 0 {
+			// Exceptional shift to escape rare stalls.
+			shift = complex(cmplx.Abs(at(hi, hi-1))+cmplx.Abs(at(hi-1, hi-2)), 0)
+		}
+
+		// Implicit shift: chase the bulge down the Hessenberg band.
+		x := at(lo, lo) - shift
+		y := at(lo+1, lo)
+		for k := lo; k < hi; k++ {
+			c, s := givens(x, y)
+			jlo := k - 1
+			if jlo < lo {
+				jlo = lo
+			}
+			applyLeft(k, jlo, hi, c, s)
+			ihi := k + 2
+			if ihi > hi {
+				ihi = hi
+			}
+			applyRight(k, lo, ihi, c, s)
+			if k+2 <= hi {
+				x = at(k+1, k)
+				y = at(k+2, k)
+			}
+		}
+	}
+	return eig, nil
+}

@@ -1,0 +1,231 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// matchEigs checks that got and want agree as multisets within tol.
+func matchEigs(t *testing.T, got, want []complex128, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d eigenvalues, want %d", len(got), len(want))
+	}
+	used := make([]bool, len(got))
+	for _, w := range want {
+		best, bi := math.Inf(1), -1
+		for i, g := range got {
+			if used[i] {
+				continue
+			}
+			if d := cmplx.Abs(g - w); d < best {
+				best, bi = d, i
+			}
+		}
+		if bi < 0 || best > tol*(1+cmplx.Abs(w)) {
+			t.Errorf("eigenvalue %v not found (closest %g away); got %v", w, best, got)
+			return
+		}
+		used[bi] = true
+	}
+}
+
+func TestEigDiagonal(t *testing.T) {
+	m := NewCMatrix(4)
+	want := []complex128{1, complex(2, 3), -5, complex(0, -1)}
+	for i, v := range want {
+		m.Set(i, i, v)
+	}
+	got, err := Eigenvalues(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchEigs(t, got, want, 1e-12)
+}
+
+func TestEigUpperTriangular(t *testing.T) {
+	m := NewCMatrix(3)
+	want := []complex128{complex(1, 1), 2, complex(-3, 0.5)}
+	for i, v := range want {
+		m.Set(i, i, v)
+	}
+	m.Set(0, 1, 7)
+	m.Set(0, 2, -2)
+	m.Set(1, 2, complex(0, 4))
+	got, err := Eigenvalues(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchEigs(t, got, want, 1e-10)
+}
+
+func TestEig2x2Complex(t *testing.T) {
+	// [[0, -1],[1, 0]]: eigenvalues +/- i.
+	m := NewCMatrix(2)
+	m.Set(0, 1, -1)
+	m.Set(1, 0, 1)
+	got, err := Eigenvalues(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchEigs(t, got, []complex128{complex(0, 1), complex(0, -1)}, 1e-12)
+}
+
+// companion builds the companion matrix of a monic polynomial with the
+// given roots.
+func companion(roots []complex128) *CMatrix {
+	n := len(roots)
+	// poly[i] is the coefficient of x^i in prod (x - r).
+	poly := []complex128{1}
+	for _, r := range roots {
+		next := make([]complex128, len(poly)+1)
+		for i, c := range poly {
+			next[i+1] += c
+			next[i] -= r * c
+		}
+		poly = next
+	}
+	m := NewCMatrix(n)
+	for i := 1; i < n; i++ {
+		m.Set(i, i-1, 1)
+	}
+	for i := 0; i < n; i++ {
+		m.Set(i, n-1, -poly[i])
+	}
+	return m
+}
+
+func TestEigCompanion(t *testing.T) {
+	want := []complex128{
+		complex(-1, 2), complex(-1, -2),
+		complex(-3, 0), complex(-0.2, 5), complex(-0.2, -5),
+	}
+	got, err := Eigenvalues(companion(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchEigs(t, got, want, 1e-6)
+}
+
+func TestEigTraceAndDet(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 8
+	m := NewCMatrix(n)
+	var trace complex128
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+		}
+		trace += m.At(i, i)
+	}
+	got, err := Eigenvalues(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum complex128
+	for _, e := range got {
+		sum += e
+	}
+	if cmplx.Abs(sum-trace) > 1e-8*(1+cmplx.Abs(trace)) {
+		t.Errorf("eigenvalue sum %v vs trace %v", sum, trace)
+	}
+}
+
+// Property: for A = P D P^-1 with random diagonal D and a random
+// well-conditioned P, the eigenvalues recover D.
+func TestEigSimilarityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		d := make([]complex128, n)
+		for i := range d {
+			// Separated eigenvalues for a well-posed comparison.
+			d[i] = complex(float64(i)+rng.Float64()*0.3, rng.NormFloat64())
+		}
+		// P = I + 0.3*R keeps conditioning mild.
+		p := NewCMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := complex(0.3*rng.NormFloat64(), 0.3*rng.NormFloat64())
+				if i == j {
+					v += 1
+				}
+				p.Set(i, j, v)
+			}
+		}
+		// A = P D P^-1: solve P X = (D P^-1)... build via columns:
+		// A P = P D -> A = (P D) P^-1: solve A from A P = PD -> transpose
+		// trick: solve P^T A^T = (P D)^T.
+		pd := NewCMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				pd.Set(i, j, p.At(i, j)*d[j])
+			}
+		}
+		pt := NewCMatrix(n)
+		pdt := NewCMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				pt.Set(i, j, p.At(j, i))
+				pdt.Set(i, j, pd.At(j, i))
+			}
+		}
+		f, err := CFactor(pt)
+		if err != nil {
+			return true // skip ill-conditioned draw
+		}
+		at := NewCMatrix(n)
+		for j := 0; j < n; j++ {
+			col := make([]complex128, n)
+			for i := 0; i < n; i++ {
+				col[i] = pdt.At(i, j)
+			}
+			x, err := f.Solve(col)
+			if err != nil {
+				return true
+			}
+			for i := 0; i < n; i++ {
+				at.Set(i, j, x[i])
+			}
+		}
+		a := NewCMatrix(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, at.At(j, i))
+			}
+		}
+		got, err := Eigenvalues(a)
+		if err != nil {
+			return false
+		}
+		// Multiset match within loose tolerance.
+		sort.Slice(got, func(x, y int) bool { return real(got[x]) < real(got[y]) })
+		sort.Slice(d, func(x, y int) bool { return real(d[x]) < real(d[y]) })
+		for i := range d {
+			if cmplx.Abs(got[i]-d[i]) > 1e-6*(1+cmplx.Abs(d[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEigEmpty(t *testing.T) {
+	got, err := Eigenvalues(NewCMatrix(0))
+	if err != nil || got != nil {
+		t.Errorf("empty: %v %v", got, err)
+	}
+	one := NewCMatrix(1)
+	one.Set(0, 0, complex(3, -4))
+	got, err = Eigenvalues(one)
+	if err != nil || len(got) != 1 || got[0] != complex(3, -4) {
+		t.Errorf("1x1: %v %v", got, err)
+	}
+}

@@ -1,0 +1,172 @@
+package netlist
+
+import "strings"
+
+// The builder methods below construct circuits programmatically, the path
+// the paper's tool takes when driven from a schematic rather than a file.
+// All names and nodes are lower-cased for consistency with the parser.
+
+func lowerAll(ss []string) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = strings.ToLower(s)
+	}
+	return out
+}
+
+// AddR adds a resistor.
+func (c *Circuit) AddR(name, n1, n2 string, ohms float64) *Element {
+	e := &Element{Name: strings.ToLower(name), Type: Resistor,
+		Nodes: lowerAll([]string{n1, n2}), Value: ohms}
+	c.Add(e)
+	return e
+}
+
+// AddC adds a capacitor.
+func (c *Circuit) AddC(name, n1, n2 string, farads float64) *Element {
+	e := &Element{Name: strings.ToLower(name), Type: Capacitor,
+		Nodes: lowerAll([]string{n1, n2}), Value: farads}
+	c.Add(e)
+	return e
+}
+
+// AddL adds an inductor.
+func (c *Circuit) AddL(name, n1, n2 string, henries float64) *Element {
+	e := &Element{Name: strings.ToLower(name), Type: Inductor,
+		Nodes: lowerAll([]string{n1, n2}), Value: henries}
+	c.Add(e)
+	return e
+}
+
+// AddV adds an independent voltage source from n+ to n-.
+func (c *Circuit) AddV(name, np, nn string, src SourceSpec) *Element {
+	s := src
+	e := &Element{Name: strings.ToLower(name), Type: VSource,
+		Nodes: lowerAll([]string{np, nn}), Src: &s}
+	c.Add(e)
+	return e
+}
+
+// AddI adds an independent current source flowing from n+ through the
+// source to n- (SPICE convention: positive current leaves n+ terminal
+// through the source into n-).
+func (c *Circuit) AddI(name, np, nn string, src SourceSpec) *Element {
+	s := src
+	e := &Element{Name: strings.ToLower(name), Type: ISource,
+		Nodes: lowerAll([]string{np, nn}), Src: &s}
+	c.Add(e)
+	return e
+}
+
+// AddVDC adds a DC voltage source.
+func (c *Circuit) AddVDC(name, np, nn string, volts float64) *Element {
+	return c.AddV(name, np, nn, SourceSpec{DC: volts})
+}
+
+// AddIDC adds a DC current source.
+func (c *Circuit) AddIDC(name, np, nn string, amps float64) *Element {
+	return c.AddI(name, np, nn, SourceSpec{DC: amps})
+}
+
+// AddE adds a voltage-controlled voltage source:
+// v(np,nn) = gain * v(cp,cn).
+func (c *Circuit) AddE(name, np, nn, cp, cn string, gain float64) *Element {
+	e := &Element{Name: strings.ToLower(name), Type: VCVS,
+		Nodes: lowerAll([]string{np, nn, cp, cn}), Value: gain}
+	c.Add(e)
+	return e
+}
+
+// AddG adds a voltage-controlled current source:
+// i(np->nn) = gm * v(cp,cn).
+func (c *Circuit) AddG(name, np, nn, cp, cn string, gm float64) *Element {
+	e := &Element{Name: strings.ToLower(name), Type: VCCS,
+		Nodes: lowerAll([]string{np, nn, cp, cn}), Value: gm}
+	c.Add(e)
+	return e
+}
+
+// AddF adds a current-controlled current source with the named controlling
+// voltage source.
+func (c *Circuit) AddF(name, np, nn, vctrl string, gain float64) *Element {
+	e := &Element{Name: strings.ToLower(name), Type: CCCS,
+		Nodes: lowerAll([]string{np, nn}), Ctrl: strings.ToLower(vctrl), Value: gain}
+	c.Add(e)
+	return e
+}
+
+// AddH adds a current-controlled voltage source with the named controlling
+// voltage source.
+func (c *Circuit) AddH(name, np, nn, vctrl string, r float64) *Element {
+	e := &Element{Name: strings.ToLower(name), Type: CCVS,
+		Nodes: lowerAll([]string{np, nn}), Ctrl: strings.ToLower(vctrl), Value: r}
+	c.Add(e)
+	return e
+}
+
+// AddD adds a diode (anode, cathode).
+func (c *Circuit) AddD(name, anode, cathode, model string) *Element {
+	e := &Element{Name: strings.ToLower(name), Type: Diode,
+		Nodes: lowerAll([]string{anode, cathode}), Model: strings.ToLower(model)}
+	c.Add(e)
+	return e
+}
+
+// AddQ adds a BJT (collector, base, emitter).
+func (c *Circuit) AddQ(name, col, base, emit, model string) *Element {
+	e := &Element{Name: strings.ToLower(name), Type: BJT,
+		Nodes: lowerAll([]string{col, base, emit}), Model: strings.ToLower(model)}
+	c.Add(e)
+	return e
+}
+
+// AddM adds a MOSFET (drain, gate, source, bulk) with channel W and L in
+// meters.
+func (c *Circuit) AddM(name, d, g, s, b, model string, w, l float64) *Element {
+	e := &Element{Name: strings.ToLower(name), Type: MOSFET,
+		Nodes: lowerAll([]string{d, g, s, b}), Model: strings.ToLower(model),
+		Params: map[string]float64{"w": w, "l": l}}
+	c.Add(e)
+	return e
+}
+
+// AddX adds a subcircuit call.
+func (c *Circuit) AddX(name string, nodes []string, subckt string, params map[string]float64) *Element {
+	e := &Element{Name: strings.ToLower(name), Type: Subcall,
+		Nodes: lowerAll(nodes), Model: strings.ToLower(subckt)}
+	if params != nil {
+		e.Params = map[string]float64{}
+		for k, v := range params {
+			e.Params[strings.ToLower(k)] = v
+		}
+	}
+	c.Add(e)
+	return e
+}
+
+// SetModel registers a device model.
+func (c *Circuit) SetModel(name, typ string, params map[string]float64) *Model {
+	m := &Model{Name: strings.ToLower(name), Type: strings.ToLower(typ),
+		Params: map[string]float64{}}
+	for k, v := range params {
+		m.Params[strings.ToLower(k)] = v
+	}
+	c.Models[m.Name] = m
+	return m
+}
+
+// ZeroACSources sets the AC magnitude of every independent source to zero,
+// the tool's "auto-zero all AC sources / stimuli in design prior to running
+// the analysis" feature: pre-existing testbench stimuli must not corrupt
+// the injected probe response. It returns the number of sources changed.
+func (c *Circuit) ZeroACSources() int {
+	n := 0
+	for _, e := range c.Elems {
+		if (e.Type == VSource || e.Type == ISource) && e.Src != nil && e.Src.ACMag != 0 {
+			e.Src.ACMag = 0
+			e.Src.ACPhase = 0
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,81 @@
+package netlist
+
+import (
+	"fmt"
+	"io/fs"
+	"path"
+	"strings"
+)
+
+// maxIncludeDepth bounds .include nesting (and catches cycles).
+const maxIncludeDepth = 16
+
+// ParseFS parses a netlist file from the filesystem, expanding .include
+// (and single-argument .lib) directives relative to the including file's
+// directory. Plain Parse rejects .include because it has no resolver;
+// multi-file decks (model libraries, PDK fragments) go through here.
+func ParseFS(fsys fs.FS, name string) (*Circuit, error) {
+	src, err := ExpandFS(fsys, name)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(src)
+}
+
+// ExpandFS returns the netlist text with every .include inlined — useful
+// when the expanded deck must travel (e.g. to a remote farm worker).
+func ExpandFS(fsys fs.FS, name string) (string, error) {
+	return expandIncludes(fsys, name, nil, 0)
+}
+
+// expandIncludes inlines the file's include tree. stack carries the open
+// files for cycle detection.
+func expandIncludes(fsys fs.FS, name string, stack []string, depth int) (string, error) {
+	if depth > maxIncludeDepth {
+		return "", fmt.Errorf("netlist: include nesting deeper than %d (cycle via %v?)", maxIncludeDepth, stack)
+	}
+	clean := path.Clean(name)
+	for _, open := range stack {
+		if open == clean {
+			return "", fmt.Errorf("netlist: include cycle: %v -> %s", stack, clean)
+		}
+	}
+	data, err := fs.ReadFile(fsys, clean)
+	if err != nil {
+		return "", fmt.Errorf("netlist: %w", err)
+	}
+	stack = append(stack, clean)
+	dir := path.Dir(clean)
+
+	var out strings.Builder
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		lower := strings.ToLower(trimmed)
+		if !strings.HasPrefix(lower, ".include") && !strings.HasPrefix(lower, ".lib") {
+			out.WriteString(line)
+			out.WriteByte('\n')
+			continue
+		}
+		fields := strings.Fields(trimmed)
+		if len(fields) != 2 {
+			return "", fmt.Errorf("netlist: %s: %s wants one filename", clean, fields[0])
+		}
+		inc := strings.Trim(fields[1], `"'`)
+		target := inc
+		if !path.IsAbs(inc) {
+			target = path.Join(dir, inc)
+		}
+		body, err := expandIncludes(fsys, target, stack, depth+1)
+		if err != nil {
+			return "", err
+		}
+		// Included files are card collections, not full decks: their first
+		// line is content, not a title, so inline them behind a marker
+		// comment. A leading title-like line in the include would be
+		// misparsed, so includes must contain only cards and comments.
+		out.WriteString("* begin include " + target + "\n")
+		out.WriteString(body)
+		out.WriteString("* end include " + target + "\n")
+	}
+	return out.String(), nil
+}

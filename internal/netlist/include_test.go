@@ -1,0 +1,92 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+	"testing/fstest"
+)
+
+func TestParseFSIncludes(t *testing.T) {
+	fsys := fstest.MapFS{
+		"top.cir": {Data: []byte(`top deck
+.include models/devices.lib
+X1 out bias cell
+V1 out 0 1
+.include cells.inc
+`)},
+		"models/devices.lib": {Data: []byte(`* shared models
+.model qn npn is=1e-15 bf=120
+.include extra.lib
+`)},
+		"models/extra.lib": {Data: []byte(`.model dm d is=2e-14
+`)},
+		"cells.inc": {Data: []byte(`.subckt cell a b
+Q1 a b 0 qn
+D1 b 0 dm
+R1 a b 10k
+.ends
+`)},
+	}
+	c, err := ParseFS(fsys, "top.cir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Title != "top deck" {
+		t.Errorf("title = %q", c.Title)
+	}
+	if c.Models["qn"] == nil || c.Models["qn"].Param("bf", 0) != 120 {
+		t.Error("included model missing")
+	}
+	if c.Models["dm"] == nil {
+		t.Error("nested include missing")
+	}
+	if c.Subckts["cell"] == nil {
+		t.Error("included subckt missing")
+	}
+	flat, err := Flatten(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Element("x1.q1") == nil {
+		t.Errorf("flattened include wrong:\n%s", Format(flat))
+	}
+}
+
+func TestParseFSRelativePaths(t *testing.T) {
+	fsys := fstest.MapFS{
+		"a/top.cir":   {Data: []byte("t\n.include sub/r.inc\nV1 n 0 1\n")},
+		"a/sub/r.inc": {Data: []byte("R1 n 0 1k\n")},
+	}
+	c, err := ParseFS(fsys, "a/top.cir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Element("r1") == nil {
+		t.Error("relative include not resolved")
+	}
+}
+
+func TestParseFSErrors(t *testing.T) {
+	// Missing file.
+	if _, err := ParseFS(fstest.MapFS{"t.cir": {Data: []byte("t\n.include gone.inc\n")}}, "t.cir"); err == nil {
+		t.Error("missing include should fail")
+	}
+	// Cycle.
+	fsys := fstest.MapFS{
+		"a.cir": {Data: []byte("t\n.include b.inc\n")},
+		"b.inc": {Data: []byte(".include c.inc\n")},
+		"c.inc": {Data: []byte(".include b.inc\n")},
+	}
+	_, err := ParseFS(fsys, "a.cir")
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle: %v", err)
+	}
+	// Malformed directive.
+	if _, err := ParseFS(fstest.MapFS{"t.cir": {Data: []byte("t\n.include\n")}}, "t.cir"); err == nil {
+		t.Error("bare .include should fail")
+	}
+	// Plain Parse still rejects .include (no resolver).
+	if _, err := Parse("t\n.include x.inc\n"); err == nil {
+		t.Error("Parse without a filesystem should reject .include")
+	}
+}

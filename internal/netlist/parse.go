@@ -1,0 +1,606 @@
+package netlist
+
+import (
+	"fmt"
+	"strings"
+
+	"acstab/internal/num"
+)
+
+// Parse reads a SPICE-style netlist. The first line is the title (SPICE
+// convention). Supported cards: R C L V I E G F H D Q M X elements,
+// .subckt/.ends, .model, .param, .option, .temp, .end, line continuation
+// with '+', comments with leading '*' and inline ';'.
+func Parse(src string) (*Circuit, error) {
+	if strings.TrimSpace(src) == "" {
+		return nil, fmt.Errorf("netlist: empty input")
+	}
+	lines := preprocess(src)
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("netlist: empty input")
+	}
+	c := NewCircuit(strings.TrimSpace(lines[0].text))
+	p := &fileParser{ckt: c}
+	for _, ln := range lines[1:] {
+		if err := p.line(ln.text); err != nil {
+			return nil, fmt.Errorf("netlist: line %d: %w", ln.num, err)
+		}
+	}
+	if p.curSub != nil {
+		return nil, fmt.Errorf("netlist: unterminated .subckt %q", p.curSub.Name)
+	}
+	if err := p.resolveParams(); err != nil {
+		return nil, err
+	}
+	if err := p.evalTopLevel(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+type srcLine struct {
+	num  int
+	text string
+}
+
+// preprocess strips comments and joins continuation lines, tracking
+// original line numbers.
+func preprocess(src string) []srcLine {
+	raw := strings.Split(src, "\n")
+	var out []srcLine
+	for i, l := range raw {
+		// Strip inline comments.
+		if j := strings.IndexAny(l, ";"); j >= 0 {
+			l = l[:j]
+		}
+		if j := strings.Index(l, "$ "); j >= 0 {
+			l = l[:j]
+		}
+		trimmed := strings.TrimRight(l, " \t\r")
+		if i > 0 && strings.TrimSpace(trimmed) == "" {
+			continue
+		}
+		if strings.HasPrefix(strings.TrimSpace(trimmed), "*") && i > 0 {
+			continue
+		}
+		if strings.HasPrefix(strings.TrimSpace(trimmed), "+") && len(out) > 0 {
+			cont := strings.TrimSpace(trimmed)[1:]
+			out[len(out)-1].text += " " + cont
+			continue
+		}
+		out = append(out, srcLine{num: i + 1, text: trimmed})
+	}
+	return out
+}
+
+type fileParser struct {
+	ckt      *Circuit
+	curSub   *Subckt
+	rawParam map[string]string // unevaluated .param expressions (top level)
+}
+
+// subRawParams returns the subckt's raw (unevaluated) parameter defaults,
+// allocating the map on first use. Flattening evaluates them per instance.
+func (p *fileParser) subRawParams(s *Subckt) map[string]string {
+	if s.ParamExprs == nil {
+		s.ParamExprs = map[string]string{}
+	}
+	return s.ParamExprs
+}
+
+// tokenize splits a card into tokens. Curly-brace expressions {..} stay
+// single tokens; parentheses and commas act as whitespace; "a = b" is
+// joined to "a=b".
+func tokenize(s string) []string {
+	var tokens []string
+	var cur strings.Builder
+	depth := 0
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		if depth > 0 {
+			cur.WriteByte(ch)
+			if ch == '{' {
+				depth++
+			}
+			if ch == '}' {
+				depth--
+			}
+			continue
+		}
+		switch ch {
+		case '{':
+			cur.WriteByte(ch)
+			depth++
+		case ' ', '\t', '(', ')', ',':
+			flush()
+		default:
+			cur.WriteByte(ch)
+		}
+	}
+	flush()
+	// Join "a = b" and "a= b"/"a =b" into "a=b".
+	var joined []string
+	for i := 0; i < len(tokens); i++ {
+		t := tokens[i]
+		if t == "=" && len(joined) > 0 && i+1 < len(tokens) {
+			joined[len(joined)-1] += "=" + tokens[i+1]
+			i++
+			continue
+		}
+		if strings.HasSuffix(t, "=") && i+1 < len(tokens) {
+			joined = append(joined, t+tokens[i+1])
+			i++
+			continue
+		}
+		if strings.HasPrefix(t, "=") && len(joined) > 0 {
+			joined[len(joined)-1] += t
+			continue
+		}
+		joined = append(joined, t)
+	}
+	return joined
+}
+
+func (p *fileParser) line(text string) error {
+	t := strings.TrimSpace(text)
+	if t == "" || strings.HasPrefix(t, "*") {
+		return nil
+	}
+	if strings.HasPrefix(t, ".") {
+		return p.directive(t)
+	}
+	e, err := parseElement(t)
+	if err != nil {
+		return err
+	}
+	if p.curSub != nil {
+		p.curSub.Elems = append(p.curSub.Elems, e)
+	} else {
+		p.ckt.Add(e)
+	}
+	return nil
+}
+
+func (p *fileParser) directive(t string) error {
+	tokens := tokenize(t)
+	key := strings.ToLower(tokens[0])
+	switch key {
+	case ".end":
+		return nil
+	case ".title":
+		p.ckt.Title = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(t), tokens[0]))
+		return nil
+	case ".temp":
+		if len(tokens) < 2 {
+			return fmt.Errorf(".temp needs a value")
+		}
+		v, err := num.ParseValue(tokens[1])
+		if err != nil {
+			return err
+		}
+		p.ckt.Temp = v
+		return nil
+	case ".option", ".options":
+		for _, tok := range tokens[1:] {
+			k, vs, ok := strings.Cut(tok, "=")
+			if !ok {
+				p.ckt.Options[strings.ToLower(tok)] = 1
+				continue
+			}
+			v, err := num.ParseValue(vs)
+			if err != nil {
+				return fmt.Errorf(".option %s: %v", tok, err)
+			}
+			p.ckt.Options[strings.ToLower(k)] = v
+		}
+		return nil
+	case ".param", ".parameters":
+		if p.rawParam == nil {
+			p.rawParam = map[string]string{}
+		}
+		target := p.rawParam
+		if p.curSub != nil {
+			// Subckt-local params become defaults, stored as evaluated later
+			// during flatten; keep raw in subckt via a pseudo map.
+			for _, tok := range tokens[1:] {
+				k, vs, ok := strings.Cut(tok, "=")
+				if !ok {
+					return fmt.Errorf(".param wants name=value, got %q", tok)
+				}
+				p.curSub.Params[strings.ToLower(k)] = 0 // placeholder
+				p.subRawParams(p.curSub)[strings.ToLower(k)] = stripBraces(vs)
+			}
+			return nil
+		}
+		for _, tok := range tokens[1:] {
+			k, vs, ok := strings.Cut(tok, "=")
+			if !ok {
+				return fmt.Errorf(".param wants name=value, got %q", tok)
+			}
+			target[strings.ToLower(k)] = stripBraces(vs)
+		}
+		return nil
+	case ".subckt":
+		if p.curSub != nil {
+			return fmt.Errorf("nested .subckt not supported")
+		}
+		if len(tokens) < 2 {
+			return fmt.Errorf(".subckt needs a name")
+		}
+		sub := &Subckt{
+			Name:   strings.ToLower(tokens[1]),
+			Params: map[string]float64{},
+			Models: map[string]*Model{},
+		}
+		for _, tok := range tokens[2:] {
+			if k, vs, ok := strings.Cut(tok, "="); ok {
+				sub.Params[strings.ToLower(k)] = 0
+				p.subRawParams(sub)[strings.ToLower(k)] = stripBraces(vs)
+				continue
+			}
+			if strings.EqualFold(tok, "params:") {
+				continue
+			}
+			sub.Ports = append(sub.Ports, strings.ToLower(tok))
+		}
+		p.curSub = sub
+		return nil
+	case ".ends":
+		if p.curSub == nil {
+			return fmt.Errorf(".ends without .subckt")
+		}
+		p.ckt.Subckts[p.curSub.Name] = p.curSub
+		p.curSub = nil
+		return nil
+	case ".model":
+		if len(tokens) < 3 {
+			return fmt.Errorf(".model needs name and type")
+		}
+		m := &Model{
+			Name:   strings.ToLower(tokens[1]),
+			Type:   strings.ToLower(tokens[2]),
+			Params: map[string]float64{},
+		}
+		for _, tok := range tokens[3:] {
+			k, vs, ok := strings.Cut(tok, "=")
+			if !ok {
+				return fmt.Errorf(".model parameter %q wants name=value", tok)
+			}
+			v, err := num.ParseValue(vs)
+			if err != nil {
+				return fmt.Errorf(".model %s: %v", tok, err)
+			}
+			m.Params[strings.ToLower(k)] = v
+		}
+		if p.curSub != nil {
+			p.curSub.Models[m.Name] = m
+		} else {
+			p.ckt.Models[m.Name] = m
+		}
+		return nil
+	case ".nodeset", ".ic":
+		// Tokens arrive as ["v", "node=value", ...] because parentheses
+		// split tokens. Accept bare "node=value" too.
+		for _, tok := range tokens[1:] {
+			if strings.EqualFold(tok, "v") {
+				continue
+			}
+			k, vs, ok := strings.Cut(tok, "=")
+			if !ok {
+				return fmt.Errorf("%s wants v(node)=value pairs, got %q", key, tok)
+			}
+			v, err := num.ParseValue(vs)
+			if err != nil {
+				return fmt.Errorf("%s %s: %v", key, tok, err)
+			}
+			if p.ckt.NodeSet == nil {
+				p.ckt.NodeSet = map[string]float64{}
+			}
+			p.ckt.NodeSet[strings.ToLower(k)] = v
+		}
+		return nil
+	case ".include", ".lib":
+		return fmt.Errorf("%s is not supported (offline, single-file netlists)", key)
+	default:
+		return fmt.Errorf("unknown directive %q", tokens[0])
+	}
+}
+
+func stripBraces(s string) string {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "{") && strings.HasSuffix(s, "}") {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// parseElement parses one element card into an Element with raw
+// (unevaluated) value and parameter expressions.
+func parseElement(t string) (*Element, error) {
+	tokens := tokenize(t)
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("empty element card")
+	}
+	name := tokens[0]
+	typ := ElemType(strings.ToUpper(name)[0])
+	e := &Element{Name: strings.ToLower(name), Type: typ}
+	lower := func(s string) string { return strings.ToLower(s) }
+	args := tokens[1:]
+
+	splitKV := func(toks []string) (pos []string, kv map[string]string) {
+		kv = map[string]string{}
+		for _, tok := range toks {
+			if k, v, ok := strings.Cut(tok, "="); ok && k != "" {
+				kv[lower(k)] = stripBraces(v)
+			} else {
+				pos = append(pos, tok)
+			}
+		}
+		return pos, kv
+	}
+
+	switch typ {
+	case Resistor, Capacitor, Inductor:
+		pos, kv := splitKV(args)
+		if len(pos) < 3 {
+			return nil, fmt.Errorf("%s %q needs 2 nodes and a value", typ, name)
+		}
+		e.Nodes = []string{lower(pos[0]), lower(pos[1])}
+		e.ValueExpr = stripBraces(pos[2])
+		e.ParamExprs = kv
+	case VSource, ISource:
+		if len(args) < 2 {
+			return nil, fmt.Errorf("%s %q needs 2 nodes", typ, name)
+		}
+		e.Nodes = []string{lower(args[0]), lower(args[1])}
+		e.srcTokens = args[2:]
+	case VCVS, VCCS:
+		pos, kv := splitKV(args)
+		if len(pos) < 5 {
+			return nil, fmt.Errorf("%s %q needs 4 nodes and a gain", typ, name)
+		}
+		e.Nodes = []string{lower(pos[0]), lower(pos[1]), lower(pos[2]), lower(pos[3])}
+		e.ValueExpr = stripBraces(pos[4])
+		e.ParamExprs = kv
+	case CCCS, CCVS:
+		pos, kv := splitKV(args)
+		if len(pos) < 4 {
+			return nil, fmt.Errorf("%s %q needs 2 nodes, a control source, and a gain", typ, name)
+		}
+		e.Nodes = []string{lower(pos[0]), lower(pos[1])}
+		e.Ctrl = lower(pos[2])
+		e.ValueExpr = stripBraces(pos[3])
+		e.ParamExprs = kv
+	case Diode:
+		pos, kv := splitKV(args)
+		if len(pos) < 3 {
+			return nil, fmt.Errorf("diode %q needs 2 nodes and a model", name)
+		}
+		e.Nodes = []string{lower(pos[0]), lower(pos[1])}
+		e.Model = lower(pos[2])
+		e.ParamExprs = kv
+	case BJT:
+		pos, kv := splitKV(args)
+		if len(pos) < 4 {
+			return nil, fmt.Errorf("bjt %q needs 3 nodes and a model", name)
+		}
+		e.Nodes = []string{lower(pos[0]), lower(pos[1]), lower(pos[2])}
+		e.Model = lower(pos[3])
+		if len(pos) > 4 { // optional positional area factor
+			kv["area"] = pos[4]
+		}
+		e.ParamExprs = kv
+	case MOSFET:
+		pos, kv := splitKV(args)
+		if len(pos) < 5 {
+			return nil, fmt.Errorf("mosfet %q needs 4 nodes and a model", name)
+		}
+		e.Nodes = []string{lower(pos[0]), lower(pos[1]), lower(pos[2]), lower(pos[3])}
+		e.Model = lower(pos[4])
+		e.ParamExprs = kv
+	case Subcall:
+		pos, kv := splitKV(args)
+		if len(pos) < 1 {
+			return nil, fmt.Errorf("subckt call %q needs a subckt name", name)
+		}
+		// Last positional token is the subckt name; the rest are nodes.
+		for _, n := range pos[:len(pos)-1] {
+			e.Nodes = append(e.Nodes, lower(n))
+		}
+		e.Model = lower(pos[len(pos)-1])
+		e.ParamExprs = kv
+	default:
+		return nil, fmt.Errorf("unknown element type %q", string(byte(typ)))
+	}
+	return e, nil
+}
+
+// resolveParams evaluates .param expressions, iterating to a fixpoint so
+// parameters may reference each other in any order.
+func (p *fileParser) resolveParams() error {
+	pending := map[string]string{}
+	for k, v := range p.rawParam {
+		pending[k] = v
+	}
+	for pass := 0; len(pending) > 0; pass++ {
+		progressed := false
+		for k, expr := range pending {
+			v, err := EvalExpr(expr, p.ckt.Params)
+			if err == nil {
+				p.ckt.Params[k] = v
+				delete(pending, k)
+				progressed = true
+			}
+		}
+		if !progressed {
+			for k, expr := range pending {
+				if _, err := EvalExpr(expr, p.ckt.Params); err != nil {
+					return fmt.Errorf("netlist: .param %s=%s: %v", k, expr, err)
+				}
+			}
+		}
+		if pass > 100 {
+			return fmt.Errorf("netlist: circular .param definitions")
+		}
+	}
+	return nil
+}
+
+// evalTopLevel evaluates the values, parameters, and source specs of all
+// top-level elements against the global design variables.
+func (p *fileParser) evalTopLevel() error {
+	for _, e := range p.ckt.Elems {
+		if err := evalElement(e, p.ckt.Params); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalElement resolves an element's raw expressions using scope.
+func evalElement(e *Element, scope map[string]float64) error {
+	if e.ValueExpr != "" {
+		v, err := EvalExpr(e.ValueExpr, scope)
+		if err != nil {
+			return fmt.Errorf("netlist: %s value: %v", e.Name, err)
+		}
+		e.Value = v
+	}
+	if len(e.ParamExprs) > 0 {
+		if e.Params == nil {
+			e.Params = map[string]float64{}
+		}
+		for k, expr := range e.ParamExprs {
+			v, err := EvalExpr(expr, scope)
+			if err != nil {
+				return fmt.Errorf("netlist: %s param %s: %v", e.Name, k, err)
+			}
+			e.Params[k] = v
+		}
+	}
+	if e.srcTokens != nil {
+		src, err := parseSource(e.srcTokens, scope)
+		if err != nil {
+			return fmt.Errorf("netlist: %s: %v", e.Name, err)
+		}
+		e.Src = src
+	}
+	return nil
+}
+
+// parseSource parses independent source arguments:
+//
+//	[dcval] [DC val] [AC mag [phase]] [PULSE v1 v2 td tr tf pw per]
+//	[SIN vo va freq td theta] [PWL t1 v1 t2 v2 ...]
+func parseSource(tokens []string, scope map[string]float64) (*SourceSpec, error) {
+	s := &SourceSpec{}
+	val := func(tok string) (float64, error) { return EvalExpr(stripBraces(tok), scope) }
+	i := 0
+	// Optional leading bare DC value.
+	if i < len(tokens) {
+		if v, err := val(tokens[i]); err == nil {
+			s.DC = v
+			i++
+		}
+	}
+	for i < len(tokens) {
+		switch strings.ToLower(tokens[i]) {
+		case "dc":
+			if i+1 >= len(tokens) {
+				return nil, fmt.Errorf("DC needs a value")
+			}
+			v, err := val(tokens[i+1])
+			if err != nil {
+				return nil, err
+			}
+			s.DC = v
+			i += 2
+		case "ac":
+			i++
+			s.ACMag = 1
+			if i < len(tokens) {
+				if v, err := val(tokens[i]); err == nil {
+					s.ACMag = v
+					i++
+					if i < len(tokens) {
+						if ph, err := val(tokens[i]); err == nil {
+							s.ACPhase = ph
+							i++
+						}
+					}
+				}
+			}
+		case "pulse":
+			vals, n, err := takeVals(tokens[i+1:], 7, val)
+			if err != nil {
+				return nil, fmt.Errorf("PULSE: %v", err)
+			}
+			f := PulseFunc{}
+			set := []*float64{&f.V1, &f.V2, &f.TD, &f.TR, &f.TF, &f.PW, &f.PER}
+			for j, v := range vals {
+				*set[j] = v
+			}
+			if f.PW == 0 {
+				f.PW = 1 // effectively a step within any realistic window
+			}
+			s.Tran = f
+			i += 1 + n
+		case "sin":
+			vals, n, err := takeVals(tokens[i+1:], 5, val)
+			if err != nil {
+				return nil, fmt.Errorf("SIN: %v", err)
+			}
+			f := SinFunc{}
+			set := []*float64{&f.VO, &f.VA, &f.Freq, &f.TD, &f.Theta}
+			for j, v := range vals {
+				*set[j] = v
+			}
+			s.Tran = f
+			i += 1 + n
+		case "pwl":
+			vals, n, err := takeVals(tokens[i+1:], 1000, val)
+			if err != nil {
+				return nil, fmt.Errorf("PWL: %v", err)
+			}
+			if len(vals) < 2 || len(vals)%2 != 0 {
+				return nil, fmt.Errorf("PWL wants time/value pairs")
+			}
+			f := PWLFunc{}
+			for j := 0; j < len(vals); j += 2 {
+				f.T = append(f.T, vals[j])
+				f.V = append(f.V, vals[j+1])
+			}
+			s.Tran = f
+			i += 1 + n
+		default:
+			return nil, fmt.Errorf("unexpected source token %q", tokens[i])
+		}
+	}
+	return s, nil
+}
+
+// takeVals consumes up to max numeric tokens, stopping at the first
+// non-numeric one.
+func takeVals(tokens []string, max int, val func(string) (float64, error)) ([]float64, int, error) {
+	var out []float64
+	for _, tok := range tokens {
+		if len(out) >= max {
+			break
+		}
+		v, err := val(tok)
+		if err != nil {
+			break
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, 0, fmt.Errorf("expected numeric arguments")
+	}
+	return out, len(out), nil
+}

@@ -1,0 +1,189 @@
+// Package ratfn provides polynomials and rational transfer functions in the
+// Laplace variable s, including polynomial root finding (Aberth-Ehrlich
+// iteration). It supplies the analytic ground truth against which the
+// stability-plot method is validated: a transfer function built from known
+// poles and zeros can be sampled in magnitude and fed to the detector, and
+// the recovered natural frequencies and damping ratios compared with the
+// exact pole locations.
+package ratfn
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Poly is a polynomial with complex coefficients, Coeffs[i] multiplying s^i.
+type Poly struct {
+	Coeffs []complex128
+}
+
+// NewPoly builds a polynomial from ascending-power coefficients.
+func NewPoly(coeffs ...complex128) Poly {
+	p := Poly{Coeffs: append([]complex128(nil), coeffs...)}
+	p.trim()
+	return p
+}
+
+// NewPolyReal builds a polynomial from ascending-power real coefficients.
+func NewPolyReal(coeffs ...float64) Poly {
+	c := make([]complex128, len(coeffs))
+	for i, v := range coeffs {
+		c[i] = complex(v, 0)
+	}
+	return NewPoly(c...)
+}
+
+func (p *Poly) trim() {
+	n := len(p.Coeffs)
+	for n > 1 && p.Coeffs[n-1] == 0 {
+		n--
+	}
+	p.Coeffs = p.Coeffs[:n]
+}
+
+// Degree returns the polynomial degree (0 for constants, including zero).
+func (p Poly) Degree() int { return len(p.Coeffs) - 1 }
+
+// Eval evaluates p at s by Horner's method.
+func (p Poly) Eval(s complex128) complex128 {
+	if len(p.Coeffs) == 0 {
+		return 0
+	}
+	acc := p.Coeffs[len(p.Coeffs)-1]
+	for i := len(p.Coeffs) - 2; i >= 0; i-- {
+		acc = acc*s + p.Coeffs[i]
+	}
+	return acc
+}
+
+// Deriv returns the derivative polynomial.
+func (p Poly) Deriv() Poly {
+	if len(p.Coeffs) <= 1 {
+		return NewPoly(0)
+	}
+	d := make([]complex128, len(p.Coeffs)-1)
+	for i := 1; i < len(p.Coeffs); i++ {
+		d[i-1] = p.Coeffs[i] * complex(float64(i), 0)
+	}
+	return NewPoly(d...)
+}
+
+// Mul returns p * q.
+func (p Poly) Mul(q Poly) Poly {
+	out := make([]complex128, len(p.Coeffs)+len(q.Coeffs)-1)
+	for i, a := range p.Coeffs {
+		if a == 0 {
+			continue
+		}
+		for j, b := range q.Coeffs {
+			out[i+j] += a * b
+		}
+	}
+	return NewPoly(out...)
+}
+
+// FromRoots builds the monic polynomial with the given roots.
+func FromRoots(roots ...complex128) Poly {
+	p := NewPoly(1)
+	for _, r := range roots {
+		p = p.Mul(NewPoly(-r, 1))
+	}
+	return p
+}
+
+// Roots finds all roots by Aberth-Ehrlich iteration. It returns an error if
+// the iteration fails to converge.
+func (p Poly) Roots() ([]complex128, error) {
+	q := p
+	q.trim()
+	n := q.Degree()
+	if n <= 0 {
+		return nil, nil
+	}
+	// Normalize to monic.
+	lead := q.Coeffs[n]
+	if lead == 0 {
+		return nil, fmt.Errorf("ratfn: zero leading coefficient")
+	}
+	c := make([]complex128, n+1)
+	for i := range c {
+		c[i] = q.Coeffs[i] / lead
+	}
+	mon := Poly{Coeffs: c}
+	der := mon.Deriv()
+
+	// Initial guesses: points on a circle with radius from the Cauchy bound,
+	// slightly perturbed off any symmetry axis.
+	rad := 0.0
+	for i := 0; i < n; i++ {
+		if a := cmplx.Abs(c[i]); a > rad {
+			rad = a
+		}
+	}
+	rad = 1 + rad
+	roots := make([]complex128, n)
+	for i := range roots {
+		ang := 2*math.Pi*float64(i)/float64(n) + 0.4
+		roots[i] = cmplx.Rect(rad*(0.5+0.5*float64(i+1)/float64(n)), ang)
+	}
+
+	const maxIter = 500
+	for iter := 0; iter < maxIter; iter++ {
+		maxStep := 0.0
+		for i := range roots {
+			pz := mon.Eval(roots[i])
+			dz := der.Eval(roots[i])
+			if pz == 0 {
+				continue
+			}
+			newton := pz / dz
+			sum := complex(0, 0)
+			for j := range roots {
+				if j != i {
+					sum += 1 / (roots[i] - roots[j])
+				}
+			}
+			denom := 1 - newton*sum
+			var step complex128
+			if denom == 0 {
+				step = newton
+			} else {
+				step = newton / denom
+			}
+			roots[i] -= step
+			if a := cmplx.Abs(step); a > maxStep {
+				maxStep = a
+			}
+		}
+		scale := 1 + rad
+		if maxStep < 1e-14*scale {
+			return roots, nil
+		}
+	}
+	// Accept if residuals are small even without step convergence.
+	for _, r := range roots {
+		if cmplx.Abs(mon.Eval(r)) > 1e-8*(1+math.Pow(cmplx.Abs(r), float64(n))) {
+			return roots, fmt.Errorf("ratfn: root finding did not converge")
+		}
+	}
+	return roots, nil
+}
+
+// String renders the polynomial for debugging.
+func (p Poly) String() string {
+	s := ""
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		if p.Coeffs[i] == 0 && len(p.Coeffs) > 1 {
+			continue
+		}
+		if s != "" {
+			s += " + "
+		}
+		s += fmt.Sprintf("(%v)s^%d", p.Coeffs[i], i)
+	}
+	if s == "" {
+		s = "0"
+	}
+	return s
+}

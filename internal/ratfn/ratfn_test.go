@@ -1,0 +1,255 @@
+package ratfn
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolyEval(t *testing.T) {
+	// p(s) = 1 + 2s + 3s^2 at s=2 -> 1+4+12 = 17
+	p := NewPolyReal(1, 2, 3)
+	if got := p.Eval(2); got != 17 {
+		t.Errorf("Eval = %v, want 17", got)
+	}
+	if p.Degree() != 2 {
+		t.Errorf("Degree = %d", p.Degree())
+	}
+}
+
+func TestPolyTrim(t *testing.T) {
+	p := NewPolyReal(1, 0, 0)
+	if p.Degree() != 0 {
+		t.Errorf("trailing zeros should trim, degree = %d", p.Degree())
+	}
+}
+
+func TestPolyDeriv(t *testing.T) {
+	// d/ds (1 + 2s + 3s^2) = 2 + 6s
+	d := NewPolyReal(1, 2, 3).Deriv()
+	if d.Eval(1) != 8 {
+		t.Errorf("Deriv eval = %v, want 8", d.Eval(1))
+	}
+}
+
+func TestPolyMul(t *testing.T) {
+	// (1+s)(1-s) = 1 - s^2
+	p := NewPolyReal(1, 1).Mul(NewPolyReal(1, -1))
+	want := NewPolyReal(1, 0, -1)
+	for i := range want.Coeffs {
+		if p.Coeffs[i] != want.Coeffs[i] {
+			t.Errorf("coeff %d = %v", i, p.Coeffs[i])
+		}
+	}
+}
+
+func TestRootsQuadratic(t *testing.T) {
+	// s^2 + 2s + 5 -> roots -1 +/- 2i
+	p := NewPolyReal(5, 2, 1)
+	roots, err := p.Roots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 2 {
+		t.Fatalf("got %d roots", len(roots))
+	}
+	sort.Slice(roots, func(i, j int) bool { return imag(roots[i]) < imag(roots[j]) })
+	if cmplx.Abs(roots[0]-complex(-1, -2)) > 1e-9 || cmplx.Abs(roots[1]-complex(-1, 2)) > 1e-9 {
+		t.Errorf("roots = %v", roots)
+	}
+}
+
+func TestRootsFromRootsRoundTrip(t *testing.T) {
+	want := []complex128{complex(-1, 0), complex(-2, 3), complex(-2, -3), complex(-10, 0)}
+	p := FromRoots(want...)
+	got, err := p.Roots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d roots", len(got))
+	}
+	for _, w := range want {
+		best := math.Inf(1)
+		for _, g := range got {
+			if d := cmplx.Abs(g - w); d < best {
+				best = d
+			}
+		}
+		if best > 1e-7 {
+			t.Errorf("root %v not recovered (closest %g away)", w, best)
+		}
+	}
+}
+
+func TestRootsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		roots := make([]complex128, 0, n)
+		for len(roots) < n {
+			// Random roots spread in the left half plane, separated.
+			re := -0.1 - 3*r.Float64()
+			im := 3 * r.NormFloat64()
+			roots = append(roots, complex(re, im))
+		}
+		p := FromRoots(roots...)
+		got, err := p.Roots()
+		if err != nil {
+			return false
+		}
+		for _, w := range roots {
+			best := math.Inf(1)
+			for _, g := range got {
+				if d := cmplx.Abs(g - w); d < best {
+					best = d
+				}
+			}
+			if best > 1e-5*(1+cmplx.Abs(w)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSecondOrderTF(t *testing.T) {
+	tf := SecondOrder(0.5, 1)
+	// DC gain 1.
+	if math.Abs(tf.MagAt(1e-6)-1) > 1e-4 {
+		t.Errorf("DC gain = %g", tf.MagAt(1e-6))
+	}
+	// Pole pair at wn=1, zeta=0.5.
+	wn, z := tf.ComplexPolePairs(1e-9)
+	if len(wn) != 1 {
+		t.Fatalf("pairs = %d", len(wn))
+	}
+	if math.Abs(wn[0]-1) > 1e-12 || math.Abs(z[0]-0.5) > 1e-12 {
+		t.Errorf("wn=%g zeta=%g", wn[0], z[0])
+	}
+}
+
+func TestSecondOrderOverdamped(t *testing.T) {
+	tf := SecondOrder(2, 10)
+	wn, _ := tf.ComplexPolePairs(1e-9)
+	if len(wn) != 0 {
+		t.Error("overdamped system should have no complex pairs")
+	}
+	// Both poles real, product = wn^2 = 100.
+	prod := real(tf.Poles[0]) * real(tf.Poles[1])
+	if math.Abs(prod-100) > 1e-9 {
+		t.Errorf("pole product = %g", prod)
+	}
+}
+
+func TestLogLogSecondDerivMatchesSOS(t *testing.T) {
+	// The TF-based closed form must equal -1/zeta^2 at w = wn.
+	for _, z := range []float64{0.1, 0.3, 0.5, 0.8} {
+		tf := SecondOrder(z, 1)
+		got := tf.LogLogSecondDeriv(1)
+		want := -1 / (z * z)
+		if math.Abs(got-want) > 1e-9*math.Abs(want) {
+			t.Errorf("zeta=%g: P(1) = %g, want %g", z, got, want)
+		}
+	}
+}
+
+func TestLogLogSecondDerivRealPole(t *testing.T) {
+	// Single real pole at -1: P has minimum -0.5 at w=1.
+	tf := NewTF(1, nil, []complex128{-1})
+	if got := tf.LogLogSecondDeriv(1); math.Abs(got-(-0.5)) > 1e-12 {
+		t.Errorf("P(1) = %g, want -0.5", got)
+	}
+	// Far away it tends to zero.
+	if got := tf.LogLogSecondDeriv(1e4); math.Abs(got) > 1e-3 {
+		t.Errorf("P(inf) = %g", got)
+	}
+}
+
+// Property: P is additive over products of transfer functions
+// (ln|T1 T2| = ln|T1| + ln|T2|).
+func TestLogLogSecondDerivAdditiveQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() TF {
+			z := 0.1 + 0.8*r.Float64()
+			wn := math.Pow(10, 3*r.Float64())
+			return SecondOrder(z, wn)
+		}
+		t1, t2 := mk(), mk()
+		prod := t1.Mul(t2)
+		for _, w := range []float64{0.5, 1, 5, 50, 500} {
+			sum := t1.LogLogSecondDeriv(w) + t2.LogLogSecondDeriv(w)
+			got := prod.LogLogSecondDeriv(w)
+			if math.Abs(got-sum) > 1e-9*(1+math.Abs(sum)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogLogSecondDerivNumericQuick(t *testing.T) {
+	// Closed form agrees with finite differences for random pole/zero sets.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var zeros, poles []complex128
+		for i := 0; i < 1+r.Intn(3); i++ {
+			re := -0.2 - 5*r.Float64()
+			im := 5 * r.NormFloat64()
+			poles = append(poles, complex(re, im), complex(re, -im))
+		}
+		if r.Intn(2) == 0 {
+			zeros = append(zeros, complex(-1-r.Float64()*5, 0))
+		}
+		tf := NewTF(1, zeros, poles)
+		h := 1e-4
+		for _, w := range []float64{0.5, 1.7, 4.2} {
+			u := math.Log(w)
+			l := func(u float64) float64 { return math.Log(tf.MagAt(math.Exp(u))) }
+			numd := (l(u+h) - 2*l(u) + l(u-h)) / (h * h)
+			got := tf.LogLogSecondDeriv(w)
+			if math.Abs(got-numd) > 1e-3*(1+math.Abs(numd)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAsPolys(t *testing.T) {
+	tf := NewTF(2, []complex128{-1}, []complex128{-2, -3})
+	numP, den := tf.AsPolys()
+	// num = 2(s+1), den = (s+2)(s+3)
+	if cmplx.Abs(numP.Eval(0)-2) > 1e-12 || cmplx.Abs(den.Eval(0)-6) > 1e-12 {
+		t.Errorf("num(0)=%v den(0)=%v", numP.Eval(0), den.Eval(0))
+	}
+	// Consistency with Eval.
+	s := complex(0.3, 1.2)
+	if cmplx.Abs(tf.Eval(s)-numP.Eval(s)/den.Eval(s)) > 1e-12 {
+		t.Error("AsPolys inconsistent with Eval")
+	}
+}
+
+func TestComplexPolePairsSorted(t *testing.T) {
+	tf := NewTF(1, nil, []complex128{
+		complex(-1, 100), complex(-1, -100),
+		complex(-0.5, 3), complex(-0.5, -3),
+	})
+	wn, _ := tf.ComplexPolePairs(1e-9)
+	if len(wn) != 2 || wn[0] > wn[1] {
+		t.Errorf("pairs not sorted: %v", wn)
+	}
+}

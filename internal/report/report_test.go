@@ -1,0 +1,165 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"acstab/internal/circuits"
+	"acstab/internal/tool"
+)
+
+func table2Report(t *testing.T) (*tool.Tool, *tool.Report) {
+	t.Helper()
+	tl, err := tool.New(circuits.FullCircuit(), tool.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tl.AllNodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl, rep
+}
+
+func TestTextReportShape(t *testing.T) {
+	_, rep := table2Report(t)
+	var buf bytes.Buffer
+	if err := Text(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Loop headers sorted by frequency with the main loop first.
+	first := strings.Index(out, "Loop at ")
+	if first < 0 {
+		t.Fatal("no loop headers")
+	}
+	for _, want := range []string{"output", "net052", "net136", "net138", "net99",
+		"net81", "net056", "net013", "net75", "net066"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing node %s", want)
+		}
+	}
+	if !strings.Contains(out, "phase margin") {
+		t.Error("report missing phase margin estimate")
+	}
+	// The paper's E-notation frequencies.
+	if !strings.Contains(out, "E+06") {
+		t.Errorf("frequencies not in E notation:\n%s", out)
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestTextReportNotices(t *testing.T) {
+	// net17/net16 style shallow peaks must carry the min/max notice
+	// somewhere in the bias report.
+	tl, err := tool.New(circuits.BiasCircuit(circuits.BiasDefaults()), tool.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tl.AllNodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Text(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "notice:") {
+		t.Errorf("expected special-case notices in:\n%s", buf.String())
+	}
+}
+
+func TestCSVReport(t *testing.T) {
+	_, rep := table2Report(t)
+	var buf bytes.Buffer
+	if err := CSV(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(rep.Nodes)+1 {
+		t.Errorf("rows = %d, want %d", len(rows), len(rep.Nodes)+1)
+	}
+	if rows[0][0] != "node" || len(rows[0]) != 10 {
+		t.Errorf("header = %v", rows[0])
+	}
+	// Find the output row: it must carry a loop id and negative peak.
+	found := false
+	for _, r := range rows[1:] {
+		if r[0] == "output" {
+			found = true
+			if r[1] == "" || !strings.HasPrefix(r[3], "-") {
+				t.Errorf("output row = %v", r)
+			}
+		}
+	}
+	if !found {
+		t.Error("output row missing")
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	_, rep := table2Report(t)
+	var buf bytes.Buffer
+	if err := JSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Circuit string `json:"circuit"`
+		Loops   []struct {
+			FreqHz float64  `json:"freq_hz"`
+			Nodes  []string `json:"nodes"`
+		} `json:"loops"`
+		Nodes []struct {
+			Node string `json:"node"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("bad json: %v", err)
+	}
+	if len(doc.Loops) < 2 || len(doc.Nodes) == 0 {
+		t.Errorf("loops=%d nodes=%d", len(doc.Loops), len(doc.Nodes))
+	}
+	if doc.Loops[0].FreqHz > doc.Loops[len(doc.Loops)-1].FreqHz {
+		t.Error("loops not sorted")
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	tl, rep := table2Report(t)
+	var buf bytes.Buffer
+	if err := Annotate(&buf, tl.Flat, rep); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "* node output") {
+		t.Errorf("missing annotation for output:\n%s", out)
+	}
+	if !strings.Contains(out, ".end") {
+		t.Error("netlist body missing")
+	}
+}
+
+func TestDiagnostic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Diagnostic(&buf, "test ckt", tool.DefaultOptions(), errors.New("boom")); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "FAILED") || !strings.Contains(out, "boom") {
+		t.Errorf("diagnostic:\n%s", out)
+	}
+	buf.Reset()
+	if err := Diagnostic(&buf, "test ckt", tool.DefaultOptions(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "status: ok") {
+		t.Error("success diagnostic wrong")
+	}
+}

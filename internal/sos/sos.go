@@ -1,0 +1,185 @@
+// Package sos provides the closed-form second-order-system relationships
+// used throughout the paper (its Table 1): damping ratio vs. transient
+// overshoot, phase margin, frequency-response peak magnitude, and the
+// stability-plot performance index P(wn) = -1/zeta^2 (paper Eq. 1.4).
+//
+// Source relationships follow Dorf & Bishop, "Modern Control Systems"
+// (paper reference [1]).
+package sos
+
+import "math"
+
+// PerformanceIndex returns the stability-plot value at the natural
+// frequency for damping ratio zeta: P(wn) = -1/zeta^2. For zeta = 0 it
+// returns -Inf, matching the last row of the paper's Table 1.
+func PerformanceIndex(zeta float64) float64 {
+	if zeta == 0 {
+		return math.Inf(-1)
+	}
+	return -1 / (zeta * zeta)
+}
+
+// ZetaFromIndex inverts PerformanceIndex: given a (negative) stability-plot
+// peak value, it returns the implied damping ratio. Non-negative peaks
+// return NaN (no resonance).
+func ZetaFromIndex(p float64) float64 {
+	if p >= 0 {
+		return math.NaN()
+	}
+	return 1 / math.Sqrt(-p)
+}
+
+// Overshoot returns the percent overshoot of the unit-step response of a
+// standard second-order system: 100*exp(-pi*zeta/sqrt(1-zeta^2)).
+// For zeta >= 1 the response is non-oscillatory and overshoot is 0; for
+// zeta = 0 it is 100.
+func Overshoot(zeta float64) float64 {
+	if zeta >= 1 {
+		return 0
+	}
+	if zeta <= 0 {
+		return 100
+	}
+	return 100 * math.Exp(-math.Pi*zeta/math.Sqrt(1-zeta*zeta))
+}
+
+// ZetaFromOvershoot inverts Overshoot for 0 < os < 100 (percent).
+func ZetaFromOvershoot(os float64) float64 {
+	if os <= 0 {
+		return 1
+	}
+	if os >= 100 {
+		return 0
+	}
+	l := math.Log(os / 100)
+	return -l / math.Sqrt(math.Pi*math.Pi+l*l)
+}
+
+// PhaseMargin returns the phase margin in degrees of the canonical
+// second-order loop G(s) = wn^2/(s(s+2 zeta wn)) closed with unity
+// feedback:
+//
+//	PM = atan( 2 zeta / sqrt( sqrt(1+4 zeta^4) - 2 zeta^2 ) )
+//
+// This is the mapping used by the paper's Table 1 (e.g. zeta=0.5 -> ~51.8,
+// tabulated as 50). For zeta = 0 it returns 0.
+func PhaseMargin(zeta float64) float64 {
+	if zeta <= 0 {
+		return 0
+	}
+	inner := math.Sqrt(1+4*math.Pow(zeta, 4)) - 2*zeta*zeta
+	if inner <= 0 {
+		return 90
+	}
+	return math.Atan(2*zeta/math.Sqrt(inner)) * 180 / math.Pi
+}
+
+// ZetaFromPhaseMargin numerically inverts PhaseMargin (degrees in (0,90)).
+func ZetaFromPhaseMargin(pmDeg float64) float64 {
+	if pmDeg <= 0 {
+		return 0
+	}
+	lo, hi := 0.0, 2.0
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if PhaseMargin(mid) < pmDeg {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// PeakMagnitude returns the maximum of |T(jw)| for the standard
+// second-order low-pass with unit DC gain: Mp = 1/(2 zeta sqrt(1-zeta^2))
+// for zeta < 1/sqrt(2); for larger zeta there is no peak and it returns 1.
+// For zeta = 0 it returns +Inf.
+func PeakMagnitude(zeta float64) float64 {
+	if zeta <= 0 {
+		return math.Inf(1)
+	}
+	if zeta >= math.Sqrt2/2 {
+		return 1
+	}
+	return 1 / (2 * zeta * math.Sqrt(1-zeta*zeta))
+}
+
+// ResonantFrequency returns the frequency (as a fraction of wn) at which
+// |T(jw)| peaks: wr/wn = sqrt(1-2 zeta^2) for zeta < 1/sqrt(2), else 0.
+func ResonantFrequency(zeta float64) float64 {
+	if zeta >= math.Sqrt2/2 {
+		return 0
+	}
+	return math.Sqrt(1 - 2*zeta*zeta)
+}
+
+// Magnitude returns |T(jw)| of the normalized second-order system (wn = 1)
+// at normalized frequency w: 1/sqrt((1-w^2)^2 + (2 zeta w)^2). Paper
+// Eq. (1.2).
+func Magnitude(zeta, w float64) float64 {
+	a := 1 - w*w
+	b := 2 * zeta * w
+	return 1 / math.Sqrt(a*a+b*b)
+}
+
+// StabilityPlot returns the exact stability-plot function
+// P(w) = d^2 ln|T| / d(ln w)^2 of the normalized second-order system at
+// normalized frequency w (analytic differentiation of Eq. 1.2).
+func StabilityPlot(zeta, w float64) float64 {
+	// f(w) = (1-w^2)^2 + 4 z^2 w^2 ; ln|T| = -0.5 ln f
+	// P = -0.5 * w d/dw ( w f'/f )
+	f := (1-w*w)*(1-w*w) + 4*zeta*zeta*w*w
+	if f == 0 {
+		return math.Inf(-1)
+	}
+	fp := -4*w*(1-w*w) + 8*zeta*zeta*w
+	fpp := -4 + 12*w*w + 8*zeta*zeta
+	// d/dw (w f'/f) = f'/f + w f''/f - w (f')^2/f^2
+	return -0.5 * w * (fp/f + w*fpp/f - w*fp*fp/(f*f))
+}
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row struct {
+	Zeta             float64
+	OvershootPct     float64 // time domain
+	PhaseMarginDeg   float64 // frequency domain (NaN where paper prints "-")
+	PeakMagnitude    float64 // frequency domain (NaN where paper prints "-")
+	PerformanceIndex float64 // stability plot peak
+}
+
+// PaperTable1 returns the paper's Table 1 exactly as printed (including the
+// rounding the authors applied and the "-" cells encoded as NaN).
+func PaperTable1() []Table1Row {
+	nan := math.NaN()
+	return []Table1Row{
+		{1.0, 0, nan, nan, -1.0},
+		{0.9, 0, nan, nan, -1.2},
+		{0.8, 2, nan, nan, -1.6},
+		{0.7, 5, 70, 1.01, -2.0},
+		{0.6, 10, 60, 1.04, -2.8},
+		{0.5, 16, 50, 1.15, -4.0},
+		{0.4, 25, 40, 1.4, -6.3},
+		{0.3, 37, 30, 1.8, -11},
+		{0.2, 53, 20, 2.6, -25},
+		{0.1, 73, 10, 5.0, -100},
+		{0.0, 100, 0, math.Inf(1), math.Inf(-1)},
+	}
+}
+
+// ComputedTable1 regenerates Table 1 from the closed forms for the same
+// zeta values as the paper.
+func ComputedTable1() []Table1Row {
+	zetas := []float64{1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1, 0.0}
+	rows := make([]Table1Row, len(zetas))
+	for i, z := range zetas {
+		rows[i] = Table1Row{
+			Zeta:             z,
+			OvershootPct:     Overshoot(z),
+			PhaseMarginDeg:   PhaseMargin(z),
+			PeakMagnitude:    PeakMagnitude(z),
+			PerformanceIndex: PerformanceIndex(z),
+		}
+	}
+	return rows
+}

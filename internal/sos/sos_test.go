@@ -1,0 +1,248 @@
+package sos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"acstab/internal/num"
+)
+
+func TestPerformanceIndexTable1(t *testing.T) {
+	// Paper Table 1, performance index column: P = -1/zeta^2.
+	cases := []struct{ zeta, want, tol float64 }{
+		{1.0, -1.0, 0.01},
+		{0.9, -1.2, 0.05}, // paper rounds 1.235 to 1.2
+		{0.8, -1.6, 0.05}, // 1.5625
+		{0.7, -2.0, 0.05}, // 2.041
+		{0.6, -2.8, 0.05}, // 2.778
+		{0.5, -4.0, 0.01},
+		{0.4, -6.3, 0.01}, // 6.25
+		{0.3, -11, 0.02},  // 11.1
+		{0.2, -25, 0.01},
+		{0.1, -100, 0.01},
+	}
+	for _, c := range cases {
+		got := PerformanceIndex(c.zeta)
+		if math.Abs(got-c.want) > c.tol*math.Abs(c.want) {
+			t.Errorf("PerformanceIndex(%g) = %g, want ~%g", c.zeta, got, c.want)
+		}
+	}
+	if !math.IsInf(PerformanceIndex(0), -1) {
+		t.Error("PerformanceIndex(0) should be -Inf")
+	}
+}
+
+func TestOvershootTable1(t *testing.T) {
+	cases := []struct{ zeta, want, tol float64 }{
+		{0.9, 0, 0.25},
+		{0.8, 2, 0.7},
+		{0.7, 5, 0.7},
+		{0.6, 10, 1},
+		{0.5, 16, 1},
+		{0.4, 25, 1},
+		{0.3, 37, 1},
+		{0.2, 53, 1},
+		{0.1, 73, 1},
+	}
+	for _, c := range cases {
+		got := Overshoot(c.zeta)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("Overshoot(%g) = %g, want ~%g", c.zeta, got, c.want)
+		}
+	}
+	if Overshoot(1) != 0 || Overshoot(1.5) != 0 {
+		t.Error("no overshoot for zeta >= 1")
+	}
+	if Overshoot(0) != 100 {
+		t.Error("Overshoot(0) = 100")
+	}
+}
+
+func TestPhaseMarginTable1(t *testing.T) {
+	// Paper tabulates PM to coarse precision (e.g. 0.5 -> 50 though the
+	// exact value is 51.8). Allow the paper's rounding.
+	cases := []struct{ zeta, want, tol float64 }{
+		{0.7, 70, 5},
+		{0.6, 60, 5},
+		{0.5, 50, 5},
+		{0.4, 40, 5},
+		{0.3, 30, 5},
+		{0.2, 20, 5},
+		{0.1, 10, 5},
+	}
+	for _, c := range cases {
+		got := PhaseMargin(c.zeta)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("PhaseMargin(%g) = %g, want ~%g", c.zeta, got, c.want)
+		}
+	}
+	if PhaseMargin(0) != 0 {
+		t.Error("PhaseMargin(0) = 0")
+	}
+}
+
+func TestPhaseMarginApprox100Zeta(t *testing.T) {
+	// Classic rule of thumb: PM ~ 100*zeta for zeta <= 0.6.
+	for _, z := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6} {
+		pm := PhaseMargin(z)
+		if math.Abs(pm-100*z) > 7 {
+			t.Errorf("PM(%g) = %g deviates from 100*zeta", z, pm)
+		}
+	}
+}
+
+func TestPeakMagnitudeTable1(t *testing.T) {
+	cases := []struct{ zeta, want, tol float64 }{
+		{0.7, 1.01, 0.02},
+		{0.6, 1.04, 0.02},
+		{0.5, 1.15, 0.01},
+		{0.4, 1.4, 0.05},
+		{0.3, 1.8, 0.06},
+		{0.2, 2.6, 0.06},
+		{0.1, 5.0, 0.05},
+	}
+	for _, c := range cases {
+		got := PeakMagnitude(c.zeta)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("PeakMagnitude(%g) = %g, want ~%g", c.zeta, got, c.want)
+		}
+	}
+	if PeakMagnitude(0.8) != 1 {
+		t.Error("no peak above 1/sqrt2")
+	}
+	if !math.IsInf(PeakMagnitude(0), 1) {
+		t.Error("PeakMagnitude(0) = +Inf")
+	}
+}
+
+func TestStabilityPlotAtNaturalFrequency(t *testing.T) {
+	// Paper Eq. (1.4): P(wn) = -1/zeta^2 exactly at w = 1.
+	for _, z := range []float64{0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0} {
+		got := StabilityPlot(z, 1)
+		want := -1 / (z * z)
+		if !num.ApproxEqual(got, want, 1e-9, 0) {
+			t.Errorf("StabilityPlot(%g, 1) = %g, want %g", z, got, want)
+		}
+	}
+}
+
+func TestStabilityPlotMatchesNumericalDerivative(t *testing.T) {
+	// The closed form must agree with a finite-difference second derivative
+	// of ln Magnitude in ln w.
+	h := 1e-4
+	for _, z := range []float64{0.2, 0.5, 0.8} {
+		for _, w := range []float64{0.3, 0.7, 1.0, 1.4, 3.0} {
+			u := math.Log(w)
+			l := func(u float64) float64 { return math.Log(Magnitude(z, math.Exp(u))) }
+			numd := (l(u+h) - 2*l(u) + l(u-h)) / (h * h)
+			got := StabilityPlot(z, w)
+			if math.Abs(got-numd) > 1e-3*(1+math.Abs(numd)) {
+				t.Errorf("z=%g w=%g: closed form %g vs numeric %g", z, w, got, numd)
+			}
+		}
+	}
+}
+
+func TestStabilityPlotAsymptotes(t *testing.T) {
+	// Far below and far above the resonance P -> 0 (log-log slope constant).
+	for _, z := range []float64{0.2, 0.6} {
+		if p := StabilityPlot(z, 1e-3); math.Abs(p) > 1e-2 {
+			t.Errorf("P at low freq = %g, want ~0", p)
+		}
+		if p := StabilityPlot(z, 1e3); math.Abs(p) > 1e-2 {
+			t.Errorf("P at high freq = %g, want ~0", p)
+		}
+	}
+}
+
+func TestInverses(t *testing.T) {
+	for _, z := range []float64{0.1, 0.3, 0.5, 0.7} {
+		if got := ZetaFromIndex(PerformanceIndex(z)); !num.ApproxEqual(got, z, 1e-9, 0) {
+			t.Errorf("ZetaFromIndex round trip: %g -> %g", z, got)
+		}
+		if got := ZetaFromOvershoot(Overshoot(z)); !num.ApproxEqual(got, z, 1e-6, 0) {
+			t.Errorf("ZetaFromOvershoot round trip: %g -> %g", z, got)
+		}
+		if got := ZetaFromPhaseMargin(PhaseMargin(z)); !num.ApproxEqual(got, z, 1e-6, 0) {
+			t.Errorf("ZetaFromPhaseMargin round trip: %g -> %g", z, got)
+		}
+	}
+	if !math.IsNaN(ZetaFromIndex(1)) {
+		t.Error("positive peak has no damping ratio")
+	}
+}
+
+func TestInversesQuick(t *testing.T) {
+	f := func(raw float64) bool {
+		z := 0.05 + math.Mod(math.Abs(raw), 0.9) // zeta in (0.05, 0.95)
+		ok := num.ApproxEqual(ZetaFromIndex(PerformanceIndex(z)), z, 1e-9, 0)
+		ok = ok && num.ApproxEqual(ZetaFromOvershoot(Overshoot(z)), z, 1e-6, 0)
+		ok = ok && num.ApproxEqual(ZetaFromPhaseMargin(PhaseMargin(z)), z, 1e-6, 0)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	// Overshoot decreases with zeta; PM increases; |index| decreases.
+	prev := 101.0
+	for z := 0.05; z < 1; z += 0.05 {
+		os := Overshoot(z)
+		if os >= prev {
+			t.Fatalf("overshoot not decreasing at zeta=%g", z)
+		}
+		prev = os
+	}
+	prevPM := -1.0
+	for z := 0.05; z < 1; z += 0.05 {
+		pm := PhaseMargin(z)
+		if pm <= prevPM {
+			t.Fatalf("PM not increasing at zeta=%g", z)
+		}
+		prevPM = pm
+	}
+}
+
+func TestResonantFrequency(t *testing.T) {
+	// Magnitude peaks at wr: check by sampling.
+	for _, z := range []float64{0.1, 0.3, 0.5} {
+		wr := ResonantFrequency(z)
+		m0 := Magnitude(z, wr)
+		if Magnitude(z, wr*1.02) >= m0 || Magnitude(z, wr*0.98) >= m0 {
+			t.Errorf("magnitude not peaked at wr for zeta=%g", z)
+		}
+	}
+	if ResonantFrequency(0.9) != 0 {
+		t.Error("no resonant peak above 1/sqrt2")
+	}
+}
+
+func TestPaperVsComputedTable1(t *testing.T) {
+	paper := PaperTable1()
+	comp := ComputedTable1()
+	if len(paper) != len(comp) {
+		t.Fatal("row count mismatch")
+	}
+	for i := range paper {
+		p, c := paper[i], comp[i]
+		if p.Zeta != c.Zeta {
+			t.Fatalf("zeta mismatch row %d", i)
+		}
+		// Overshoot within 1.5 percentage points of the paper's rounding.
+		if math.Abs(p.OvershootPct-c.OvershootPct) > 1.5 {
+			t.Errorf("row %d overshoot: paper %g vs computed %g", i, p.OvershootPct, c.OvershootPct)
+		}
+		// Index within 5%.
+		if !math.IsInf(p.PerformanceIndex, -1) {
+			if math.Abs(p.PerformanceIndex-c.PerformanceIndex) > 0.05*math.Abs(p.PerformanceIndex) {
+				t.Errorf("row %d index: paper %g vs computed %g", i, p.PerformanceIndex, c.PerformanceIndex)
+			}
+		} else if !math.IsInf(c.PerformanceIndex, -1) {
+			t.Errorf("row %d index should be -Inf", i)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package sparse
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"acstab/internal/linalg"
+)
+
+func TestSolveKnown(t *testing.T) {
+	// [2 1; 1 3] x = [3; 5] -> x = [0.8, 1.4]
+	m := New(2)
+	m.Add(0, 0, 2)
+	m.Add(0, 1, 1)
+	m.Add(1, 0, 1)
+	m.Add(1, 1, 3)
+	x, err := Solve(m, []complex128{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(x[0]-0.8) > 1e-12 || cmplx.Abs(x[1]-1.4) > 1e-12 {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	m := New(2)
+	m.Add(0, 0, 1)
+	m.Add(0, 0, complex(2, 1))
+	if m.At(0, 0) != complex(3, 1) {
+		t.Errorf("At(0,0) = %v", m.At(0, 0))
+	}
+	if m.NNZ() != 1 {
+		t.Errorf("NNZ = %d, want 1", m.NNZ())
+	}
+	m.Add(1, 1, 0) // zero adds are dropped
+	if m.NNZ() != 1 {
+		t.Errorf("NNZ after zero add = %d", m.NNZ())
+	}
+}
+
+func TestPivotingZeroDiagonal(t *testing.T) {
+	// MNA-like pattern with a zero diagonal (ideal source branch).
+	m := New(3)
+	m.Add(0, 0, 1e-3)
+	m.Add(0, 2, 1)
+	m.Add(1, 1, 2e-3)
+	m.Add(1, 2, -1)
+	m.Add(2, 0, 1)
+	m.Add(2, 1, -1)
+	// a[2][2] = 0
+	b := []complex128{0, 0, 5}
+	mc := m.Clone()
+	x, err := Solve(m, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax := mc.MulVec(x)
+	for i := range b {
+		if cmplx.Abs(ax[i]-b[i]) > 1e-9 {
+			t.Fatalf("residual %g at %d", cmplx.Abs(ax[i]-b[i]), i)
+		}
+	}
+}
+
+func TestSingular(t *testing.T) {
+	m := New(2)
+	m.Add(0, 0, 1)
+	m.Add(1, 0, 2)
+	if _, err := Solve(m, []complex128{1, 1}); err == nil {
+		t.Fatal("expected singular")
+	}
+}
+
+func TestEmptyMatrixSingular(t *testing.T) {
+	m := New(3)
+	if _, err := Solve(m, []complex128{1, 1, 1}); err == nil {
+		t.Fatal("expected singular")
+	}
+}
+
+// Property: sparse solve agrees with dense solve on random sparse
+// diagonally dominant systems.
+func TestAgreesWithDenseQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(25)
+		sm := New(n)
+		dm := linalg.NewCMatrix(n)
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			// A few off-diagonal entries per row.
+			k := 1 + r.Intn(4)
+			for t := 0; t < k; t++ {
+				j := r.Intn(n)
+				if j == i {
+					continue
+				}
+				v := complex(r.NormFloat64(), r.NormFloat64())
+				sm.Add(i, j, v)
+				dm.Add(i, j, v)
+				sum += cmplx.Abs(v)
+			}
+			d := complex(sum+1+r.Float64(), r.NormFloat64())
+			sm.Add(i, i, d)
+			dm.Add(i, i, d)
+		}
+		b := make([]complex128, n)
+		for i := range b {
+			b[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		xs, err := Solve(sm, b)
+		if err != nil {
+			return false
+		}
+		xd, err := linalg.CSolveDense(dm, b)
+		if err != nil {
+			return false
+		}
+		for i := range xs {
+			if cmplx.Abs(xs[i]-xd[i]) > 1e-8*(1+cmplx.Abs(xd[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFactorReuseMultiRHS(t *testing.T) {
+	n := 10
+	r := rand.New(rand.NewSource(5))
+	m := New(n)
+	for i := 0; i < n; i++ {
+		m.Add(i, i, complex(5+r.Float64(), r.NormFloat64()))
+		j := (i + 1) % n
+		m.Add(i, j, complex(r.NormFloat64(), 0))
+	}
+	orig := m.Clone()
+	f, err := Factor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < n; k++ {
+		b := make([]complex128, n)
+		b[k] = 1
+		x, err := f.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ax := orig.MulVec(x)
+		for i := range ax {
+			want := complex(0, 0)
+			if i == k {
+				want = 1
+			}
+			if cmplx.Abs(ax[i]-want) > 1e-10 {
+				t.Fatalf("rhs %d residual %g", k, cmplx.Abs(ax[i]-want))
+			}
+		}
+	}
+	if f.FillIn() <= 0 {
+		t.Error("FillIn should be positive")
+	}
+}
+
+func TestTridiagonalLowFill(t *testing.T) {
+	// A tridiagonal system should factor with O(n) fill.
+	n := 200
+	m := New(n)
+	for i := 0; i < n; i++ {
+		m.Add(i, i, 4)
+		if i > 0 {
+			m.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			m.Add(i, i+1, -1)
+		}
+	}
+	f, err := Factor(m.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.FillIn() > 4*n {
+		t.Errorf("fill %d exceeds 4n = %d", f.FillIn(), 4*n)
+	}
+	b := make([]complex128, n)
+	for i := range b {
+		b[i] = 1
+	}
+	x, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax := m.MulVec(x)
+	for i := range ax {
+		if cmplx.Abs(ax[i]-1) > 1e-10 {
+			t.Fatalf("residual at %d", i)
+		}
+	}
+}
+
+func TestZeroPreservesStructure(t *testing.T) {
+	m := New(2)
+	m.Add(0, 1, 3)
+	m.Zero()
+	if m.NNZ() != 0 {
+		t.Error("Zero should clear entries")
+	}
+	m.Add(0, 1, 2)
+	if m.At(0, 1) != 2 {
+		t.Error("reuse after Zero failed")
+	}
+}
+
+func TestRHSLengthMismatch(t *testing.T) {
+	m := New(2)
+	m.Add(0, 0, 1)
+	m.Add(1, 1, 1)
+	f, err := Factor(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]complex128{1}); err == nil {
+		t.Error("expected error")
+	}
+}

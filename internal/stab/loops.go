@@ -1,0 +1,80 @@
+package stab
+
+import (
+	"math"
+	"sort"
+)
+
+// NodePeak associates a circuit node with its dominant stability peak.
+type NodePeak struct {
+	Node string
+	Peak Peak
+}
+
+// Loop is a group of nodes whose dominant peaks share a natural frequency:
+// the signature of one feedback loop seen from every node inside it. This
+// is the structure of the paper's Table 2 ("Loop at 3.3 MHz", ...).
+type Loop struct {
+	ID int
+	// Freq is the representative natural frequency (geometric mean of the
+	// members').
+	Freq float64
+	// WorstPeak is the deepest (most negative) member peak: the loop's
+	// performance index.
+	WorstPeak float64
+	// Zeta, PhaseMarginDeg, OvershootPct derive from WorstPeak.
+	Zeta           float64
+	PhaseMarginDeg float64
+	OvershootPct   float64
+	Nodes          []NodePeak
+}
+
+// ClusterLoops groups node peaks into loops by natural frequency using
+// single-linkage clustering in log frequency: two peaks join the same loop
+// when their frequencies agree within relTol (e.g. 0.12 = 12%). Groups are
+// returned sorted by frequency, nodes within a group sorted by name.
+func ClusterLoops(peaks []NodePeak, relTol float64) []Loop {
+	if relTol <= 0 {
+		relTol = 0.12
+	}
+	if len(peaks) == 0 {
+		return nil
+	}
+	sorted := append([]NodePeak(nil), peaks...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Peak.Freq < sorted[b].Peak.Freq })
+	gap := math.Log(1 + relTol)
+
+	var loops []Loop
+	start := 0
+	for i := 1; i <= len(sorted); i++ {
+		if i < len(sorted) &&
+			math.Log(sorted[i].Peak.Freq)-math.Log(sorted[i-1].Peak.Freq) <= gap {
+			continue
+		}
+		group := sorted[start:i]
+		loops = append(loops, makeLoop(group))
+		start = i
+	}
+	for i := range loops {
+		loops[i].ID = i + 1
+	}
+	return loops
+}
+
+func makeLoop(group []NodePeak) Loop {
+	l := Loop{WorstPeak: math.Inf(1)}
+	logSum := 0.0
+	for _, np := range group {
+		logSum += math.Log(np.Peak.Freq)
+		if np.Peak.Value < l.WorstPeak {
+			l.WorstPeak = np.Peak.Value
+			l.Zeta = np.Peak.Zeta
+			l.PhaseMarginDeg = np.Peak.PhaseMarginDeg
+			l.OvershootPct = np.Peak.OvershootPct
+		}
+	}
+	l.Freq = math.Exp(logSum / float64(len(group)))
+	l.Nodes = append(l.Nodes, group...)
+	sort.Slice(l.Nodes, func(a, b int) bool { return l.Nodes[a].Node < l.Nodes[b].Node })
+	return l
+}

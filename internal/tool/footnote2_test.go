@@ -1,0 +1,116 @@
+package tool
+
+import (
+	"math"
+	"testing"
+
+	"acstab/internal/analysis"
+	"acstab/internal/mna"
+	"acstab/internal/netlist"
+	"acstab/internal/num"
+)
+
+// TestZeroNearPoleSuppression demonstrates the paper's footnote 2: a
+// complex zero close to a complex pole suppresses the pole's stability-
+// plot peak, so the peak value alone understates the danger. The test
+// builds the situation deliberately, verifies the exact pole/zero
+// locations with the eigensolvers, and checks both the suppression and
+// the tell-tale positive (zero) peak next to the negative one.
+func TestZeroNearPoleSuppression(t *testing.T) {
+	// A resonant tank at ~1 MHz observed at node t, with a series-LC
+	// notch branch from t to ground tuned slightly higher: the
+	// driving-point impedance at t acquires a complex zero pair near the
+	// pole pair.
+	c := netlist.NewCircuit("footnote 2")
+	c.AddR("R1", "t", "0", 2e3)
+	c.AddL("L1", "t", "0", 25.33e-6)
+	c.AddC("C1", "t", "0", 1e-9)
+	// Lightly coupled series L2-C2 branch resonant at ~1.05 MHz: it plants
+	// a lightly damped zero pair between the two split pole pairs of the
+	// combined network (driving-point impedances interlace poles and
+	// zeros along the jw axis).
+	c.AddR("R2", "t", "n1", 100)
+	c.AddL("L2", "n1", "n2", 460e-6)
+	c.AddC("C2", "n2", "0", 0.05e-9)
+	// Probe source for the exact zero analysis of Z(t).
+	c.AddI("IPROBE", "0", "t", netlist.SourceSpec{})
+
+	flat, err := netlist.Flatten(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := mna.Compile(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := analysis.New(sys)
+	op, err := sim.OP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	poles, err := sim.Poles(op, 1e5, 1e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros, err := sim.TransferZeros(op, "IPROBE", "t", 1e5, 1e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pPairs := analysis.ComplexPolePairs(poles, 1e-6)
+	zPairs := analysis.ComplexPolePairs(zeros, 1e-6)
+	if len(pPairs) == 0 || len(zPairs) == 0 {
+		t.Fatalf("pole/zero pairs missing: %+v / %+v", poles, zeros)
+	}
+	// Find the pole with the zero closest (ratio-wise) to it.
+	var pw, zw *analysis.Pole
+	best := math.Inf(1)
+	for i := range pPairs {
+		for j := range zPairs {
+			r := math.Abs(math.Log(pPairs[i].FreqHz / zPairs[j].FreqHz))
+			if r < best {
+				best = r
+				pw, zw = &pPairs[i], &zPairs[j]
+			}
+		}
+	}
+	t.Logf("suppressed pole: fn=%.4g zeta=%.4g; nearby zero: fz=%.4g zeta=%.4g",
+		pw.FreqHz, pw.Zeta, zw.FreqHz, zw.Zeta)
+	if best > math.Log(1.6) {
+		t.Fatalf("test setup: zero not near pole (ratio %.2f)", math.Exp(best))
+	}
+
+	// Stability run at the node with the notch.
+	tl, err := New(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, err := tl.SingleNode("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullDepth := 1 / (pw.Zeta * pw.Zeta)
+	var measured float64
+	var positive bool
+	for _, p := range nr.Stab.Peaks {
+		if !p.IsZero && num.ApproxEqual(p.Freq, pw.FreqHz, 0.25, 0) {
+			measured = -p.Value
+		}
+		if p.IsZero && num.ApproxEqual(p.Freq, zw.FreqHz, 0.25, 0) {
+			positive = true
+		}
+	}
+	t.Logf("stability peak at t: %.2f vs unsuppressed -1/zeta^2 = %.2f", -measured, -fullDepth)
+	if measured == 0 {
+		t.Fatal("pole peak not detected at all")
+	}
+	// Footnote 2's caveat: the nearby zero suppresses the peak well below
+	// the true -1/zeta^2 of the pole...
+	if measured > 0.6*fullDepth {
+		t.Errorf("peak %.2f not suppressed (full depth %.2f)", measured, fullDepth)
+	}
+	// ...and the positive peak right next to it is the tell-tale the
+	// paper says to look for.
+	if !positive {
+		t.Error("no positive (zero) peak found near the pole")
+	}
+}

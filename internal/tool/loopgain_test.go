@@ -1,0 +1,104 @@
+package tool
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"acstab/internal/circuits"
+	"acstab/internal/netlist"
+	"acstab/internal/num"
+)
+
+func TestReturnRatioSimpleLoop(t *testing.T) {
+	// Single-pole loop: G feedback around an RC with known loop gain
+	// T(s) = gmr / (1 + sRC): gm = 2m, R = 1k -> T(0) = 2.
+	c := netlist.NewCircuit("one pole loop")
+	c.AddR("R1", "a", "0", 1e3)
+	c.AddC("C1", "a", "0", 1e-9)
+	// Negative feedback: current pulled out of a proportional to v(a).
+	c.AddG("GLOOP", "a", "0", "a", "0", 2e-3)
+	freqs := num.LogGridPPD(1e3, 1e9, 20)
+	tw, err := ReturnRatio(c, "GLOOP", freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T at the lowest frequency (1 kHz, two decades below the pole) is
+	// ~+2: negative feedback gives a positive return ratio.
+	if got := tw.Y[0]; cmplx.Abs(got-2) > 0.05 {
+		t.Errorf("T(low f) = %v, want ~2", got)
+	}
+	// Pole at 1/(2 pi RC) = 159 kHz: at that frequency |T| = 2/sqrt(2).
+	fp := 1 / (2 * math.Pi * 1e3 * 1e-9)
+	mag := tw.Mag()
+	if got := mag.At(fp); math.Abs(got-2/math.Sqrt2) > 0.02 {
+		t.Errorf("|T(fp)| = %g, want %g", got, 2/math.Sqrt2)
+	}
+}
+
+func TestReturnRatioOpAmpMatchesBrokenLoop(t *testing.T) {
+	// The rigorous return ratio of the op-amp's input stage must agree
+	// with the broken-loop Bode measurement (Fig. 3): same crossover,
+	// same phase margin, same 180-degree frequency. (G1 is the right
+	// probe: the main loop is the only loop through it. G2 also sits
+	// inside the local Miller loop, so RR(G2) mixes both loops.)
+	ckt := circuits.OpAmpBuffer(circuits.OpAmpDefaults())
+	tw, err := LoopGainGrid(ckt, "g1", 100, 1e9, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, pm, f180, err := LoopGainMargins(tw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("return ratio: fc=%.4g pm=%.3g f180=%.4g", fc, pm, f180)
+	if !num.ApproxEqual(fc, 2.64e6, 0.03, 0) {
+		t.Errorf("fc = %g, want ~2.64 MHz (broken-loop value)", fc)
+	}
+	if math.Abs(pm-21.8) > 1.5 {
+		t.Errorf("pm = %g, want ~21.8", pm)
+	}
+	if !num.ApproxEqual(f180, 4.0e6, 0.05, 0) {
+		t.Errorf("f180 = %g, want ~4.0 MHz", f180)
+	}
+	// DC loop gain is the full two-stage gain.
+	if db := tw.DB20().At(100); db < 60 {
+		t.Errorf("T(DC) = %g dB, want > 60", db)
+	}
+}
+
+func TestReturnRatioAgreesWithStabilityPlot(t *testing.T) {
+	// Three methods, one circuit: return ratio, stability plot. The PM
+	// estimates agree within a few degrees (the stability plot's estimate
+	// is the second-order equivalent).
+	ckt := circuits.OpAmpBuffer(circuits.OpAmpDefaults())
+	tw, err := LoopGainGrid(ckt, "g1", 100, 1e9, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, pmRR, _, err := LoopGainMargins(tw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := New(circuits.OpAmpBuffer(circuits.OpAmpDefaults()), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, err := tl.SingleNode("output")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pmRR-nr.Best.PhaseMarginDeg) > 5 {
+		t.Errorf("return-ratio PM %g vs stability-plot PM %g", pmRR, nr.Best.PhaseMarginDeg)
+	}
+}
+
+func TestReturnRatioErrors(t *testing.T) {
+	c := circuits.SecondOrder(0.3, 1e6)
+	if _, err := ReturnRatio(c, "nosuch", []float64{1e3}); err == nil {
+		t.Error("unknown element should fail")
+	}
+	if _, err := ReturnRatio(c, "R1", []float64{1e3}); err == nil {
+		t.Error("non-VCCS should fail")
+	}
+}

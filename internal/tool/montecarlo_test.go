@@ -1,0 +1,105 @@
+package tool
+
+import (
+	"math"
+	"testing"
+
+	"acstab/internal/netlist"
+)
+
+func mcCircuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c, err := netlist.Parse(`mc tank
+.param rq=400 cq=1n
+R1 t 0 {rq}
+L1 t 0 25.33u
+C1 t 0 {cq}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMonteCarloBasics(t *testing.T) {
+	c := mcCircuit(t)
+	opts := DefaultOptions()
+	opts.FStart, opts.FStop = 1e4, 1e8
+	res, err := MonteCarlo(c, opts, MCSpec{
+		Runs: 20, Seed: 42,
+		Sigma: map[string]float64{"rq": 0.2, "cq": 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) != 20 || res.Failed != 0 {
+		t.Fatalf("samples=%d failed=%d", len(res.Samples), res.Failed)
+	}
+	// Every draw finds the loop; frequencies spread around 1 MHz.
+	var minF, maxF = math.Inf(1), math.Inf(-1)
+	var minPM, maxPM = math.Inf(1), math.Inf(-1)
+	for _, s := range res.Samples {
+		if s.FreqHz == 0 {
+			t.Fatalf("sample missed the loop: %+v", s)
+		}
+		minF = math.Min(minF, s.FreqHz)
+		maxF = math.Max(maxF, s.FreqHz)
+		minPM = math.Min(minPM, s.PMDeg)
+		maxPM = math.Max(maxPM, s.PMDeg)
+	}
+	if minF < 0.8e6 || maxF > 1.25e6 {
+		t.Errorf("frequency spread [%g, %g] implausible", minF, maxF)
+	}
+	if maxPM-minPM < 2 {
+		t.Errorf("20%% resistor sigma should spread PM; got [%g, %g]", minPM, maxPM)
+	}
+	// Quantiles ordered.
+	p5, ok5 := res.PMQuantile(0.05)
+	p95, ok95 := res.PMQuantile(0.95)
+	if !ok5 || !ok95 || p5 > p95 {
+		t.Errorf("quantiles: %g (%v) vs %g (%v)", p5, ok5, p95, ok95)
+	}
+	// Nominal untouched.
+	if c.Params["rq"] != 400 {
+		t.Error("MonteCarlo mutated the circuit")
+	}
+}
+
+func TestMonteCarloDeterministic(t *testing.T) {
+	c := mcCircuit(t)
+	opts := DefaultOptions()
+	opts.FStart, opts.FStop = 1e4, 1e8
+	spec := MCSpec{Runs: 5, Seed: 7, Sigma: map[string]float64{"rq": 0.1}}
+	a, err := MonteCarlo(c, opts, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(mcCircuit(t), opts, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples {
+		if a.Samples[i].WorstPeak != b.Samples[i].WorstPeak {
+			t.Fatalf("run %d differs: %g vs %g", i,
+				a.Samples[i].WorstPeak, b.Samples[i].WorstPeak)
+		}
+	}
+}
+
+func TestMonteCarloErrors(t *testing.T) {
+	c := mcCircuit(t)
+	opts := DefaultOptions()
+	if _, err := MonteCarlo(c, opts, MCSpec{Runs: 0, Sigma: map[string]float64{"rq": 0.1}}); err == nil {
+		t.Error("zero runs should fail")
+	}
+	if _, err := MonteCarlo(c, opts, MCSpec{Runs: 1}); err == nil {
+		t.Error("empty sigma should fail")
+	}
+	if _, err := MonteCarlo(c, opts, MCSpec{Runs: 1, Sigma: map[string]float64{"zz": 0.1}}); err == nil {
+		t.Error("unknown variable should fail")
+	}
+	empty := &MCResult{}
+	if _, ok := empty.PMQuantile(0.5); ok {
+		t.Error("empty result has no quantile")
+	}
+}

@@ -1,0 +1,136 @@
+package tool
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"acstab/internal/analysis"
+	"acstab/internal/mna"
+	"acstab/internal/netlist"
+	"acstab/internal/wave"
+)
+
+// PulseResult is the outcome of the time-domain "node pulsing" analysis.
+type PulseResult struct {
+	Node string
+	// Response is the node voltage after the pulse.
+	Response *wave.Wave
+	// FreqHz is the ringing frequency (natural frequency estimate).
+	FreqHz float64
+	// Zeta is the damping estimate from the logarithmic decrement.
+	Zeta float64
+	// Rings counts the ringing periods observed; low counts mean heavy
+	// damping and an unreliable estimate.
+	Rings int
+}
+
+// NodePulse implements the traditional time-domain technique the paper's
+// introduction names "node pulsing" (its footnote 1): inject a short
+// current pulse at the node, simulate the transient, and read the loop's
+// natural frequency and damping from the ringing (period from zero
+// crossings, damping from the logarithmic decrement of successive peaks).
+//
+// The method needs a frequency guess to size the time step and window —
+// exactly the limitation the paper's AC technique removes ("broadens the
+// range of frequency coverage"): fGuess sets the analysis band, and a
+// resonance far from it is simply missed. Kept as the comparison baseline
+// for the paper's speed and coverage claims (see
+// BenchmarkAblationPulsingVsAC).
+func NodePulse(ckt *netlist.Circuit, node string, fGuess float64) (*PulseResult, error) {
+	if fGuess <= 0 {
+		return nil, fmt.Errorf("tool: node pulsing needs a frequency guess")
+	}
+	flat, err := netlist.Flatten(ckt)
+	if err != nil {
+		return nil, err
+	}
+	flat.ZeroACSources()
+	node = strings.ToLower(node)
+
+	// Inject a one-period current pulse of small amplitude.
+	period := 1 / fGuess
+	flat.AddI("ipulse", "0", node, netlist.SourceSpec{
+		Tran: netlist.PulseFunc{
+			V1: 0, V2: 1e-6,
+			TD: period, TR: period / 50, TF: period / 50, PW: period / 2,
+			PER: 1e9 * period, // single shot
+		},
+	})
+	sys, err := mna.Compile(flat)
+	if err != nil {
+		return nil, err
+	}
+	sim := analysis.New(sys)
+	// 24 periods of window after the pulse, 200 steps per period.
+	spec := analysis.TranSpec{
+		TStop: 26 * period,
+		TStep: period / 200,
+	}
+	res, err := sim.Tran(spec)
+	if err != nil {
+		return nil, err
+	}
+	w, err := res.NodeWave(node)
+	if err != nil {
+		return nil, err
+	}
+	out := &PulseResult{Node: node, Response: w}
+
+	// Analyze the tail after the pulse ends.
+	tail := clipAfter(w, 2*period)
+	final := real(tail.Y[len(tail.Y)-1])
+	dev := tail.Offset(-final)
+
+	// Successive positive peaks of the deviation.
+	type pk struct{ t, v float64 }
+	var peaks []pk
+	y := dev.Real()
+	for i := 1; i < len(y)-1; i++ {
+		if y[i] > 0 && y[i] >= y[i-1] && y[i] > y[i+1] {
+			peaks = append(peaks, pk{dev.X[i], y[i]})
+		}
+	}
+	if len(peaks) < 2 {
+		return out, nil // no usable ringing
+	}
+	out.Rings = len(peaks)
+	// Period from the mean spacing of the first few peaks; decrement from
+	// the first pair with meaningful amplitude.
+	nUse := len(peaks)
+	if nUse > 6 {
+		nUse = 6
+	}
+	tSpan := peaks[nUse-1].t - peaks[0].t
+	if tSpan <= 0 {
+		return out, nil
+	}
+	fd := float64(nUse-1) / tSpan
+	delta := math.Log(peaks[0].v / peaks[1].v)
+	if nUse >= 3 && peaks[2].v > 0 {
+		// Average two decrements for robustness.
+		delta = 0.5 * (delta + math.Log(peaks[1].v/peaks[2].v))
+	}
+	if delta <= 0 {
+		return out, nil
+	}
+	zeta := delta / math.Sqrt(4*math.Pi*math.Pi+delta*delta)
+	out.Zeta = zeta
+	out.FreqHz = fd / math.Sqrt(1-zeta*zeta)
+	return out, nil
+}
+
+// clipAfter returns the waveform restricted to x >= x0.
+func clipAfter(w *wave.Wave, x0 float64) *wave.Wave {
+	i := 0
+	for i < len(w.X) && w.X[i] < x0 {
+		i++
+	}
+	if i >= len(w.X)-2 {
+		i = 0
+	}
+	c := wave.New(w.Name, append([]float64(nil), w.X[i:]...), append([]complex128(nil), w.Y[i:]...))
+	c.XUnit = w.XUnit
+	c.YUnit = w.YUnit
+	return c
+}

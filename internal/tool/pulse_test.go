@@ -1,0 +1,79 @@
+package tool
+
+import (
+	"testing"
+
+	"acstab/internal/circuits"
+	"acstab/internal/num"
+)
+
+func TestNodePulseRecoversTank(t *testing.T) {
+	// Lightly damped tank: ringing is clean and the log decrement exact.
+	zeta, fn := 0.1, 1e6
+	pr, err := NodePulse(circuits.SecondOrder(zeta, fn), "t", 1.3e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Rings < 5 {
+		t.Fatalf("rings = %d, want >= 5", pr.Rings)
+	}
+	t.Logf("node pulsing: fn=%.4g zeta=%.4g (true %g / %g)", pr.FreqHz, pr.Zeta, fn, zeta)
+	if !num.ApproxEqual(pr.FreqHz, fn, 0.05, 0) {
+		t.Errorf("fn = %g, want %g", pr.FreqHz, fn)
+	}
+	if !num.ApproxEqual(pr.Zeta, zeta, 0.15, 0) {
+		t.Errorf("zeta = %g, want %g", pr.Zeta, zeta)
+	}
+}
+
+func TestNodePulseAgreesWithStabilityPlot(t *testing.T) {
+	// Both methods on the paper's op-amp buffer: the time-domain baseline
+	// confirms the AC method's numbers (the paper's section 1.1 claim
+	// that the AC technique carries the same information).
+	ckt := circuits.OpAmpBuffer(circuits.OpAmpDefaults())
+	pr, err := NodePulse(ckt, "output", 3e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Rings < 2 {
+		t.Fatalf("no ringing observed")
+	}
+	tl, err := New(circuits.OpAmpBuffer(circuits.OpAmpDefaults()), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, err := tl.SingleNode("output")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pulsing: fn=%.4g zeta=%.3g; stability plot: fn=%.4g zeta=%.3g",
+		pr.FreqHz, pr.Zeta, nr.Best.Freq, nr.Best.Zeta)
+	if !num.ApproxEqual(pr.FreqHz, nr.Best.Freq, 0.08, 0) {
+		t.Errorf("fn: pulsing %g vs plot %g", pr.FreqHz, nr.Best.Freq)
+	}
+	if !num.ApproxEqual(pr.Zeta, nr.Best.Zeta, 0.25, 0) {
+		t.Errorf("zeta: pulsing %g vs plot %g", pr.Zeta, nr.Best.Zeta)
+	}
+}
+
+func TestNodePulseMissesOutOfBandResonance(t *testing.T) {
+	// The documented limitation: with a frequency guess two decades off,
+	// the pulse window never resolves the ringing — the coverage gap the
+	// paper's AC method closes.
+	pr, err := NodePulse(circuits.SecondOrder(0.2, 1e6), "t", 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Rings >= 2 && num.ApproxEqual(pr.FreqHz, 1e6, 0.05, 0) {
+		t.Errorf("out-of-band pulse should not resolve the resonance: %+v", pr)
+	}
+}
+
+func TestNodePulseErrors(t *testing.T) {
+	if _, err := NodePulse(circuits.SecondOrder(0.2, 1e6), "t", 0); err == nil {
+		t.Error("zero guess should fail")
+	}
+	if _, err := NodePulse(circuits.SecondOrder(0.2, 1e6), "nosuch", 1e6); err == nil {
+		t.Error("unknown node should fail")
+	}
+}

@@ -1,0 +1,146 @@
+package tool
+
+import (
+	"fmt"
+	"sort"
+
+	"acstab/internal/netlist"
+	"acstab/internal/stab"
+)
+
+// Corner is a named set of design-variable overrides (the "in-tool corners
+// setup" feature from the paper's in-development list). Overrides apply to
+// the circuit's .param design variables before flattening.
+type Corner struct {
+	Name string
+	// Params overrides design variables by name.
+	Params map[string]float64
+	// Temp, if non-zero, overrides the simulation temperature (Celsius;
+	// use TempSet for an explicit 0C corner).
+	Temp    float64
+	TempSet bool
+}
+
+// CornerResult pairs a corner with its all-nodes report.
+type CornerResult struct {
+	Corner Corner
+	Report *Report
+	Err    error
+}
+
+// RunCorners executes an all-nodes analysis per corner, rebuilding the
+// circuit with the corner's design variables. Corners run independently;
+// a corner that fails carries its error rather than aborting the set.
+func RunCorners(ckt *netlist.Circuit, opts Options, corners []Corner) []CornerResult {
+	out := make([]CornerResult, len(corners))
+	for i, c := range corners {
+		out[i].Corner = c
+		rep, err := runOneCorner(ckt, opts, c)
+		out[i].Report = rep
+		out[i].Err = err
+	}
+	return out
+}
+
+func runOneCorner(ckt *netlist.Circuit, opts Options, c Corner) (*Report, error) {
+	mod := cloneForOverride(ckt)
+	for k, v := range c.Params {
+		if _, ok := mod.Params[k]; !ok {
+			return nil, fmt.Errorf("tool: corner %q: unknown design variable %q", c.Name, k)
+		}
+		mod.Params[k] = v
+	}
+	if c.TempSet || c.Temp != 0 {
+		mod.Temp = c.Temp
+	}
+	// Re-evaluate element values that reference design variables.
+	for _, e := range mod.Elems {
+		if err := reevaluate(e, mod.Params); err != nil {
+			return nil, fmt.Errorf("tool: corner %q: %v", c.Name, err)
+		}
+	}
+	t, err := New(mod, opts)
+	if err != nil {
+		return nil, err
+	}
+	return t.AllNodes()
+}
+
+// cloneForOverride shallow-copies the circuit with fresh params/elements
+// so overrides don't mutate the caller's netlist.
+func cloneForOverride(ckt *netlist.Circuit) *netlist.Circuit {
+	c := netlist.NewCircuit(ckt.Title)
+	c.Temp = ckt.Temp
+	for k, v := range ckt.Params {
+		c.Params[k] = v
+	}
+	for k, v := range ckt.Options {
+		c.Options[k] = v
+	}
+	for k, v := range ckt.Models {
+		c.Models[k] = v
+	}
+	for k, v := range ckt.Subckts {
+		c.Subckts[k] = v
+	}
+	for _, e := range ckt.Elems {
+		ne := *e
+		if e.Params != nil {
+			ne.Params = map[string]float64{}
+			for k, v := range e.Params {
+				ne.Params[k] = v
+			}
+		}
+		c.Add(&ne)
+	}
+	return c
+}
+
+// reevaluate re-computes an element value from its stored expression with
+// the (possibly overridden) design variables.
+func reevaluate(e *netlist.Element, params map[string]float64) error {
+	if e.ValueExpr == "" {
+		return nil
+	}
+	v, err := netlist.EvalExpr(e.ValueExpr, params)
+	if err != nil {
+		return err
+	}
+	e.Value = v
+	return nil
+}
+
+// TempResult pairs a temperature with its all-nodes report.
+type TempResult struct {
+	Temp   float64
+	Report *Report
+	Err    error
+}
+
+// RunTemps executes an all-nodes analysis at each temperature (the
+// "in-tool sweeps (TEMP etc)" feature from the paper's in-development
+// list).
+func RunTemps(ckt *netlist.Circuit, opts Options, temps []float64) []TempResult {
+	sorted := append([]float64(nil), temps...)
+	sort.Float64s(sorted)
+	out := make([]TempResult, len(sorted))
+	for i, temp := range sorted {
+		out[i].Temp = temp
+		rep, err := runOneCorner(ckt, opts, Corner{Name: fmt.Sprintf("%gC", temp), Temp: temp, TempSet: true})
+		out[i].Report = rep
+		out[i].Err = err
+	}
+	return out
+}
+
+// WorstLoop returns the loop with the deepest peak in a report, or nil.
+func WorstLoop(rep *Report) *stab.Loop {
+	var worst *stab.Loop
+	for i := range rep.Loops {
+		l := &rep.Loops[i]
+		if worst == nil || l.WorstPeak < worst.WorstPeak {
+			worst = l
+		}
+	}
+	return worst
+}

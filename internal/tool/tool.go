@@ -1,0 +1,374 @@
+// Package tool orchestrates the stability analysis the way the paper's
+// DFII tool does: "Single Node" and "All Nodes" run modes, auto-zeroing of
+// pre-existing AC stimuli, skipped-node detection, loop clustering,
+// parallel sweep execution (the "compute farm" substitute), corner and
+// temperature sweep drivers, and design-variable overrides.
+package tool
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"acstab/internal/analysis"
+	"acstab/internal/mna"
+	"acstab/internal/netlist"
+	"acstab/internal/num"
+	"acstab/internal/stab"
+	"acstab/internal/wave"
+)
+
+// Options configures a stability run.
+type Options struct {
+	FStart, FStop   float64 // sweep range in Hz
+	PointsPerDecade int
+	Stab            stab.Options
+	// LoopTol is the relative frequency tolerance for loop clustering.
+	LoopTol float64
+	// Workers sets the parallel worker count for the all-nodes sweep
+	// (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+	// Naive forces one independent AC sweep per node (the paper's
+	// original flow) instead of sharing one factorization per frequency
+	// across all injection nodes. Kept for the ablation benchmark.
+	Naive bool
+	// AutoZeroAC disables pre-existing AC stimuli before the run
+	// (default true, matching the tool's feature list).
+	AutoZeroAC bool
+	// SkipNodes lists node-name substrings to exclude from all-nodes runs
+	// (e.g. supply rails).
+	SkipNodes []string
+	// OnlySubckt restricts the all-nodes run to the nodes of one
+	// subcircuit instance (the paper's "all nodes in a circuit/
+	// sub-circuit" mode): give the instance path prefix, e.g. "x1" or
+	// "x1.x2". Ports shared with the parent are included.
+	OnlySubckt string
+	// Analysis overrides the solver options.
+	Analysis *analysis.Options
+}
+
+// DefaultOptions returns the defaults documented in DESIGN.md.
+func DefaultOptions() Options {
+	return Options{
+		FStart:          1e3,
+		FStop:           1e9,
+		PointsPerDecade: 40,
+		Stab:            stab.DefaultOptions(),
+		LoopTol:         0.12,
+		AutoZeroAC:      true,
+	}
+}
+
+// NodeResult is the stability analysis of one node.
+type NodeResult struct {
+	Node string
+	// Impedance is |Z| versus frequency (nil if skipped).
+	Impedance *wave.Wave
+	// Stab is the full stability-plot analysis (nil if skipped).
+	Stab *stab.Result
+	// Best is the deepest negative peak including special cases, the row
+	// the all-nodes report prints; nil when the node shows no resonant
+	// behaviour at all.
+	Best *stab.Peak
+	// Skipped marks nodes that cannot be probed (zero driving-point
+	// impedance, i.e. driven by an ideal source).
+	Skipped    bool
+	SkipReason string
+}
+
+// Report is the outcome of an all-nodes run.
+type Report struct {
+	CircuitTitle string
+	Temp         float64
+	Options      Options
+	Nodes        []NodeResult
+	// Loops groups the nodes with resonant peaks by natural frequency.
+	Loops []stab.Loop
+}
+
+// Tool runs stability analyses over one circuit.
+type Tool struct {
+	Ckt  *netlist.Circuit // original (hierarchical) circuit
+	Flat *netlist.Circuit
+	Sys  *mna.System
+	Sim  *analysis.Sim
+	Opts Options
+	op   *mna.OpPoint
+}
+
+// New flattens and compiles the circuit and prepares the solver. The
+// original circuit is not modified: auto-zeroing operates on the
+// flattened copy.
+func New(ckt *netlist.Circuit, opts Options) (*Tool, error) {
+	if opts.FStart <= 0 || opts.FStop <= opts.FStart {
+		return nil, fmt.Errorf("tool: bad frequency range [%g, %g]", opts.FStart, opts.FStop)
+	}
+	if opts.PointsPerDecade <= 0 {
+		opts.PointsPerDecade = 40
+	}
+	if opts.LoopTol <= 0 {
+		opts.LoopTol = 0.12
+	}
+	flat, err := netlist.Flatten(ckt)
+	if err != nil {
+		return nil, err
+	}
+	if opts.AutoZeroAC {
+		flat.ZeroACSources()
+	}
+	sys, err := mna.Compile(flat)
+	if err != nil {
+		return nil, err
+	}
+	sim := analysis.New(sys)
+	if opts.Analysis != nil {
+		sim.Opt = *opts.Analysis
+	}
+	return &Tool{Ckt: ckt, Flat: flat, Sys: sys, Sim: sim, Opts: opts}, nil
+}
+
+// ensureOP computes and caches the operating point.
+func (t *Tool) ensureOP() (*mna.OpPoint, error) {
+	if t.op == nil {
+		op, err := t.Sim.OP()
+		if err != nil {
+			return nil, fmt.Errorf("tool: operating point: %w", err)
+		}
+		t.op = op
+	}
+	return t.op, nil
+}
+
+// Grid returns the frequency grid of this run.
+func (t *Tool) Grid() []float64 {
+	return num.LogGridPPD(t.Opts.FStart, t.Opts.FStop, t.Opts.PointsPerDecade)
+}
+
+// drivenThreshold is the |Z| below which a node counts as driven by an
+// ideal source and is skipped.
+const drivenThreshold = 1e-9
+
+// SingleNode runs the "Single Node" mode: inject at the named node,
+// compute the stability plot, peaks, and phase-margin estimate.
+func (t *Tool) SingleNode(node string) (*NodeResult, error) {
+	idx, ok := t.Sys.NodeOf(strings.ToLower(node))
+	if !ok {
+		return nil, fmt.Errorf("tool: unknown node %q", node)
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("tool: cannot probe the ground node")
+	}
+	op, err := t.ensureOP()
+	if err != nil {
+		return nil, err
+	}
+	freqs := t.Grid()
+	cols, err := t.Sim.ImpedanceMatrixColumns(freqs, op, []int{idx})
+	if err != nil {
+		return nil, err
+	}
+	return t.analyzeColumn(strings.ToLower(node), freqs, cols[0])
+}
+
+// analyzeColumn converts one impedance column into a NodeResult.
+func (t *Tool) analyzeColumn(node string, freqs []float64, col []complex128) (*NodeResult, error) {
+	res := &NodeResult{Node: node}
+	maxMag := 0.0
+	mags := make([]float64, len(col))
+	for i, z := range col {
+		m := math.Hypot(real(z), imag(z))
+		mags[i] = m
+		if m > maxMag {
+			maxMag = m
+		}
+	}
+	if maxMag < drivenThreshold {
+		res.Skipped = true
+		res.SkipReason = "driven node (zero driving-point impedance)"
+		return res, nil
+	}
+	zw := wave.NewReal("z("+node+")", append([]float64(nil), freqs...), mags)
+	zw.XUnit = "Hz"
+	zw.YUnit = "Ohm"
+	zw.LogX = true
+	res.Impedance = zw
+	sr, err := stab.Analyze(zw, t.Opts.Stab)
+	if err != nil {
+		return nil, fmt.Errorf("tool: node %s: %w", node, err)
+	}
+	res.Stab = sr
+	for i := range sr.Peaks {
+		p := &sr.Peaks[i]
+		if p.IsZero {
+			continue
+		}
+		if res.Best == nil || p.Value < res.Best.Value {
+			res.Best = p
+		}
+	}
+	return res, nil
+}
+
+// nodeList returns the node indices and names included in an all-nodes
+// run after applying the OnlySubckt and SkipNodes filters.
+func (t *Tool) nodeList() (idx []int, names []string) {
+	var scope map[string]bool
+	if t.Opts.OnlySubckt != "" {
+		scope = t.subcktNodes(strings.ToLower(t.Opts.OnlySubckt))
+	}
+	for i, name := range t.Sys.NodeNames {
+		if scope != nil && !scope[name] {
+			continue
+		}
+		skip := false
+		for _, pat := range t.Opts.SkipNodes {
+			if strings.Contains(name, strings.ToLower(pat)) {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			idx = append(idx, i)
+			names = append(names, name)
+		}
+	}
+	return idx, names
+}
+
+// subcktNodes collects every node touched by elements of the given
+// subcircuit instance (flattened names carry the instance path prefix),
+// including the ports it shares with its parent.
+func (t *Tool) subcktNodes(prefix string) map[string]bool {
+	out := map[string]bool{}
+	p := prefix + "."
+	for _, e := range t.Flat.Elems {
+		if !strings.HasPrefix(e.Name, p) {
+			continue
+		}
+		for _, n := range e.Nodes {
+			if !netlist.IsGround(n) {
+				out[n] = true
+			}
+		}
+	}
+	return out
+}
+
+// AllNodes runs the "All Nodes" mode: every non-ground node is probed and
+// the results clustered into loops. The sweep shares one matrix
+// factorization per frequency across all nodes and distributes frequency
+// points over a worker pool unless Options.Naive is set.
+func (t *Tool) AllNodes() (*Report, error) {
+	op, err := t.ensureOP()
+	if err != nil {
+		return nil, err
+	}
+	freqs := t.Grid()
+	idx, names := t.nodeList()
+
+	var cols [][]complex128
+	if t.Opts.Naive {
+		cols, err = t.naiveColumns(freqs, op, idx)
+	} else {
+		cols, err = t.parallelColumns(freqs, op, idx)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		CircuitTitle: t.Flat.Title,
+		Temp:         t.Flat.Temp,
+		Options:      t.Opts,
+	}
+	var peaks []stab.NodePeak
+	for i, name := range names {
+		nr, err := t.analyzeColumn(name, freqs, cols[i])
+		if err != nil {
+			return nil, err
+		}
+		rep.Nodes = append(rep.Nodes, *nr)
+		if !nr.Skipped && nr.Best != nil {
+			peaks = append(peaks, stab.NodePeak{Node: name, Peak: *nr.Best})
+		}
+	}
+	sort.Slice(rep.Nodes, func(a, b int) bool { return rep.Nodes[a].Node < rep.Nodes[b].Node })
+	rep.Loops = stab.ClusterLoops(peaks, t.Opts.LoopTol)
+	return rep, nil
+}
+
+// parallelColumns computes impedance columns with frequency points
+// distributed across workers; within each frequency one factorization
+// serves every injection node.
+func (t *Tool) parallelColumns(freqs []float64, op *mna.OpPoint, idx []int) ([][]complex128, error) {
+	workers := t.Opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(freqs) {
+		workers = len(freqs)
+	}
+	cols := make([][]complex128, len(idx))
+	for i := range cols {
+		cols[i] = make([]complex128, len(freqs))
+	}
+	if workers <= 1 {
+		got, err := t.Sim.ImpedanceMatrixColumns(freqs, op, idx)
+		if err != nil {
+			return nil, err
+		}
+		return got, nil
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	chunk := (len(freqs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(freqs) {
+			hi = len(freqs)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			// Each worker needs its own Sim wrapper: ImpedanceMatrixColumns
+			// allocates its own matrices, and the shared System is read-only
+			// during AC stamping.
+			sim := &analysis.Sim{Sys: t.Sys, Opt: t.Sim.Opt}
+			sub, err := sim.ImpedanceMatrixColumns(freqs[lo:hi], op, idx)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			for i := range idx {
+				copy(cols[i][lo:hi], sub[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+// naiveColumns mimics the paper's original flow: one complete AC sweep per
+// node, each refactoring the matrix at every frequency.
+func (t *Tool) naiveColumns(freqs []float64, op *mna.OpPoint, idx []int) ([][]complex128, error) {
+	cols := make([][]complex128, len(idx))
+	for i, nodeIdx := range idx {
+		got, err := t.Sim.ImpedanceMatrixColumns(freqs, op, []int{nodeIdx})
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = got[0]
+	}
+	return cols, nil
+}

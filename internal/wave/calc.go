@@ -1,0 +1,461 @@
+package wave
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Value is a calculator result: either a waveform or a scalar.
+type Value struct {
+	Wave   *Wave
+	Scalar float64
+	IsWave bool
+}
+
+// ScalarValue wraps a float as a Value.
+func ScalarValue(v float64) Value { return Value{Scalar: v} }
+
+// WaveValue wraps a waveform as a Value.
+func WaveValue(w *Wave) Value { return Value{Wave: w, IsWave: true} }
+
+// Env resolves signal references for the calculator. Lookup receives the
+// access function name ("v" or "i") and its argument (node or branch name).
+type Env interface {
+	Lookup(kind, name string) (*Wave, error)
+}
+
+// EnvFunc adapts a function to the Env interface.
+type EnvFunc func(kind, name string) (*Wave, error)
+
+// Lookup implements Env.
+func (f EnvFunc) Lookup(kind, name string) (*Wave, error) { return f(kind, name) }
+
+// MapEnv is an Env backed by maps of node voltages and branch currents.
+type MapEnv struct {
+	V map[string]*Wave
+	I map[string]*Wave
+}
+
+// Lookup implements Env.
+func (m MapEnv) Lookup(kind, name string) (*Wave, error) {
+	var w *Wave
+	var ok bool
+	switch strings.ToLower(kind) {
+	case "v":
+		w, ok = m.V[name]
+	case "i":
+		w, ok = m.I[name]
+	default:
+		return nil, fmt.Errorf("wave: unknown access %q", kind)
+	}
+	if !ok {
+		return nil, fmt.Errorf("wave: no signal %s(%s)", kind, name)
+	}
+	return w, nil
+}
+
+// Eval evaluates a calculator expression such as
+//
+//	db20(v(out))
+//	phase(v(out) / v(in))
+//	cross(db20(v(out)), 0)
+//	peakmin(d2lnx(db(v(out))))
+//
+// Supported: + - * / parentheses, numeric literals (SPICE suffixes not
+// supported here; use plain or scientific notation), v(name), i(name), and
+// the functions mag, db20 (alias db), phase (alias ph), re, im, dlnx,
+// d2lnx, deriv (alias of dlnx), cross(w, level), at(w, x), min, max,
+// xmin, xmax, overshoot.
+func Eval(expr string, env Env) (Value, error) {
+	p := &parser{src: expr, env: env}
+	v, err := p.parseExpr()
+	if err != nil {
+		return Value{}, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return Value{}, fmt.Errorf("wave: trailing input at %q", p.src[p.pos:])
+	}
+	return v, nil
+}
+
+type parser struct {
+	src string
+	pos int
+	env Env
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) parseExpr() (Value, error) {
+	v, err := p.parseTerm()
+	if err != nil {
+		return v, err
+	}
+	for {
+		p.skipSpace()
+		op := p.peek()
+		if op != '+' && op != '-' {
+			return v, nil
+		}
+		p.pos++
+		rhs, err := p.parseTerm()
+		if err != nil {
+			return Value{}, err
+		}
+		v, err = apply(op, v, rhs)
+		if err != nil {
+			return Value{}, err
+		}
+	}
+}
+
+func (p *parser) parseTerm() (Value, error) {
+	v, err := p.parseUnary()
+	if err != nil {
+		return v, err
+	}
+	for {
+		p.skipSpace()
+		op := p.peek()
+		if op != '*' && op != '/' {
+			return v, nil
+		}
+		p.pos++
+		rhs, err := p.parseUnary()
+		if err != nil {
+			return Value{}, err
+		}
+		v, err = apply(op, v, rhs)
+		if err != nil {
+			return Value{}, err
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Value, error) {
+	p.skipSpace()
+	if p.peek() == '-' {
+		p.pos++
+		v, err := p.parseUnary()
+		if err != nil {
+			return v, err
+		}
+		if v.IsWave {
+			return WaveValue(v.Wave.Scale(-1)), nil
+		}
+		return ScalarValue(-v.Scalar), nil
+	}
+	if p.peek() == '+' {
+		p.pos++
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Value, error) {
+	p.skipSpace()
+	c := p.peek()
+	switch {
+	case c == '(':
+		p.pos++
+		v, err := p.parseExpr()
+		if err != nil {
+			return v, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return Value{}, fmt.Errorf("wave: expected ')' at %d", p.pos)
+		}
+		p.pos++
+		return v, nil
+	case c >= '0' && c <= '9' || c == '.':
+		return p.parseNumber()
+	case isIdentChar(c):
+		return p.parseCall()
+	default:
+		return Value{}, fmt.Errorf("wave: unexpected %q at %d", string(c), p.pos)
+	}
+}
+
+func isIdentChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' ||
+		c >= '0' && c <= '9'
+}
+
+func (p *parser) parseNumber() (Value, error) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c >= '0' && c <= '9' || c == '.' || c == 'e' || c == 'E' {
+			p.pos++
+			continue
+		}
+		if (c == '+' || c == '-') && p.pos > start &&
+			(p.src[p.pos-1] == 'e' || p.src[p.pos-1] == 'E') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	f, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return Value{}, fmt.Errorf("wave: bad number %q", p.src[start:p.pos])
+	}
+	return ScalarValue(f), nil
+}
+
+func (p *parser) parseCall() (Value, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isIdentChar(p.src[p.pos]) {
+		p.pos++
+	}
+	name := strings.ToLower(p.src[start:p.pos])
+	p.skipSpace()
+	if p.peek() != '(' {
+		return Value{}, fmt.Errorf("wave: expected '(' after %q", name)
+	}
+	p.pos++
+
+	// Signal access: v(node) / i(branch) take a raw identifier argument.
+	if name == "v" || name == "i" {
+		argStart := p.pos
+		depth := 1
+		for p.pos < len(p.src) && depth > 0 {
+			switch p.src[p.pos] {
+			case '(':
+				depth++
+			case ')':
+				depth--
+			}
+			if depth > 0 {
+				p.pos++
+			}
+		}
+		if depth != 0 {
+			return Value{}, fmt.Errorf("wave: unbalanced parens in %s()", name)
+		}
+		arg := strings.TrimSpace(p.src[argStart:p.pos])
+		p.pos++ // consume ')'
+		if p.env == nil {
+			return Value{}, fmt.Errorf("wave: no environment for %s(%s)", name, arg)
+		}
+		w, err := p.env.Lookup(name, arg)
+		if err != nil {
+			return Value{}, err
+		}
+		return WaveValue(w), nil
+	}
+
+	// Regular function: parse comma-separated expression arguments.
+	var args []Value
+	p.skipSpace()
+	if p.peek() != ')' {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return Value{}, err
+			}
+			args = append(args, a)
+			p.skipSpace()
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+	}
+	if p.peek() != ')' {
+		return Value{}, fmt.Errorf("wave: expected ')' closing %s()", name)
+	}
+	p.pos++
+	return callFunc(name, args)
+}
+
+func callFunc(name string, args []Value) (Value, error) {
+	wantWave := func() (*Wave, error) {
+		if len(args) != 1 || !args[0].IsWave {
+			return nil, fmt.Errorf("wave: %s() wants one waveform argument", name)
+		}
+		return args[0].Wave, nil
+	}
+	switch name {
+	case "mag", "abs":
+		w, err := wantWave()
+		if err != nil {
+			return Value{}, err
+		}
+		return WaveValue(w.Mag()), nil
+	case "db20", "db":
+		w, err := wantWave()
+		if err != nil {
+			return Value{}, err
+		}
+		return WaveValue(w.DB20()), nil
+	case "phase", "ph":
+		w, err := wantWave()
+		if err != nil {
+			return Value{}, err
+		}
+		return WaveValue(w.PhaseDeg()), nil
+	case "re", "real":
+		w, err := wantWave()
+		if err != nil {
+			return Value{}, err
+		}
+		y := make([]complex128, w.Len())
+		for i, v := range w.Y {
+			y[i] = complex(real(v), 0)
+		}
+		out := w.Clone()
+		out.Y = y
+		return WaveValue(out), nil
+	case "im", "imag":
+		w, err := wantWave()
+		if err != nil {
+			return Value{}, err
+		}
+		y := make([]complex128, w.Len())
+		for i, v := range w.Y {
+			y[i] = complex(imag(v), 0)
+		}
+		out := w.Clone()
+		out.Y = y
+		return WaveValue(out), nil
+	case "dlnx", "deriv":
+		w, err := wantWave()
+		if err != nil {
+			return Value{}, err
+		}
+		return WaveValue(w.DerivLogX()), nil
+	case "d2lnx":
+		w, err := wantWave()
+		if err != nil {
+			return Value{}, err
+		}
+		return WaveValue(w.SecondDerivLogX()), nil
+	case "min":
+		w, err := wantWave()
+		if err != nil {
+			return Value{}, err
+		}
+		i := w.MinIndex()
+		return ScalarValue(real(w.Y[i])), nil
+	case "max":
+		w, err := wantWave()
+		if err != nil {
+			return Value{}, err
+		}
+		i := w.MaxIndex()
+		return ScalarValue(real(w.Y[i])), nil
+	case "xmin":
+		w, err := wantWave()
+		if err != nil {
+			return Value{}, err
+		}
+		return ScalarValue(w.X[w.MinIndex()]), nil
+	case "xmax":
+		w, err := wantWave()
+		if err != nil {
+			return Value{}, err
+		}
+		return ScalarValue(w.X[w.MaxIndex()]), nil
+	case "overshoot":
+		w, err := wantWave()
+		if err != nil {
+			return Value{}, err
+		}
+		return ScalarValue(w.OvershootPct()), nil
+	case "cross":
+		if len(args) != 2 || !args[0].IsWave || args[1].IsWave {
+			return Value{}, fmt.Errorf("wave: cross(wave, level)")
+		}
+		xs := args[0].Wave.Cross(args[1].Scalar)
+		if len(xs) == 0 {
+			return ScalarValue(math.NaN()), nil
+		}
+		return ScalarValue(xs[0]), nil
+	case "at":
+		if len(args) != 2 || !args[0].IsWave || args[1].IsWave {
+			return Value{}, fmt.Errorf("wave: at(wave, x)")
+		}
+		return ScalarValue(args[0].Wave.At(args[1].Scalar)), nil
+	default:
+		return Value{}, fmt.Errorf("wave: unknown function %q", name)
+	}
+}
+
+func apply(op byte, a, b Value) (Value, error) {
+	switch {
+	case a.IsWave && b.IsWave:
+		var f func(x, y *Wave) (*Wave, error)
+		switch op {
+		case '+':
+			f = Add
+		case '-':
+			f = Sub
+		case '*':
+			f = Mul
+		case '/':
+			f = Div
+		}
+		w, err := f(a.Wave, b.Wave)
+		if err != nil {
+			return Value{}, err
+		}
+		return WaveValue(w), nil
+	case a.IsWave:
+		switch op {
+		case '+':
+			return WaveValue(a.Wave.Offset(b.Scalar)), nil
+		case '-':
+			return WaveValue(a.Wave.Offset(-b.Scalar)), nil
+		case '*':
+			return WaveValue(a.Wave.Scale(complex(b.Scalar, 0))), nil
+		case '/':
+			return WaveValue(a.Wave.Scale(complex(1/b.Scalar, 0))), nil
+		}
+	case b.IsWave:
+		switch op {
+		case '+':
+			return WaveValue(b.Wave.Offset(a.Scalar)), nil
+		case '-':
+			return WaveValue(b.Wave.Scale(-1).Offset(a.Scalar)), nil
+		case '*':
+			return WaveValue(b.Wave.Scale(complex(a.Scalar, 0))), nil
+		case '/':
+			y := make([]complex128, b.Wave.Len())
+			for i, v := range b.Wave.Y {
+				y[i] = complex(a.Scalar, 0) / v
+			}
+			out := b.Wave.Clone()
+			out.Y = y
+			return WaveValue(out), nil
+		}
+	default:
+		switch op {
+		case '+':
+			return ScalarValue(a.Scalar + b.Scalar), nil
+		case '-':
+			return ScalarValue(a.Scalar - b.Scalar), nil
+		case '*':
+			return ScalarValue(a.Scalar * b.Scalar), nil
+		case '/':
+			return ScalarValue(a.Scalar / b.Scalar), nil
+		}
+	}
+	return Value{}, fmt.Errorf("wave: bad operation %q", string(op))
+}

@@ -1,0 +1,206 @@
+package wave
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"acstab/internal/num"
+)
+
+func testEnv() MapEnv {
+	x := []float64{1, 10, 100}
+	out := New("v(out)", x, []complex128{complex(10, 0), complex(0, 10), complex(1, 0)})
+	in := New("v(in)", x, []complex128{1, 1, 1})
+	ib := New("i(r1)", x, []complex128{complex(2, 0), complex(2, 0), complex(2, 0)})
+	return MapEnv{
+		V: map[string]*Wave{"out": out, "in": in},
+		I: map[string]*Wave{"r1": ib},
+	}
+}
+
+func TestEvalSignalAccess(t *testing.T) {
+	env := testEnv()
+	v, err := Eval("v(out)", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsWave || v.Wave.Len() != 3 {
+		t.Fatal("expected waveform")
+	}
+	v, err = Eval("i(r1)", env)
+	if err != nil || !v.IsWave {
+		t.Fatalf("i(): %v %v", v, err)
+	}
+}
+
+func TestEvalDB20(t *testing.T) {
+	env := testEnv()
+	v, err := Eval("db20(v(out))", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(v.Wave.Y[0])-20) > 1e-12 {
+		t.Errorf("db20 = %g", real(v.Wave.Y[0]))
+	}
+}
+
+func TestEvalRatioAndPhase(t *testing.T) {
+	env := testEnv()
+	v, err := Eval("phase(v(out) / v(in))", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(v.Wave.Y[1])-90) > 1e-9 {
+		t.Errorf("phase = %g, want 90", real(v.Wave.Y[1]))
+	}
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want float64
+	}{
+		{"1+2*3", 7},
+		{"(1+2)*3", 9},
+		{"-4/2", -2},
+		{"2*3 - 1", 5},
+		{"1e3 + 0.5", 1000.5},
+		{"+5", 5},
+	}
+	for _, c := range cases {
+		v, err := Eval(c.expr, nil)
+		if err != nil {
+			t.Errorf("%q: %v", c.expr, err)
+			continue
+		}
+		if v.IsWave || math.Abs(v.Scalar-c.want) > 1e-12 {
+			t.Errorf("%q = %v, want %g", c.expr, v, c.want)
+		}
+	}
+}
+
+func TestEvalWaveScalarOps(t *testing.T) {
+	env := testEnv()
+	v, err := Eval("mag(v(out)) * 2 + 1", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(v.Wave.Y[0])-21) > 1e-12 {
+		t.Errorf("got %g, want 21", real(v.Wave.Y[0]))
+	}
+	v, err = Eval("1 / mag(v(in))", env)
+	if err != nil || math.Abs(real(v.Wave.Y[0])-1) > 1e-12 {
+		t.Fatalf("reciprocal: %v %v", v, err)
+	}
+}
+
+func TestEvalMinMaxAt(t *testing.T) {
+	env := testEnv()
+	v, err := Eval("max(mag(v(out)))", env)
+	if err != nil || v.Scalar != 10 {
+		t.Fatalf("max: %v %v", v, err)
+	}
+	v, err = Eval("xmax(mag(v(out)))", env)
+	if err != nil || v.Scalar != 1 {
+		t.Fatalf("xmax: %v %v", v, err)
+	}
+	v, err = Eval("at(mag(v(in)), 5)", env)
+	if err != nil || v.Scalar != 1 {
+		t.Fatalf("at: %v %v", v, err)
+	}
+}
+
+func TestEvalCross(t *testing.T) {
+	env := testEnv()
+	// mag(v(out)) goes 10 -> 10 -> 1; crossing 5 happens between x=10..100.
+	v, err := Eval("cross(mag(v(out)), 5)", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Scalar <= 10 || v.Scalar >= 100 {
+		t.Errorf("cross at %g", v.Scalar)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	env := testEnv()
+	for _, expr := range []string{
+		"",
+		"v(nosuch)",
+		"bogus(v(out))",
+		"db20(1)",
+		"1 +",
+		"(1",
+		"v(out",
+		"cross(v(out))",
+		"at(1, 2)",
+		"1 2",
+	} {
+		if _, err := Eval(expr, env); err == nil {
+			t.Errorf("%q: expected error", expr)
+		}
+	}
+}
+
+func TestEvalNoEnv(t *testing.T) {
+	if _, err := Eval("v(out)", nil); err == nil {
+		t.Error("expected error with nil env")
+	}
+}
+
+func TestEnvFunc(t *testing.T) {
+	env := EnvFunc(func(kind, name string) (*Wave, error) {
+		return NewReal(kind+"("+name+")", []float64{1, 2}, []float64{7, 7}), nil
+	})
+	v, err := Eval("v(x) + i(y)", env)
+	if err != nil || real(v.Wave.Y[0]) != 14 {
+		t.Fatalf("EnvFunc: %v %v", v, err)
+	}
+}
+
+func TestPlotBasic(t *testing.T) {
+	var sb strings.Builder
+	x := num.LogSpace(1, 1e6, 50)
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 20 - 20*math.Log10(x[i])
+	}
+	w := NewReal("gain", x, y)
+	w.LogX = true
+	err := Plot(&sb, PlotOptions{Title: "Bode", LogX: true, XLabel: "Hz", YLabel: "dB"}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Bode") || !strings.Contains(out, "Hz") {
+		t.Error("plot missing labels")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("plot missing data marks")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 20 {
+		t.Errorf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestPlotMultiSeriesLegend(t *testing.T) {
+	var sb strings.Builder
+	x := []float64{1, 2, 3}
+	a := NewReal("a", x, []float64{1, 2, 3})
+	b := NewReal("b", x, []float64{3, 2, 1})
+	if err := Plot(&sb, PlotOptions{}, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "legend") {
+		t.Error("legend missing for multi-series plot")
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := Plot(&sb, PlotOptions{}); err == nil {
+		t.Error("expected error for no waves")
+	}
+}

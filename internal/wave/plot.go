@@ -1,0 +1,164 @@
+package wave
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// PlotOptions configures the ASCII renderer.
+type PlotOptions struct {
+	Width  int  // total character columns (default 78)
+	Height int  // plot rows (default 20)
+	LogX   bool // logarithmic x axis
+	Title  string
+	XLabel string
+	YLabel string
+}
+
+var plotMarks = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Plot renders one or more waveforms (real parts) as an ASCII chart. All
+// series are drawn on a shared y scale. This is the terminal substitute for
+// the paper's DFII waveform windows (Figs. 2-4).
+func Plot(out io.Writer, opts PlotOptions, waves ...*Wave) error {
+	if len(waves) == 0 {
+		return fmt.Errorf("wave: nothing to plot")
+	}
+	if opts.Width <= 0 {
+		opts.Width = 78
+	}
+	if opts.Height <= 0 {
+		opts.Height = 20
+	}
+	const margin = 12 // y-axis label width
+	cols := opts.Width - margin
+	if cols < 10 {
+		cols = 10
+	}
+	// Ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, w := range waves {
+		for i := range w.X {
+			x, y := w.X[i], real(w.Y[i])
+			if math.IsInf(y, 0) || math.IsNaN(y) {
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if !(xmax > xmin) {
+		xmax = xmin + 1
+	}
+	if !(ymax > ymin) {
+		ymax = ymin + 1
+	}
+	// A touch of headroom.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	xpos := func(x float64) int {
+		var t float64
+		if opts.LogX && xmin > 0 {
+			t = (math.Log(x) - math.Log(xmin)) / (math.Log(xmax) - math.Log(xmin))
+		} else {
+			t = (x - xmin) / (xmax - xmin)
+		}
+		c := int(math.Round(t * float64(cols-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= cols {
+			c = cols - 1
+		}
+		return c
+	}
+	ypos := func(y float64) int {
+		t := (y - ymin) / (ymax - ymin)
+		r := int(math.Round((1 - t) * float64(opts.Height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= opts.Height {
+			r = opts.Height - 1
+		}
+		return r
+	}
+
+	grid := make([][]byte, opts.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	for wi, w := range waves {
+		mark := plotMarks[wi%len(plotMarks)]
+		prevR, prevC := -1, -1
+		for i := range w.X {
+			y := real(w.Y[i])
+			if math.IsInf(y, 0) || math.IsNaN(y) {
+				prevR, prevC = -1, -1
+				continue
+			}
+			c, r := xpos(w.X[i]), ypos(y)
+			grid[r][c] = mark
+			// Simple vertical fill between consecutive points for continuity.
+			if prevC >= 0 && c-prevC <= 1 && prevR != r {
+				step := 1
+				if prevR > r {
+					step = -1
+				}
+				for rr := prevR + step; rr != r; rr += step {
+					if grid[rr][c] == ' ' {
+						grid[rr][c] = '.'
+					}
+				}
+			}
+			prevR, prevC = r, c
+		}
+	}
+
+	if opts.Title != "" {
+		fmt.Fprintf(out, "%s\n", opts.Title)
+	}
+	if opts.YLabel != "" {
+		fmt.Fprintf(out, "%s\n", opts.YLabel)
+	}
+	for r := 0; r < opts.Height; r++ {
+		yv := ymax - (ymax-ymin)*float64(r)/float64(opts.Height-1)
+		fmt.Fprintf(out, "%10.3g |%s\n", yv, string(grid[r]))
+	}
+	fmt.Fprintf(out, "%10s +%s\n", "", strings.Repeat("-", cols))
+	// X axis annotation: min, mid, max.
+	var xmid float64
+	if opts.LogX && xmin > 0 {
+		xmid = math.Exp((math.Log(xmin) + math.Log(xmax)) / 2)
+	} else {
+		xmid = (xmin + xmax) / 2
+	}
+	lbl := fmt.Sprintf("%-12.4g%s%12.4g%s%12.4g", xmin,
+		strings.Repeat(" ", max(0, cols/2-18)), xmid,
+		strings.Repeat(" ", max(0, cols/2-18)), xmax)
+	fmt.Fprintf(out, "%10s  %s\n", "", lbl)
+	if opts.XLabel != "" {
+		fmt.Fprintf(out, "%10s  %s\n", "", opts.XLabel)
+	}
+	// Legend.
+	if len(waves) > 1 {
+		var parts []string
+		for wi, w := range waves {
+			parts = append(parts, fmt.Sprintf("%c = %s", plotMarks[wi%len(plotMarks)], w.Name))
+		}
+		fmt.Fprintf(out, "%10s  legend: %s\n", "", strings.Join(parts, ", "))
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,313 @@
+package wave
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"acstab/internal/num"
+)
+
+func sineWave() *Wave {
+	x := num.LinSpace(0, 10, 101)
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Sin(v)
+	}
+	return NewReal("sin", x, y)
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-increasing x")
+		}
+	}()
+	New("bad", []float64{1, 1}, []complex128{0, 0})
+}
+
+func TestNewLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for length mismatch")
+		}
+	}()
+	New("bad", []float64{1}, []complex128{0, 0})
+}
+
+func TestMagAndDB20(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []complex128{complex(3, 4), complex(0, 10), 1}
+	w := New("w", x, y)
+	m := w.Mag()
+	if real(m.Y[0]) != 5 || real(m.Y[1]) != 10 || real(m.Y[2]) != 1 {
+		t.Errorf("mag = %v", m.Y)
+	}
+	db := w.DB20()
+	if math.Abs(real(db.Y[1])-20) > 1e-12 {
+		t.Errorf("dB = %v", db.Y[1])
+	}
+	if real(db.Y[2]) != 0 {
+		t.Errorf("dB of 1 should be 0")
+	}
+}
+
+func TestDB20OfZero(t *testing.T) {
+	w := New("w", []float64{1}, []complex128{0})
+	if !math.IsInf(real(w.DB20().Y[0]), -1) {
+		t.Error("dB of 0 should be -Inf")
+	}
+}
+
+func TestPhaseUnwrap(t *testing.T) {
+	// A phase that rotates steadily through several full turns must unwrap
+	// monotonically.
+	n := 100
+	x := num.LinSpace(1, 10, n)
+	y := make([]complex128, n)
+	for i := range y {
+		ang := -4 * math.Pi * float64(i) / float64(n-1) // two full negative turns
+		y[i] = cmplx.Rect(1, ang)
+	}
+	ph := New("w", x, y).PhaseDeg()
+	for i := 1; i < n; i++ {
+		if real(ph.Y[i]) > real(ph.Y[i-1])+1e-9 {
+			t.Fatalf("phase not monotonic at %d: %g -> %g", i, real(ph.Y[i-1]), real(ph.Y[i]))
+		}
+	}
+	if math.Abs(real(ph.Y[n-1])-(-720)) > 1 {
+		t.Errorf("final phase = %g, want -720", real(ph.Y[n-1]))
+	}
+}
+
+func TestAtInterpolation(t *testing.T) {
+	w := NewReal("w", []float64{0, 1, 2}, []float64{0, 10, 20})
+	if got := w.At(0.5); math.Abs(got-5) > 1e-12 {
+		t.Errorf("At(0.5) = %g", got)
+	}
+	if got := w.At(-1); got != 0 {
+		t.Errorf("clamp low = %g", got)
+	}
+	if got := w.At(5); got != 20 {
+		t.Errorf("clamp high = %g", got)
+	}
+}
+
+func TestAtLogInterpolation(t *testing.T) {
+	w := NewReal("w", []float64{1, 100}, []float64{0, 2})
+	w.LogX = true
+	// At x=10 (geometric midpoint) expect 1.
+	if got := w.At(10); math.Abs(got-1) > 1e-12 {
+		t.Errorf("log At(10) = %g", got)
+	}
+}
+
+func TestCross(t *testing.T) {
+	w := sineWave()
+	xs := w.Cross(0)
+	// sin crosses zero at pi, 2pi, 3pi within (0,10] -> pi ~3.14, 6.28, 9.42.
+	// The first sample is exactly 0 at x=0, also reported.
+	if len(xs) < 3 {
+		t.Fatalf("crossings = %v", xs)
+	}
+	found := 0
+	for _, want := range []float64{math.Pi, 2 * math.Pi, 3 * math.Pi} {
+		for _, x := range xs {
+			if math.Abs(x-want) < 0.05 {
+				found++
+				break
+			}
+		}
+	}
+	if found != 3 {
+		t.Errorf("missing zero crossings: %v", xs)
+	}
+}
+
+func TestMinMaxIndex(t *testing.T) {
+	w := sineWave()
+	mi, ma := w.MinIndex(), w.MaxIndex()
+	if math.Abs(w.X[ma]-math.Pi/2) > 0.1 {
+		t.Errorf("max at %g, want pi/2", w.X[ma])
+	}
+	if math.Abs(w.X[mi]-3*math.Pi/2) > 0.1 {
+		t.Errorf("min at %g, want 3pi/2", w.X[mi])
+	}
+}
+
+func TestDerivLogX(t *testing.T) {
+	// y = ln(x)^2 -> dy/dlnx = 2 ln x.
+	x := num.LogSpace(1, 100, 200)
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Log(v) * math.Log(v)
+	}
+	d := NewReal("w", x, y).DerivLogX()
+	for i := 5; i < len(x)-5; i++ {
+		want := 2 * math.Log(x[i])
+		if math.Abs(real(d.Y[i])-want) > 1e-3*(1+math.Abs(want)) {
+			t.Fatalf("deriv at x=%g: %g want %g", x[i], real(d.Y[i]), want)
+		}
+	}
+}
+
+func TestSecondDerivLogX(t *testing.T) {
+	// y = (ln x)^2 -> d2y/dlnx2 = 2 everywhere.
+	x := num.LogSpace(1, 100, 100)
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Log(v) * math.Log(v)
+	}
+	d := NewReal("w", x, y).SecondDerivLogX()
+	for i := 1; i < len(x)-1; i++ {
+		if math.Abs(real(d.Y[i])-2) > 1e-6 {
+			t.Fatalf("second deriv at %d = %g, want 2", i, real(d.Y[i]))
+		}
+	}
+}
+
+func TestSecondDerivLogXNonUniform(t *testing.T) {
+	// Quadratic in u must be differentiated exactly even on a non-uniform
+	// grid (three-point formula is exact for quadratics).
+	x := []float64{1, 2, 5, 7, 20, 90, 100}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		u := math.Log(v)
+		y[i] = 3*u*u - u + 1
+	}
+	d := NewReal("w", x, y).SecondDerivLogX()
+	for i := 1; i < len(x)-1; i++ {
+		if math.Abs(real(d.Y[i])-6) > 1e-9 {
+			t.Fatalf("non-uniform second deriv at %d = %g, want 6", i, real(d.Y[i]))
+		}
+	}
+}
+
+func TestOvershoot(t *testing.T) {
+	// Step response of 2nd-order system, zeta=0.2 -> overshoot ~53%.
+	zeta, wn := 0.2, 1.0
+	x := num.LinSpace(0, 50, 5000)
+	y := make([]float64, len(x))
+	wd := wn * math.Sqrt(1-zeta*zeta)
+	for i, tt := range x {
+		y[i] = 1 - math.Exp(-zeta*wn*tt)*(math.Cos(wd*tt)+zeta/math.Sqrt(1-zeta*zeta)*math.Sin(wd*tt))
+	}
+	w := NewReal("step", x, y)
+	os := w.OvershootPct()
+	want := 100 * math.Exp(-math.Pi*zeta/math.Sqrt(1-zeta*zeta))
+	if math.Abs(os-want) > 1 {
+		t.Errorf("overshoot = %g, want %g", os, want)
+	}
+}
+
+func TestOvershootNegativeStep(t *testing.T) {
+	x := num.LinSpace(0, 10, 100)
+	y := make([]float64, len(x))
+	for i, tt := range x {
+		y[i] = -1 + math.Exp(-tt)*(1+0.3*math.Sin(5*tt))
+	}
+	w := NewReal("negstep", x, y)
+	if w.OvershootPct() <= 0 {
+		t.Error("negative-going step overshoot should be positive")
+	}
+}
+
+func TestOvershootFlat(t *testing.T) {
+	w := NewReal("flat", []float64{0, 1}, []float64{1, 1})
+	if w.OvershootPct() != 0 {
+		t.Error("flat wave has no overshoot")
+	}
+}
+
+func TestBinops(t *testing.T) {
+	x := []float64{1, 2}
+	a := NewReal("a", x, []float64{1, 2})
+	b := NewReal("b", x, []float64{3, 4})
+	sum, err := Add(a, b)
+	if err != nil || real(sum.Y[0]) != 4 || real(sum.Y[1]) != 6 {
+		t.Errorf("Add: %v %v", sum, err)
+	}
+	d, err := Div(b, a)
+	if err != nil || real(d.Y[1]) != 2 {
+		t.Errorf("Div: %v %v", d, err)
+	}
+	c := NewReal("c", []float64{1, 3}, []float64{0, 0})
+	if _, err := Add(a, c); err == nil {
+		t.Error("mismatched grids should error")
+	}
+}
+
+// Property: Cross finds a crossing between any two samples that bracket the
+// level.
+func TestCrossBracketQuick(t *testing.T) {
+	f := func(y0, y1 float64) bool {
+		if math.IsNaN(y0) || math.IsNaN(y1) || y0 == y1 {
+			return true
+		}
+		w := NewReal("w", []float64{1, 2}, []float64{y0, y1})
+		level := (y0 + y1) / 2
+		if math.IsInf(level, 0) {
+			return true
+		}
+		xs := w.Cross(level)
+		return len(xs) == 1 && xs[0] >= 1 && xs[0] <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSettleTime(t *testing.T) {
+	x := num.LinSpace(0, 10, 1001)
+	y := make([]float64, len(x))
+	for i, tt := range x {
+		y[i] = 1 - math.Exp(-tt)
+	}
+	w := NewReal("rc", x, y)
+	ts := w.SettleTime(0.02)
+	// 2% of final ~ 1: settles when exp(-t) < 0.02*(1-e^-10) => t ~ 3.9
+	if ts < 3 || ts > 5 {
+		t.Errorf("settle = %g, want ~3.9", ts)
+	}
+}
+
+func TestPlotHandlesInfAndNaN(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, math.Inf(-1), math.NaN(), 2, 3}
+	w := NewReal("bad", x, y)
+	var sb strings.Builder
+	if err := Plot(&sb, PlotOptions{}, w); err != nil {
+		t.Fatalf("plot with inf/nan: %v", err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Error("finite samples should still render")
+	}
+}
+
+func TestPlotSingleValueRange(t *testing.T) {
+	w := NewReal("flat", []float64{1, 2, 3}, []float64{5, 5, 5})
+	var sb strings.Builder
+	if err := Plot(&sb, PlotOptions{Height: 5, Width: 40}, w); err != nil {
+		t.Fatalf("flat plot: %v", err)
+	}
+}
+
+func TestScaleAndOffset(t *testing.T) {
+	w := NewReal("w", []float64{1, 2}, []float64{1, 2})
+	s := w.Scale(complex(3, 0)).Offset(1)
+	if real(s.Y[0]) != 4 || real(s.Y[1]) != 7 {
+		t.Errorf("scale/offset: %v", s.Y)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	w := NewReal("w", []float64{1, 2}, []float64{1, 2})
+	c := w.Clone()
+	c.Y[0] = 99
+	if real(w.Y[0]) != 1 {
+		t.Error("clone shares storage")
+	}
+}
