@@ -5,7 +5,9 @@ package acstab_test
 // and relative timings) feed EXPERIMENTS.md.
 
 import (
+	"encoding/json"
 	"io"
+	"os"
 	"testing"
 
 	"acstab/internal/analysis"
@@ -261,6 +263,66 @@ func BenchmarkAblationStencil(b *testing.B) {
 			b.ReportMetric(errPct, "peak_err_%")
 		})
 	}
+}
+
+// benchSummaryRow is one line of the perf-trajectory summary file.
+type benchSummaryRow struct {
+	Op          string  `json:"op"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+}
+
+// TestEmitBenchSummary writes a BENCH_*.json perf summary when the
+// ACSTAB_BENCH_JSON env var names an output file, e.g.
+//
+//	ACSTAB_BENCH_JSON=BENCH_obs.json go test -run TestEmitBenchSummary .
+//
+// It is a test (not a benchmark) so the trajectory file can be produced by
+// one deterministic command in CI without parsing `go test -bench` output.
+func TestEmitBenchSummary(t *testing.T) {
+	path := os.Getenv("ACSTAB_BENCH_JSON")
+	if path == "" {
+		t.Skip("set ACSTAB_BENCH_JSON=FILE to emit the benchmark summary")
+	}
+	ops := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"Table1SingleNode", BenchmarkTable1},
+		{"Table2AllNodes", BenchmarkTable2AllNodes},
+		{"Fig4StabilityPlot", BenchmarkFig4StabilityPlot},
+		{"TransistorAllNodes", BenchmarkTransistorAllNodes},
+	}
+	var rows []benchSummaryRow
+	for _, op := range ops {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			op.fn(b)
+		})
+		rows = append(rows, benchSummaryRow{
+			Op:          op.name,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d benchmark rows to %s", len(rows), path)
 }
 
 func itoa(n int) string {

@@ -10,6 +10,8 @@
 //	acstab -i circuit.cir -annotate            # annotated netlist (Fig. 5)
 //	acstab -i circuit.cir -temps 27,85,125     # temperature sweep
 //	acstab -i circuit.cir -set rload=2k        # design-variable override
+//	acstab -i circuit.cir -stats               # phase timings + solver counters
+//	acstab -i circuit.cir -trace-json t.json   # machine-readable run trace
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"acstab/internal/farm"
 	"acstab/internal/netlist"
 	"acstab/internal/num"
+	"acstab/internal/obs"
 	"acstab/internal/report"
 	"acstab/internal/tool"
 	"acstab/internal/wave"
@@ -35,7 +38,12 @@ func main() {
 	}
 }
 
+// run executes the CLI with diagnostics (-stats) on stderr.
 func run(args []string, out io.Writer) error {
+	return runWith(args, out, os.Stderr)
+}
+
+func runWith(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("acstab", flag.ContinueOnError)
 	var (
 		input    = fs.String("i", "", "input netlist file (default: stdin)")
@@ -61,6 +69,8 @@ func run(args []string, out io.Writer) error {
 		remote   = fs.String("remote", "", "submit the run to a remote acstabd worker (URL)")
 		sets     multiFlag
 		diagFile = fs.String("diag", "", "write a diagnostic report file on completion")
+		stats    = fs.Bool("stats", false, "print phase timings and solver counters to stderr")
+		traceOut = fs.String("trace-json", "", "write the machine-readable run trace to this file")
 	)
 	fs.Var(&sets, "set", "design-variable override name=value (repeatable)")
 	fs.Var(&sigmas, "sigma", "Monte Carlo relative sigma name=value (repeatable)")
@@ -68,7 +78,10 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	trace := obs.StartRun("acstab")
+	sp := trace.StartPhase("parse")
 	src, ckt, err := loadCircuit(*input)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -111,6 +124,7 @@ func run(args []string, out io.Writer) error {
 		opts.SkipNodes = strings.Split(*skip, ",")
 	}
 	opts.OnlySubckt = *subckt
+	opts.Trace = trace
 	if *stateIn != "" {
 		f, err := os.Open(*stateIn)
 		if err != nil {
@@ -145,6 +159,25 @@ func run(args []string, out io.Writer) error {
 		runErr = runMC(out, ckt, opts, *mcRuns, *mcSeed, sigmas)
 	default:
 		runErr = dispatch(out, ckt, opts, *node, *format, *annotate, *plot, *temps, *sweep)
+	}
+	trace.Finish()
+	if *stats {
+		if err := trace.WriteSummary(errOut); err != nil {
+			return err
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("-trace-json: %v", err)
+		}
+		werr := trace.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("-trace-json: %v", werr)
+		}
 	}
 	if *diagFile != "" {
 		f, err := os.Create(*diagFile)

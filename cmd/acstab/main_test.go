@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -9,7 +10,27 @@ import (
 	"testing"
 
 	"acstab/internal/farm"
+	"acstab/internal/obs"
 )
+
+// opampNetlist is the paper's Fig. 1 op-amp buffer (the examples/opamp
+// workload) as a netlist, used to exercise the observability flags on a
+// realistic multi-node circuit.
+const opampNetlist = `2 MHz op-amp as unity-gain buffer (Fig. 1)
+.param rzero=503 c1=8p cload=12.9p
+V1 inp 0 DC 0 AC 1
+G1 net136 0 inp net99 175.3u
+R1 net136 0 10meg
+C1 net136 net052 {c1}
+RZERO net052 net138 {rzero}
+G2 net138 0 net136 0 280.5u
+R2 net138 0 1meg
+C2 net138 0 2.41p
+ROUT net138 output 547
+CLOAD output 0 {cload}
+RFB output net99 10
+CFB net99 0 1p
+`
 
 const tankNetlist = `test tank
 .param rq=318
@@ -153,6 +174,69 @@ func TestBadInputs(t *testing.T) {
 	}
 	if err := run([]string{"-i", good, "-fstart", "zz"}, &out); err == nil {
 		t.Error("bad fstart should fail")
+	}
+}
+
+func TestStatsFlag(t *testing.T) {
+	path := writeNetlist(t, opampNetlist)
+	var out, errOut bytes.Buffer
+	if err := runWith([]string{"-i", path, "-stats"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Loop at") {
+		t.Errorf("report missing:\n%s", out.String())
+	}
+	s := errOut.String()
+	for _, phase := range []string{"parse", "flatten", "mna_assembly", "op", "sweep", "stability", "loop_clustering"} {
+		if !strings.Contains(s, "phase "+phase) {
+			t.Errorf("stats missing phase %s:\n%s", phase, s)
+		}
+	}
+	if !strings.Contains(s, "solver counters:") ||
+		!strings.Contains(s, "ac_factorizations") || !strings.Contains(s, "newton_iterations") {
+		t.Errorf("stats missing solver counters:\n%s", s)
+	}
+	// Phase timings are nonzero: the total line carries a real duration.
+	if strings.Contains(s, "0s total") {
+		t.Errorf("total duration is zero:\n%s", s)
+	}
+}
+
+func TestTraceJSONFlag(t *testing.T) {
+	path := writeNetlist(t, opampNetlist)
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	var out, errOut bytes.Buffer
+	if err := runWith([]string{"-i", path, "-trace-json", traceFile}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr obs.Trace
+	if err := json.Unmarshal(b, &tr); err != nil {
+		t.Fatalf("trace does not round-trip through encoding/json: %v", err)
+	}
+	if tr.Name != "acstab" || tr.DurationNS <= 0 {
+		t.Errorf("trace header = %+v", tr)
+	}
+	phases := map[string]bool{}
+	for _, p := range tr.Phases {
+		if p.DurationNS < 0 {
+			t.Errorf("phase %s has negative duration", p.Phase)
+		}
+		phases[p.Phase] = true
+	}
+	for _, want := range []string{"parse", "flatten", "mna_assembly", "op", "sweep", "stability", "loop_clustering"} {
+		if !phases[want] {
+			t.Errorf("trace missing phase %s (got %v)", want, phases)
+		}
+	}
+	if tr.Counters["ac_factorizations"] <= 0 || tr.Counters["ac_solves"] <= 0 {
+		t.Errorf("trace solver counters = %v", tr.Counters)
+	}
+	if tr.Counters["sweep_nodes"] <= 0 || tr.Counters["sweep_freq_points"] <= 0 {
+		t.Errorf("trace sweep counters = %v", tr.Counters)
 	}
 }
 

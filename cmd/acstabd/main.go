@@ -1,31 +1,118 @@
 // Command acstabd is a stability-analysis farm worker: the remote
 // simulation capability the paper lists under future development. It
-// serves POST /run (netlist + options JSON in, rendered report out) and
-// GET /healthz. Point any number of acstab clients — or a load balancer —
-// at a fleet of workers.
+// serves POST /run (netlist + options JSON in, rendered report out),
+// GET /healthz, GET /metrics (Prometheus text exposition), and
+// GET /statusz (JSON status snapshot). With -pprof it additionally exposes
+// the net/http/pprof handlers under /debug/pprof/. Point any number of
+// acstab clients — or a load balancer — at a fleet of workers.
+//
+// On SIGINT/SIGTERM the worker stops accepting connections, drains
+// in-flight /run jobs for up to -drain-timeout, and logs a final metrics
+// snapshot before exiting.
 //
 // Usage:
 //
-//	acstabd -listen :8080
+//	acstabd -listen :8080 -pprof -drain-timeout 30s
 //	acstab -i circuit.cir -remote http://worker:8080
+//	curl http://worker:8080/metrics
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"acstab/internal/farm"
+	"acstab/internal/obs"
 )
 
 func main() {
 	listen := flag.String("listen", ":8080", "listen address")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	drain := flag.Duration("drain-timeout", 30*time.Second,
+		"how long to wait for in-flight /run jobs on shutdown")
 	flag.Parse()
-	log.Printf("acstabd listening on %s", *listen)
-	if err := http.ListenAndServe(*listen, farm.Handler()); err != nil {
+	if err := serve(*listen, *pprofOn, *drain, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "acstabd: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// handler builds the worker's HTTP surface: the farm routes (with their
+// observability middleware) plus, when pprofOn, the pprof handlers. pprof
+// is opt-in because profile endpoints are a debugging surface one does not
+// leave open on a production farm by default.
+func handler(pprofOn bool) http.Handler {
+	h := farm.Handler()
+	if !pprofOn {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// serve runs the worker until a fatal listener error or a termination
+// signal, then drains gracefully. When ready is non-nil it receives the
+// bound address once the listener is up (used by tests and by operators
+// running with -listen :0).
+func serve(listen string, pprofOn bool, drain time.Duration, ready chan<- string) error {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: handler(pprofOn)}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	log.Printf("acstabd listening on %s (pprof=%v, drain-timeout=%s)", ln.Addr(), pprofOn, drain)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		if err == http.ErrServerClosed {
+			return nil
+		}
+		return err
+	case sig := <-sigCh:
+		log.Printf("acstabd: received %s, draining in-flight jobs (timeout %s)", sig, drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("acstabd: drain incomplete: %v", err)
+		}
+		logFinalSnapshot()
+		return nil
+	}
+}
+
+// logFinalSnapshot writes the closing metrics snapshot so a scraped-on-
+// interval worker does not lose the tail of its run history on shutdown.
+func logFinalSnapshot() {
+	b, err := json.Marshal(obs.Default.Snapshot())
+	if err != nil {
+		log.Printf("acstabd: final metrics snapshot failed: %v", err)
+		return
+	}
+	log.Printf("acstabd: final metrics snapshot: %s", b)
 }

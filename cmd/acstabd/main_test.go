@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestHandlerPprofGate(t *testing.T) {
+	// Disabled: /debug/pprof/ is not served.
+	srv := httptest.NewServer(handler(false))
+	resp, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("pprof should be absent without -pprof")
+	}
+	srv.Close()
+
+	// Enabled: the index responds and the farm routes still work.
+	srv = httptest.NewServer(handler(true))
+	defer srv.Close()
+	resp, err = srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index: status %d body %q", resp.StatusCode, body)
+	}
+	resp, err = srv.Client().Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz through pprof mux: %v %v", resp, err)
+	}
+	resp.Body.Close()
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	var logBuf bytes.Buffer
+	log.SetOutput(&logBuf)
+	defer log.SetOutput(os.Stderr)
+
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- serve("127.0.0.1:0", false, 5*time.Second, ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not come up")
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+	resp.Body.Close()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down after SIGTERM")
+	}
+	logs := logBuf.String()
+	if !strings.Contains(logs, "draining in-flight jobs") {
+		t.Errorf("missing drain log:\n%s", logs)
+	}
+	if !strings.Contains(logs, "final metrics snapshot") {
+		t.Errorf("missing final snapshot log:\n%s", logs)
+	}
+	// The listener is closed: new connections must fail.
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("server still accepting connections after shutdown")
+	}
+}

@@ -14,8 +14,19 @@ import (
 
 	"acstab/internal/linalg"
 	"acstab/internal/mna"
+	"acstab/internal/obs"
 	"acstab/internal/sparse"
 	"acstab/internal/wave"
+)
+
+// Solver counters. Increments happen at solve granularity (one atomic add
+// per sweep or Newton solve, never per matrix entry), so the
+// instrumentation cost is invisible next to a factorization.
+var (
+	mACFactorizations = obs.GetCounter("acstab_ac_factorizations_total")
+	mACSolves         = obs.GetCounter("acstab_ac_solves_total")
+	mNewtonIterations = obs.GetCounter("acstab_newton_iterations_total")
+	mOPSolves         = obs.GetCounter("acstab_op_solves_total")
 )
 
 // Options tunes the solvers.
@@ -64,6 +75,10 @@ func DefaultOptions() Options {
 type Sim struct {
 	Sys *mna.System
 	Opt Options
+	// Trace, when non-nil, accumulates solver counters (factorizations,
+	// solves, Newton iterations) for the run-level trace in addition to
+	// the process-wide obs registry.
+	Trace *obs.Run
 }
 
 // New returns a simulator over the compiled system with default options.
@@ -85,7 +100,13 @@ func (s *Sim) newton(assemble assembleFn, x0 []float64) ([]float64, error) {
 	x := append([]float64(nil), x0...)
 	a := linalg.NewMatrix(n)
 	b := make([]float64, n)
+	iters := 0
+	defer func() {
+		mNewtonIterations.Add(int64(iters))
+		s.Trace.Add("newton_iterations", int64(iters))
+	}()
 	for iter := 0; iter < s.Opt.MaxIter; iter++ {
+		iters++
 		a.Zero()
 		for i := range b {
 			b[i] = 0
@@ -135,6 +156,8 @@ func (s *Sim) newton(assemble assembleFn, x0 []float64) ([]float64, error) {
 // OP computes the DC operating point. On plain-Newton failure it falls
 // back to gmin stepping and then source stepping.
 func (s *Sim) OP() (*mna.OpPoint, error) {
+	mOPSolves.Inc()
+	s.Trace.Add("op_solves", 1)
 	// Initial guess: zeros, overridden by any .nodeset hints.
 	zero := make([]float64, s.Sys.NumUnknowns())
 	for node, v := range s.Sys.Ckt.NodeSet {
@@ -302,6 +325,10 @@ func (s *Sim) AC(freqs []float64, op *mna.OpPoint) (*ACResult, error) {
 		}
 		res.Sol[k] = x
 	}
+	mACFactorizations.Add(int64(len(freqs)))
+	mACSolves.Add(int64(len(freqs)))
+	s.Trace.Add("ac_factorizations", int64(len(freqs)))
+	s.Trace.Add("ac_solves", int64(len(freqs)))
 	return res, nil
 }
 
@@ -358,6 +385,10 @@ func (s *Sim) ImpedanceMatrixColumns(freqs []float64, op *mna.OpPoint, nodeIdx [
 			out[i][k] = x[idx]
 		}
 	}
+	mACFactorizations.Add(int64(len(freqs)))
+	mACSolves.Add(int64(len(freqs) * len(nodeIdx)))
+	s.Trace.Add("ac_factorizations", int64(len(freqs)))
+	s.Trace.Add("ac_solves", int64(len(freqs)*len(nodeIdx)))
 	return out, nil
 }
 

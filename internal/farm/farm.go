@@ -13,11 +13,23 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
+	"strings"
 	"time"
 
 	"acstab/internal/netlist"
+	"acstab/internal/obs"
 	"acstab/internal/report"
 	"acstab/internal/tool"
+)
+
+// Worker telemetry: job throughput and saturation. Phase latencies and
+// solver counters come from the instrumented analysis/tool packages via
+// the shared obs registry.
+var (
+	mJobsInflight = obs.GetGauge("acstab_jobs_inflight")
+	mRunsTotal    = obs.GetCounter("acstab_farm_runs_total")
+	mRunErrors    = obs.GetCounter("acstab_farm_run_errors_total")
 )
 
 // Request is one remote stability job.
@@ -51,14 +63,30 @@ type RequestOptions struct {
 const MaxNetlistBytes = 4 << 20
 
 // Handler returns the HTTP handler of a farm worker: POST /run executes a
-// job, GET /healthz reports liveness.
+// job, GET /healthz reports liveness, GET /metrics serves the Prometheus
+// exposition of the process registry, and GET /statusz serves a JSON
+// status snapshot (jobs in flight, per-phase latency histograms, solver
+// counters, worker utilization). Every route is wrapped in the obs
+// request-logging middleware.
 func Handler() http.Handler {
+	start := time.Now()
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", handleHealthz)
 	mux.HandleFunc("/run", handleRun)
-	return mux
+	mux.Handle("/metrics", obs.MetricsHandler())
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		handleStatusz(w, r, start)
+	})
+	return obs.Middleware(mux, nil)
+}
+
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
 }
 
 func handleRun(w http.ResponseWriter, r *http.Request) {
@@ -66,6 +94,8 @@ func handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
 		return
 	}
+	mJobsInflight.Inc()
+	defer mJobsInflight.Dec()
 	body, err := io.ReadAll(io.LimitReader(r.Body, MaxNetlistBytes+4096))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -87,10 +117,18 @@ func handleRun(w http.ResponseWriter, r *http.Request) {
 
 // Run executes one job locally (the server calls this; tests can too).
 func Run(req *Request) (body []byte, contentType string, err error) {
+	mRunsTotal.Inc()
+	defer func() {
+		if err != nil {
+			mRunErrors.Inc()
+		}
+	}()
 	if len(req.Netlist) > MaxNetlistBytes {
 		return nil, "", fmt.Errorf("farm: netlist larger than %d bytes", MaxNetlistBytes)
 	}
+	sp := obs.StartPhase(nil, "parse")
 	ckt, err := netlist.Parse(req.Netlist)
+	sp.End()
 	if err != nil {
 		return nil, "", err
 	}
@@ -162,6 +200,94 @@ func Run(req *Request) (body []byte, contentType string, err error) {
 		return nil, "", err
 	}
 	return buf.Bytes(), contentType, nil
+}
+
+// Statusz is the JSON document served at GET /statusz: a human- and
+// machine-readable snapshot of what the worker is doing right now.
+type Statusz struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// JobsInflight counts /run jobs currently executing.
+	JobsInflight float64 `json:"jobs_inflight"`
+	RunsTotal    int64   `json:"runs_total"`
+	RunErrors    int64   `json:"run_errors_total"`
+	// Requests maps `path="...",code="..."` label sets to request counts.
+	Requests map[string]int64 `json:"http_requests_total,omitempty"`
+	// Phases maps phase names (parse, mna_assembly, op, sweep, stability,
+	// loop_clustering) to latency histogram summaries in seconds.
+	Phases map[string]obs.HistogramSnapshot `json:"phase_latency_seconds,omitempty"`
+	// Solver holds the cumulative solver counters (AC factorizations and
+	// solves, Newton iterations, operating-point solves, MNA compiles).
+	Solver  map[string]int64 `json:"solver,omitempty"`
+	Workers StatuszWorkers   `json:"workers"`
+}
+
+// StatuszWorkers reports sweep-pool saturation.
+type StatuszWorkers struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// SweepBusy is the number of sweep workers executing right now.
+	SweepBusy float64 `json:"sweep_busy"`
+	// Utilization is SweepBusy / GOMAXPROCS.
+	Utilization float64 `json:"utilization"`
+}
+
+// statuszFrom assembles the status document from a registry snapshot.
+func statuszFrom(snap map[string]any, uptime time.Duration) *Statusz {
+	st := &Statusz{
+		UptimeSeconds: uptime.Seconds(),
+		Requests:      map[string]int64{},
+		Phases:        map[string]obs.HistogramSnapshot{},
+		Solver:        map[string]int64{},
+	}
+	st.Workers.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	const (
+		phasePrefix = `acstab_phase_duration_seconds{phase="`
+		reqPrefix   = `acstab_http_requests_total{`
+		solverPre   = "acstab_"
+	)
+	for name, v := range snap {
+		switch {
+		case strings.HasPrefix(name, phasePrefix):
+			phase := strings.TrimSuffix(strings.TrimPrefix(name, phasePrefix), `"}`)
+			if hs, ok := v.(obs.HistogramSnapshot); ok {
+				st.Phases[phase] = hs
+			}
+		case strings.HasPrefix(name, reqPrefix):
+			labels := strings.TrimSuffix(strings.TrimPrefix(name, reqPrefix), "}")
+			if n, ok := v.(int64); ok {
+				st.Requests[labels] = n
+			}
+		case name == "acstab_jobs_inflight":
+			st.JobsInflight, _ = v.(float64)
+		case name == "acstab_farm_runs_total":
+			st.RunsTotal, _ = v.(int64)
+		case name == "acstab_farm_run_errors_total":
+			st.RunErrors, _ = v.(int64)
+		case name == "acstab_sweep_workers_busy":
+			st.Workers.SweepBusy, _ = v.(float64)
+		case strings.HasPrefix(name, solverPre) && strings.HasSuffix(name, "_total") &&
+			!strings.HasPrefix(name, "acstab_http_"):
+			// Remaining counters are solver/sweep volume counters.
+			if n, ok := v.(int64); ok {
+				key := strings.TrimSuffix(strings.TrimPrefix(name, solverPre), "_total")
+				st.Solver[key] = n
+			}
+		}
+	}
+	if st.Workers.GOMAXPROCS > 0 {
+		st.Workers.Utilization = st.Workers.SweepBusy / float64(st.Workers.GOMAXPROCS)
+	}
+	return st
+}
+
+func handleStatusz(w http.ResponseWriter, r *http.Request, start time.Time) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(statuszFrom(obs.Default.Snapshot(), time.Since(start)))
 }
 
 type singleNodeResult struct {

@@ -2,8 +2,12 @@ package farm
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"math"
+	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -115,11 +119,180 @@ func TestHTTPEndToEnd(t *testing.T) {
 	if err != nil || resp.StatusCode != 200 {
 		t.Fatalf("healthz: %v %v", resp, err)
 	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+		t.Errorf("healthz content type %q", ct)
+	}
 	resp.Body.Close()
-	// Method check.
+	// Method checks: /run is POST-only, /healthz is GET-only.
 	resp, err = srv.Client().Get(srv.URL + "/run")
 	if err != nil || resp.StatusCode != 405 {
 		t.Fatalf("GET /run should 405, got %v %v", resp.Status, err)
 	}
 	resp.Body.Close()
+	resp, err = srv.Client().Post(srv.URL+"/healthz", "text/plain", strings.NewReader("x"))
+	if err != nil || resp.StatusCode != 405 {
+		t.Fatalf("POST /healthz should 405, got %v %v", resp.Status, err)
+	}
+	resp.Body.Close()
+}
+
+// postJSON posts a raw body to /run and returns status and body text.
+func postJSON(t *testing.T, srv *httptest.Server, body string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Post(srv.URL+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestHandlerErrorPaths(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	// Malformed JSON body.
+	if code, body := postJSON(t, srv, "{not json"); code != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, body %q", code, body)
+	}
+	// Unknown format is a job-level failure.
+	req, _ := json.Marshal(&Request{Netlist: tankNetlist, Format: "yaml"})
+	if code, body := postJSON(t, srv, string(req)); code != http.StatusUnprocessableEntity ||
+		!strings.Contains(body, "unknown format") {
+		t.Errorf("unknown format: status %d, body %q", code, body)
+	}
+	// Oversized netlist: the declared size exceeds MaxNetlistBytes. The
+	// handler's read limit truncates the body first, so the request dies
+	// as either a 400 (truncated JSON) or a 422 (size check in Run).
+	big, _ := json.Marshal(&Request{Netlist: strings.Repeat("x", MaxNetlistBytes+1)})
+	if code, body := postJSON(t, srv, string(big)); code != http.StatusBadRequest &&
+		code != http.StatusUnprocessableEntity {
+		t.Errorf("oversized netlist: status %d, body %q", code, body)
+	}
+}
+
+// promValue extracts the value of one exposition line by exact metric name.
+func promValue(t *testing.T, text, name string) (float64, bool) {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("bad sample %q: %v", line, err)
+		}
+		return v, true
+	}
+	return 0, false
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	read := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	runs0, _ := promValue(t, read("/metrics"), "acstab_farm_runs_total")
+	fact0, _ := promValue(t, read("/metrics"), "acstab_ac_factorizations_total")
+
+	// One real job, then assert the counters moved.
+	c := &Client{BaseURL: srv.URL}
+	if _, err := c.Submit(&Request{Netlist: tankNetlist}); err != nil {
+		t.Fatal(err)
+	}
+	text := read("/metrics")
+	if !strings.Contains(text, "# TYPE acstab_farm_runs_total counter") {
+		t.Errorf("missing TYPE header:\n%s", text)
+	}
+	if runs, ok := promValue(t, text, "acstab_farm_runs_total"); !ok || runs != runs0+1 {
+		t.Errorf("farm_runs_total = %g, want %g", runs, runs0+1)
+	}
+	if fact, ok := promValue(t, text, "acstab_ac_factorizations_total"); !ok || fact <= fact0 {
+		t.Errorf("ac_factorizations_total = %g, want > %g", fact, fact0)
+	}
+	// Request counter and latency histogram for the POST /run we just made.
+	if v, ok := promValue(t, text, `acstab_http_requests_total{path="/run",code="200"}`); !ok || v < 1 {
+		t.Errorf("run request counter = %g (ok=%v)", v, ok)
+	}
+	if !strings.Contains(text, `acstab_http_request_duration_seconds_bucket{path="/run",le="+Inf"}`) {
+		t.Errorf("missing latency histogram buckets:\n%s", text)
+	}
+	// Per-phase sweep timings.
+	for _, phase := range []string{"parse", "mna_assembly", "op", "sweep", "stability", "loop_clustering"} {
+		name := fmt.Sprintf(`acstab_phase_duration_seconds_count{phase=%q}`, phase)
+		if v, ok := promValue(t, text, name); !ok || v < 1 {
+			t.Errorf("phase %s histogram count = %g (ok=%v)", phase, v, ok)
+		}
+	}
+}
+
+func TestStatuszEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	c := &Client{BaseURL: srv.URL}
+	if _, err := c.Submit(&Request{Netlist: tankNetlist}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Get(srv.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("statusz content type %q", ct)
+	}
+	var st Statusz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.JobsInflight != 0 {
+		t.Errorf("jobs_inflight = %g, want 0 at rest", st.JobsInflight)
+	}
+	if st.RunsTotal < 1 {
+		t.Errorf("runs_total = %d", st.RunsTotal)
+	}
+	if st.UptimeSeconds <= 0 {
+		t.Errorf("uptime = %g", st.UptimeSeconds)
+	}
+	sweep, ok := st.Phases["sweep"]
+	if !ok || sweep.Count < 1 || sweep.Sum <= 0 {
+		t.Errorf("sweep phase histogram = %+v (ok=%v)", sweep, ok)
+	}
+	if st.Solver["ac_factorizations"] < 1 {
+		t.Errorf("solver counters = %v", st.Solver)
+	}
+	if st.Workers.GOMAXPROCS < 1 {
+		t.Errorf("workers = %+v", st.Workers)
+	}
+	if _, clash := st.Solver["http_request_bytes"]; clash {
+		t.Error("HTTP byte counters should not be classified as solver counters")
+	}
+	// Method check.
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/statusz", nil)
+	resp2, err := srv.Client().Do(req)
+	if err != nil || resp2.StatusCode != 405 {
+		t.Fatalf("POST /statusz should 405, got %v %v", resp2, err)
+	}
+	resp2.Body.Close()
 }

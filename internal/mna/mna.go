@@ -19,6 +19,16 @@ import (
 
 	"acstab/internal/device"
 	"acstab/internal/netlist"
+	"acstab/internal/obs"
+)
+
+// Compile telemetry: how many systems this process assembled and the shape
+// of the most recent one. The gauges make /statusz show what the worker is
+// currently chewing on.
+var (
+	mCompiles      = obs.GetCounter("acstab_mna_compiles_total")
+	mLastUnknowns  = obs.GetGauge("acstab_mna_last_unknowns")
+	mLastNonlinear = obs.GetGauge("acstab_mna_last_nonlinear_devices")
 )
 
 // RealAdder accumulates real matrix entries.
@@ -230,6 +240,9 @@ func Compile(c *netlist.Circuit) (*System, error) {
 	if s.numNodes == 0 {
 		return nil, fmt.Errorf("mna: circuit has no non-ground nodes")
 	}
+	mCompiles.Inc()
+	mLastUnknowns.Set(float64(s.NumUnknowns()))
+	mLastNonlinear.Set(float64(s.NonlinearCount()))
 	return s, nil
 }
 

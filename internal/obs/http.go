@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Logf is the structured-log sink of the HTTP middleware; nil selects
+// log.Printf.
+type Logf func(format string, args ...any)
+
+// reqSeq numbers requests process-wide for the request-ID log field.
+var reqSeq atomic.Int64
+
+// statusWriter captures the response code and byte count.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// labelPath normalizes the metric path label: known single-segment routes
+// pass through, everything else collapses to "other" so hostile or random
+// URLs cannot grow the metric space without bound.
+func labelPath(p string) string {
+	switch {
+	case p == "/run", p == "/healthz", p == "/metrics", p == "/statusz":
+		return p
+	case strings.HasPrefix(p, "/debug/pprof"):
+		return "/debug/pprof"
+	default:
+		return "other"
+	}
+}
+
+// Middleware wraps an HTTP handler with request observability: a request
+// counter and latency histogram per (path, status), request/response byte
+// counters, an in-flight gauge, and one structured log line per request
+// carrying a process-unique request ID.
+func Middleware(next http.Handler, logf Logf) http.Handler {
+	if logf == nil {
+		logf = log.Printf
+	}
+	inflight := GetGauge("acstab_http_requests_inflight")
+	bytesIn := GetCounter("acstab_http_request_bytes_total")
+	bytesOut := GetCounter("acstab_http_response_bytes_total")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("req-%06d", reqSeq.Add(1))
+		start := time.Now()
+		inflight.Inc()
+		defer inflight.Dec()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		dur := time.Since(start)
+		path := labelPath(r.URL.Path)
+		GetCounter(fmt.Sprintf("acstab_http_requests_total{path=%q,code=\"%d\"}", path, sw.status)).Inc()
+		GetHistogram(fmt.Sprintf("acstab_http_request_duration_seconds{path=%q}", path)).Observe(dur.Seconds())
+		if r.ContentLength > 0 {
+			bytesIn.Add(r.ContentLength)
+		}
+		bytesOut.Add(sw.bytes)
+		logf("http req_id=%s method=%s path=%s status=%d bytes_in=%d bytes_out=%d dur=%s remote=%s",
+			id, r.Method, r.URL.Path, sw.status, max(r.ContentLength, 0), sw.bytes,
+			dur.Round(time.Microsecond), r.RemoteAddr)
+	})
+}
+
+// MetricsHandler serves the Default registry in Prometheus text format
+// (GET only).
+func MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		Default.WritePrometheus(w)
+	})
+}

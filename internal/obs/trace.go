@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// maxSpans bounds the per-run span list so sweep drivers (Monte Carlo,
+// corners) cannot grow a trace without limit; once hit, further spans are
+// counted in DroppedSpans but still feed the registry histograms.
+const maxSpans = 4096
+
+// Run is one traced stability run: an ordered list of phase spans plus
+// named solver counters. A nil *Run is valid everywhere — every method is
+// a no-op on nil — so instrumented code can thread an optional trace
+// without branching.
+type Run struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	end      time.Time
+	spans    []PhaseSpan
+	counters map[string]int64
+	dropped  int64
+}
+
+// PhaseSpan is one timed phase inside a run.
+type PhaseSpan struct {
+	// Phase is the phase name (parse, flatten, mna_assembly, op, sweep,
+	// stability, loop_clustering, ...).
+	Phase string `json:"phase"`
+	// StartNS is the offset from the run start in nanoseconds.
+	StartNS int64 `json:"start_ns"`
+	// DurationNS is the span length in nanoseconds.
+	DurationNS int64 `json:"duration_ns"`
+}
+
+// Trace is the machine-readable snapshot of a finished (or in-flight) run,
+// the payload of acstab -trace-json.
+type Trace struct {
+	Name         string           `json:"name"`
+	DurationNS   int64            `json:"duration_ns"`
+	Phases       []PhaseSpan      `json:"phases"`
+	Counters     map[string]int64 `json:"counters,omitempty"`
+	DroppedSpans int64            `json:"dropped_spans,omitempty"`
+}
+
+// StartRun begins a trace.
+func StartRun(name string) *Run {
+	return &Run{name: name, start: time.Now(), counters: map[string]int64{}}
+}
+
+// Finish stamps the run end time. Calling it again is a no-op.
+func (r *Run) Finish() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.end.IsZero() {
+		r.end = time.Now()
+	}
+}
+
+// Add accumulates a named counter (factorizations, solves, nodes, ...).
+func (r *Run) Add(name string, n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += n
+	r.mu.Unlock()
+}
+
+// Span is an open phase; End closes it. A nil *Span is valid and End is a
+// no-op.
+type Span struct {
+	run   *Run
+	phase string
+	start time.Time
+}
+
+// StartPhase opens a phase span attached to r. The span always records its
+// duration into the Default registry histogram
+// `acstab_phase_duration_seconds{phase="<name>"}` on End; when r is non-nil
+// it is also appended to the run's trace.
+func StartPhase(r *Run, phase string) *Span {
+	return &Span{run: r, phase: phase, start: time.Now()}
+}
+
+// StartPhase opens a phase span on the run (nil-safe; equivalent to the
+// package-level StartPhase).
+func (r *Run) StartPhase(phase string) *Span { return StartPhase(r, phase) }
+
+// End closes the span: the duration feeds the registry phase histogram
+// and, if the span belongs to a run, the run's trace.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	dur := time.Since(s.start)
+	GetHistogram(`acstab_phase_duration_seconds{phase="` + s.phase + `"}`).Observe(dur.Seconds())
+	r := s.run
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.spans) >= maxSpans {
+		r.dropped++
+		return
+	}
+	r.spans = append(r.spans, PhaseSpan{
+		Phase:      s.phase,
+		StartNS:    s.start.Sub(r.start).Nanoseconds(),
+		DurationNS: dur.Nanoseconds(),
+	})
+}
+
+// Trace snapshots the run. It can be called before Finish; the duration
+// then reflects "so far".
+func (r *Run) Trace() Trace {
+	if r == nil {
+		return Trace{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	end := r.end
+	if end.IsZero() {
+		end = time.Now()
+	}
+	t := Trace{
+		Name:         r.name,
+		DurationNS:   end.Sub(r.start).Nanoseconds(),
+		Phases:       append([]PhaseSpan(nil), r.spans...),
+		DroppedSpans: r.dropped,
+	}
+	if len(r.counters) > 0 {
+		t.Counters = make(map[string]int64, len(r.counters))
+		for k, v := range r.counters {
+			t.Counters[k] = v
+		}
+	}
+	return t
+}
+
+// WriteJSON writes the trace as indented JSON (the -trace-json payload).
+func (r *Run) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Trace())
+}
+
+// phaseAgg is one row of the human summary.
+type phaseAgg struct {
+	name  string
+	count int
+	total time.Duration
+}
+
+// WriteSummary prints the human-readable run summary behind acstab -stats:
+// per-phase wall time (aggregated over repeated phases), the share of the
+// run each phase took, and the solver counters.
+func (r *Run) WriteSummary(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	t := r.Trace()
+	total := time.Duration(t.DurationNS)
+	agg := map[string]*phaseAgg{}
+	var order []string
+	for _, sp := range t.Phases {
+		a, ok := agg[sp.Phase]
+		if !ok {
+			a = &phaseAgg{name: sp.Phase}
+			agg[sp.Phase] = a
+			order = append(order, sp.Phase)
+		}
+		a.count++
+		a.total += time.Duration(sp.DurationNS)
+	}
+	if _, err := fmt.Fprintf(w, "run %s: %s total\n", t.Name, total.Round(time.Microsecond)); err != nil {
+		return err
+	}
+	for _, name := range order {
+		a := agg[name]
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(a.total) / float64(total)
+		}
+		if _, err := fmt.Fprintf(w, "  phase %-16s %12s  %5.1f%%  (x%d)\n",
+			a.name, a.total.Round(time.Microsecond), share, a.count); err != nil {
+			return err
+		}
+	}
+	if t.DroppedSpans > 0 {
+		if _, err := fmt.Fprintf(w, "  (%d spans dropped beyond the %d-span trace cap)\n", t.DroppedSpans, maxSpans); err != nil {
+			return err
+		}
+	}
+	if len(t.Counters) > 0 {
+		names := make([]string, 0, len(t.Counters))
+		for k := range t.Counters {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		if _, err := fmt.Fprintln(w, "solver counters:"); err != nil {
+			return err
+		}
+		for _, k := range names {
+			if _, err := fmt.Fprintf(w, "  %-24s %d\n", k, t.Counters[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunTrace(t *testing.T) {
+	r := StartRun("test-run")
+	sp := r.StartPhase("parse")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	sp = r.StartPhase("sweep")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	r.Add("ac_factorizations", 40)
+	r.Add("ac_solves", 400)
+	r.Add("noop", 0)
+	r.Finish()
+
+	tr := r.Trace()
+	if tr.Name != "test-run" {
+		t.Errorf("name = %q", tr.Name)
+	}
+	if len(tr.Phases) != 2 || tr.Phases[0].Phase != "parse" || tr.Phases[1].Phase != "sweep" {
+		t.Fatalf("phases = %+v", tr.Phases)
+	}
+	for _, p := range tr.Phases {
+		if p.DurationNS <= 0 {
+			t.Errorf("phase %s has non-positive duration", p.Phase)
+		}
+	}
+	if tr.Phases[1].StartNS < tr.Phases[0].StartNS {
+		t.Error("span offsets out of order")
+	}
+	if tr.DurationNS <= 0 {
+		t.Error("run duration should be positive")
+	}
+	if tr.Counters["ac_factorizations"] != 40 || tr.Counters["ac_solves"] != 400 {
+		t.Errorf("counters = %v", tr.Counters)
+	}
+	if _, ok := tr.Counters["noop"]; ok {
+		t.Error("zero adds should not create counters")
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	r := StartRun("roundtrip")
+	sp := r.StartPhase("op")
+	sp.End()
+	r.Add("newton_iterations", 17)
+	r.Finish()
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tr Trace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v", err)
+	}
+	if tr.Name != "roundtrip" || len(tr.Phases) != 1 || tr.Counters["newton_iterations"] != 17 {
+		t.Errorf("round-tripped trace = %+v", tr)
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	r := StartRun("summary")
+	for i := 0; i < 3; i++ {
+		sp := r.StartPhase("sweep")
+		time.Sleep(200 * time.Microsecond)
+		sp.End()
+	}
+	r.Add("ac_factorizations", 7)
+	r.Finish()
+
+	var buf bytes.Buffer
+	if err := r.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "run summary:") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "phase sweep") || !strings.Contains(out, "(x3)") {
+		t.Errorf("missing aggregated phase row:\n%s", out)
+	}
+	if !strings.Contains(out, "ac_factorizations") || !strings.Contains(out, "7") {
+		t.Errorf("missing counter row:\n%s", out)
+	}
+}
+
+func TestNilRunSafety(t *testing.T) {
+	var r *Run
+	r.Finish()
+	r.Add("x", 1)
+	sp := r.StartPhase("p")
+	sp.End()
+	var nilSpan *Span
+	nilSpan.End()
+	if tr := r.Trace(); tr.Name != "" || len(tr.Phases) != 0 {
+		t.Errorf("nil run trace = %+v", tr)
+	}
+	if err := r.WriteSummary(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil summary: %v", err)
+	}
+	// The phase histogram still records even without a run.
+	h := GetHistogram(`acstab_phase_duration_seconds{phase="p"}`)
+	if h.Count() < 1 {
+		t.Error("nil-run span should still feed the registry histogram")
+	}
+}
+
+func TestSpanCap(t *testing.T) {
+	r := StartRun("cap")
+	for i := 0; i < maxSpans+10; i++ {
+		r.StartPhase("loop").End()
+	}
+	tr := r.Trace()
+	if len(tr.Phases) != maxSpans {
+		t.Errorf("spans = %d, want %d", len(tr.Phases), maxSpans)
+	}
+	if tr.DroppedSpans != 10 {
+		t.Errorf("dropped = %d, want 10", tr.DroppedSpans)
+	}
+}
+
+func TestRunConcurrentSpans(t *testing.T) {
+	r := StartRun("parallel")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				sp := r.StartPhase("worker")
+				sp.End()
+				r.Add("items", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	r.Finish()
+	tr := r.Trace()
+	if len(tr.Phases) != 400 {
+		t.Errorf("phases = %d, want 400", len(tr.Phases))
+	}
+	if tr.Counters["items"] != 400 {
+		t.Errorf("items = %d", tr.Counters["items"])
+	}
+}

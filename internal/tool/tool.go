@@ -17,8 +17,20 @@ import (
 	"acstab/internal/mna"
 	"acstab/internal/netlist"
 	"acstab/internal/num"
+	"acstab/internal/obs"
 	"acstab/internal/stab"
 	"acstab/internal/wave"
+)
+
+// Run-mode telemetry. Phase timings flow through obs.StartPhase into
+// `acstab_phase_duration_seconds{phase=...}` histograms; these counters
+// and the worker gauge cover the sweep volume and utilization.
+var (
+	mAllNodesRuns   = obs.GetCounter("acstab_allnodes_runs_total")
+	mSingleNodeRuns = obs.GetCounter("acstab_singlenode_runs_total")
+	mSweepNodes     = obs.GetCounter("acstab_sweep_nodes_total")
+	mSweepPoints    = obs.GetCounter("acstab_sweep_freq_points_total")
+	mWorkersBusy    = obs.GetGauge("acstab_sweep_workers_busy")
 )
 
 // Options configures a stability run.
@@ -48,6 +60,12 @@ type Options struct {
 	OnlySubckt string
 	// Analysis overrides the solver options.
 	Analysis *analysis.Options
+	// Trace, when non-nil, collects per-phase spans and solver counters
+	// for this run (acstab -stats / -trace-json, farm run traces). It is
+	// excluded from serialized reports and never mutated structurally by
+	// the tool, so one trace may span several Tool instances (corner and
+	// temperature sweeps).
+	Trace *obs.Run `json:"-"`
 }
 
 // DefaultOptions returns the defaults documented in DESIGN.md.
@@ -112,14 +130,18 @@ func New(ckt *netlist.Circuit, opts Options) (*Tool, error) {
 	if opts.LoopTol <= 0 {
 		opts.LoopTol = 0.12
 	}
+	sp := obs.StartPhase(opts.Trace, "flatten")
 	flat, err := netlist.Flatten(ckt)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	if opts.AutoZeroAC {
 		flat.ZeroACSources()
 	}
+	sp = obs.StartPhase(opts.Trace, "mna_assembly")
 	sys, err := mna.Compile(flat)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -127,13 +149,16 @@ func New(ckt *netlist.Circuit, opts Options) (*Tool, error) {
 	if opts.Analysis != nil {
 		sim.Opt = *opts.Analysis
 	}
+	sim.Trace = opts.Trace
 	return &Tool{Ckt: ckt, Flat: flat, Sys: sys, Sim: sim, Opts: opts}, nil
 }
 
 // ensureOP computes and caches the operating point.
 func (t *Tool) ensureOP() (*mna.OpPoint, error) {
 	if t.op == nil {
+		sp := obs.StartPhase(t.Opts.Trace, "op")
 		op, err := t.Sim.OP()
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("tool: operating point: %w", err)
 		}
@@ -165,11 +190,18 @@ func (t *Tool) SingleNode(node string) (*NodeResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	mSingleNodeRuns.Inc()
 	freqs := t.Grid()
+	sp := obs.StartPhase(t.Opts.Trace, "sweep")
 	cols, err := t.Sim.ImpedanceMatrixColumns(freqs, op, []int{idx})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	mSweepNodes.Inc()
+	mSweepPoints.Add(int64(len(freqs)))
+	sp = obs.StartPhase(t.Opts.Trace, "stability")
+	defer sp.End()
 	return t.analyzeColumn(strings.ToLower(node), freqs, cols[0])
 }
 
@@ -266,15 +298,22 @@ func (t *Tool) AllNodes() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	mAllNodesRuns.Inc()
 	freqs := t.Grid()
 	idx, names := t.nodeList()
+	mSweepNodes.Add(int64(len(idx)))
+	mSweepPoints.Add(int64(len(freqs)))
+	t.Opts.Trace.Add("sweep_nodes", int64(len(idx)))
+	t.Opts.Trace.Add("sweep_freq_points", int64(len(freqs)))
 
+	sp := obs.StartPhase(t.Opts.Trace, "sweep")
 	var cols [][]complex128
 	if t.Opts.Naive {
 		cols, err = t.naiveColumns(freqs, op, idx)
 	} else {
 		cols, err = t.parallelColumns(freqs, op, idx)
 	}
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -284,10 +323,12 @@ func (t *Tool) AllNodes() (*Report, error) {
 		Temp:         t.Flat.Temp,
 		Options:      t.Opts,
 	}
+	sp = obs.StartPhase(t.Opts.Trace, "stability")
 	var peaks []stab.NodePeak
 	for i, name := range names {
 		nr, err := t.analyzeColumn(name, freqs, cols[i])
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		rep.Nodes = append(rep.Nodes, *nr)
@@ -296,7 +337,10 @@ func (t *Tool) AllNodes() (*Report, error) {
 		}
 	}
 	sort.Slice(rep.Nodes, func(a, b int) bool { return rep.Nodes[a].Node < rep.Nodes[b].Node })
+	sp.End()
+	sp = obs.StartPhase(t.Opts.Trace, "loop_clustering")
 	rep.Loops = stab.ClusterLoops(peaks, t.Opts.LoopTol)
+	sp.End()
 	return rep, nil
 }
 
@@ -316,7 +360,9 @@ func (t *Tool) parallelColumns(freqs []float64, op *mna.OpPoint, idx []int) ([][
 		cols[i] = make([]complex128, len(freqs))
 	}
 	if workers <= 1 {
+		mWorkersBusy.Inc()
 		got, err := t.Sim.ImpedanceMatrixColumns(freqs, op, idx)
+		mWorkersBusy.Dec()
 		if err != nil {
 			return nil, err
 		}
@@ -337,10 +383,13 @@ func (t *Tool) parallelColumns(freqs []float64, op *mna.OpPoint, idx []int) ([][
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			mWorkersBusy.Inc()
+			defer mWorkersBusy.Dec()
 			// Each worker needs its own Sim wrapper: ImpedanceMatrixColumns
 			// allocates its own matrices, and the shared System is read-only
-			// during AC stamping.
-			sim := &analysis.Sim{Sys: t.Sys, Opt: t.Sim.Opt}
+			// during AC stamping. The trace is shared: obs.Run is
+			// concurrency-safe.
+			sim := &analysis.Sim{Sys: t.Sys, Opt: t.Sim.Opt, Trace: t.Sim.Trace}
 			sub, err := sim.ImpedanceMatrixColumns(freqs[lo:hi], op, idx)
 			if err != nil {
 				errCh <- err
