@@ -21,21 +21,56 @@
 // # Quick start
 //
 //	ckt, _ := acstab.ParseNetlist(netlistText)
-//	rep, _ := acstab.AnalyzeAllNodes(ckt, acstab.DefaultOptions())
+//	rep, _ := acstab.AnalyzeAllNodesContext(ctx, ckt, acstab.DefaultOptions())
 //	rep.WriteText(os.Stdout)
+//
+// # Cancellation and deadlines
+//
+// Every analysis entry point has a Context variant
+// (AnalyzeNodeContext, AnalyzeAllNodesContext, ACSweepContext,
+// TransientContext, PolesContext). A canceled or deadline-expired
+// context aborts the run within one linear solve; the returned error
+// wraps ErrCanceled plus the context's own error, so
+// errors.Is(err, context.DeadlineExceeded) still distinguishes a
+// deadline from an explicit cancel. The context-free names are kept as
+// thin deprecated wrappers over context.Background().
 package acstab
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"io/fs"
 	"strings"
 
+	"acstab/internal/acerr"
 	"acstab/internal/netlist"
 	"acstab/internal/report"
 	"acstab/internal/stab"
 	"acstab/internal/tool"
 	"acstab/internal/wave"
+)
+
+// Sentinel errors. Internal layers wrap these with %w, so errors.Is
+// recognizes them across the API boundary no matter how much context a
+// failure accumulated on the way out.
+var (
+	// ErrCanceled is returned when a run is aborted by context
+	// cancellation or deadline expiry. The chain also wraps the
+	// context's own error (context.Canceled or
+	// context.DeadlineExceeded).
+	ErrCanceled = acerr.ErrCanceled
+	// ErrNoConvergence is returned when the DC operating point cannot
+	// be found: plain Newton, gmin stepping, and source stepping all
+	// failed.
+	ErrNoConvergence = acerr.ErrNoConvergence
+	// ErrSingularMatrix is returned when a linear solve hits an
+	// (effectively) singular MNA matrix — typically a floating node or
+	// a degenerate source loop.
+	ErrSingularMatrix = acerr.ErrSingularMatrix
+	// ErrUnknownNode is returned when a named node does not exist in
+	// the (flattened) circuit.
+	ErrUnknownNode = acerr.ErrUnknownNode
 )
 
 // Circuit is a captured circuit: parse one from netlist text or build one
@@ -263,7 +298,20 @@ type StabilityReport struct {
 }
 
 // AnalyzeNode runs the "Single Node" mode at the named node.
+//
+// Deprecated: use AnalyzeNodeContext, which can be canceled and
+// deadlined. This wrapper runs with context.Background().
 func AnalyzeNode(c *Circuit, node string, opts Options) (*NodeReport, error) {
+	return AnalyzeNodeContext(context.Background(), c, node, opts)
+}
+
+// AnalyzeNodeContext runs the "Single Node" mode at the named node.
+//
+// Errors: ErrUnknownNode if the node does not exist, ErrNoConvergence
+// if the operating point cannot be found, ErrSingularMatrix on a
+// degenerate MNA system, and ErrCanceled once ctx is done (the run
+// aborts within one linear solve).
+func AnalyzeNodeContext(ctx context.Context, c *Circuit, node string, opts Options) (*NodeReport, error) {
 	if c == nil || c.n == nil {
 		return nil, fmt.Errorf("acstab: empty circuit (use NewCircuit or ParseNetlist)")
 	}
@@ -271,7 +319,7 @@ func AnalyzeNode(c *Circuit, node string, opts Options) (*NodeReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	nr, err := t.SingleNode(node)
+	nr, err := t.SingleNode(ctx, node)
 	if err != nil {
 		return nil, err
 	}
@@ -299,7 +347,22 @@ func fromNodeResult(nr *tool.NodeResult) NodeReport {
 
 // AnalyzeAllNodes runs the "All Nodes" mode: every non-ground node is
 // probed and the resonant nodes are clustered into feedback loops.
+//
+// Deprecated: use AnalyzeAllNodesContext, which can be canceled and
+// deadlined. This wrapper runs with context.Background().
 func AnalyzeAllNodes(c *Circuit, opts Options) (*StabilityReport, error) {
+	return AnalyzeAllNodesContext(context.Background(), c, opts)
+}
+
+// AnalyzeAllNodesContext runs the "All Nodes" mode: every non-ground
+// node is probed and the resonant nodes are clustered into feedback
+// loops.
+//
+// Errors: ErrNoConvergence if the operating point cannot be found,
+// ErrSingularMatrix on a degenerate MNA system, and ErrCanceled once
+// ctx is done — the sweep workers and the Newton loop all observe the
+// context, so cancellation aborts within one linear solve.
+func AnalyzeAllNodesContext(ctx context.Context, c *Circuit, opts Options) (*StabilityReport, error) {
 	if c == nil || c.n == nil {
 		return nil, fmt.Errorf("acstab: empty circuit (use NewCircuit or ParseNetlist)")
 	}
@@ -307,7 +370,7 @@ func AnalyzeAllNodes(c *Circuit, opts Options) (*StabilityReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep, err := t.AllNodes()
+	rep, err := t.AllNodes(ctx)
 	if err != nil {
 		return nil, err
 	}

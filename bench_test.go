@@ -5,6 +5,7 @@ package acstab_test
 // and relative timings) feed EXPERIMENTS.md.
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"os"
@@ -47,7 +48,7 @@ func BenchmarkTable1(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := tl.SingleNode("t"); err != nil {
+			if _, err := tl.SingleNode(context.Background(), "t"); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -62,7 +63,7 @@ func BenchmarkTable2AllNodes(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		rep, err := tl.AllNodes()
+		rep, err := tl.AllNodes(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,7 +78,7 @@ func BenchmarkFig2StepResponse(b *testing.B) {
 	s := benchSim(b, circuits.OpAmpBuffer(circuits.OpAmpDefaults()))
 	var os float64
 	for i := 0; i < b.N; i++ {
-		res, err := s.Tran(analysis.TranSpec{TStop: 3e-6, TStep: 1e-9, RecordEvery: 10})
+		res, err := s.Tran(context.Background(), analysis.TranSpec{TStop: 3e-6, TStep: 1e-9, RecordEvery: 10})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -90,14 +91,14 @@ func BenchmarkFig2StepResponse(b *testing.B) {
 // BenchmarkFig3Bode regenerates the broken-loop gain/phase baseline.
 func BenchmarkFig3Bode(b *testing.B) {
 	s := benchSim(b, circuits.OpAmpOpenLoop(circuits.OpAmpDefaults()))
-	op, err := s.OP()
+	op, err := s.OP(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
 	freqs := num.LogGridPPD(1e2, 1e9, 40)
 	var pm float64
 	for i := 0; i < b.N; i++ {
-		res, err := s.AC(freqs, op)
+		res, err := s.AC(context.Background(), freqs, op)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -116,7 +117,7 @@ func BenchmarkFig4StabilityPlot(b *testing.B) {
 	}
 	var peak float64
 	for i := 0; i < b.N; i++ {
-		nr, err := tl.SingleNode("output")
+		nr, err := tl.SingleNode(context.Background(), "output")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -132,7 +133,7 @@ func BenchmarkFig5BiasAnnotation(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		rep, err := tl.AllNodes()
+		rep, err := tl.AllNodes(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -157,7 +158,7 @@ func BenchmarkAblationPerNodeVsShared(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := tl.AllNodes(); err != nil {
+			if _, err := tl.AllNodes(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -177,14 +178,14 @@ func BenchmarkAblationDenseVsSparse(b *testing.B) {
 			b.Run(mode.name+"/"+itoa(n), func(b *testing.B) {
 				s := benchSim(b, circuits.RCLadder(n))
 				s.Opt.Matrix = mode.m
-				op, err := s.OP()
+				op, err := s.OP(context.Background())
 				if err != nil {
 					b.Fatal(err)
 				}
 				freqs := num.LogGridPPD(1e3, 1e9, 10)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := s.AC(freqs, op); err != nil {
+					if _, err := s.AC(context.Background(), freqs, op); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -207,7 +208,7 @@ func BenchmarkAblationParallelSweep(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := tl.AllNodes(); err != nil {
+				if _, err := tl.AllNodes(context.Background()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -229,7 +230,7 @@ func BenchmarkAblationGridResolution(b *testing.B) {
 			var errPct float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				nr, err := tl.SingleNode("t")
+				nr, err := tl.SingleNode(context.Background(), "t")
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -254,7 +255,7 @@ func BenchmarkAblationStencil(b *testing.B) {
 			var errPct float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				nr, err := tl.SingleNode("t")
+				nr, err := tl.SingleNode(context.Background(), "t")
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -354,7 +355,7 @@ func BenchmarkTransistorAllNodes(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := tl.AllNodes(); err != nil {
+		if _, err := tl.AllNodes(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -364,13 +365,13 @@ func BenchmarkTransistorAllNodes(b *testing.B) {
 // full Table 2 workload.
 func BenchmarkPoleAnalysis(b *testing.B) {
 	s := benchSim(b, circuits.FullCircuit())
-	op, err := s.OP()
+	op, err := s.OP(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.Poles(op, 1e3, 1e9); err != nil {
+		if _, err := s.Poles(context.Background(), op, 1e3, 1e9); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -381,7 +382,7 @@ func BenchmarkReturnRatio(b *testing.B) {
 	ckt := circuits.OpAmpBuffer(circuits.OpAmpDefaults())
 	freqs := num.LogGridPPD(100, 1e9, 40)
 	for i := 0; i < b.N; i++ {
-		if _, err := tool.ReturnRatio(ckt, "g1", freqs); err != nil {
+		if _, err := tool.ReturnRatio(context.Background(), ckt, "g1", freqs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -401,7 +402,7 @@ func BenchmarkAllNodesScaling(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := tl.AllNodes(); err != nil {
+				if _, err := tl.AllNodes(context.Background()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -416,7 +417,7 @@ func BenchmarkAllNodesScaling(b *testing.B) {
 func BenchmarkAblationPulsingVsAC(b *testing.B) {
 	b.Run("node-pulsing-transient", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			pr, err := tool.NodePulse(circuits.OpAmpBuffer(circuits.OpAmpDefaults()), "output", 3e6)
+			pr, err := tool.NodePulse(context.Background(), circuits.OpAmpBuffer(circuits.OpAmpDefaults()), "output", 3e6)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -431,7 +432,7 @@ func BenchmarkAblationPulsingVsAC(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := tl.SingleNode("output"); err != nil {
+			if _, err := tl.SingleNode(context.Background(), "output"); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -15,12 +15,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"acstab/internal/farm"
 	"acstab/internal/netlist"
@@ -71,11 +74,21 @@ func runWith(args []string, out, errOut io.Writer) error {
 		diagFile = fs.String("diag", "", "write a diagnostic report file on completion")
 		stats    = fs.Bool("stats", false, "print phase timings and solver counters to stderr")
 		traceOut = fs.String("trace-json", "", "write the machine-readable run trace to this file")
+		timeout  = fs.Duration("timeout", 0, "abort the run after this long (e.g. 30s; 0 = no limit)")
 	)
 	fs.Var(&sets, "set", "design-variable override name=value (repeatable)")
 	fs.Var(&sigmas, "sigma", "Monte Carlo relative sigma name=value (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Interrupt (Ctrl-C) cancels the run mid-sweep; -timeout bounds it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	trace := obs.StartRun("acstab")
@@ -154,11 +167,11 @@ func runWith(args []string, out, errOut io.Writer) error {
 	var runErr error
 	switch {
 	case *remote != "":
-		runErr = runRemote(out, *remote, src, opts, *node, *format)
+		runErr = runRemote(ctx, out, *remote, src, opts, *node, *format, *timeout)
 	case *mcRuns > 0:
-		runErr = runMC(out, ckt, opts, *mcRuns, *mcSeed, sigmas)
+		runErr = runMC(ctx, out, ckt, opts, *mcRuns, *mcSeed, sigmas)
 	default:
-		runErr = dispatch(out, ckt, opts, *node, *format, *annotate, *plot, *temps, *sweep)
+		runErr = dispatch(ctx, out, ckt, opts, *node, *format, *annotate, *plot, *temps, *sweep)
 	}
 	trace.Finish()
 	if *stats {
@@ -192,22 +205,22 @@ func runWith(args []string, out, errOut io.Writer) error {
 	return runErr
 }
 
-func dispatch(out io.Writer, ckt *netlist.Circuit, opts tool.Options,
+func dispatch(ctx context.Context, out io.Writer, ckt *netlist.Circuit, opts tool.Options,
 	node, format string, annotate, plot bool, temps, sweep string) error {
 	if temps != "" {
-		return runTemps(out, ckt, opts, temps)
+		return runTemps(ctx, out, ckt, opts, temps)
 	}
 	if sweep != "" {
-		return runSweep(out, ckt, opts, sweep)
+		return runSweep(ctx, out, ckt, opts, sweep)
 	}
 	t, err := tool.New(ckt, opts)
 	if err != nil {
 		return err
 	}
 	if node != "" {
-		return runSingle(out, t, node, plot)
+		return runSingle(ctx, out, t, node, plot)
 	}
-	rep, err := t.AllNodes()
+	rep, err := t.AllNodes(ctx)
 	if err != nil {
 		return err
 	}
@@ -226,8 +239,8 @@ func dispatch(out io.Writer, ckt *netlist.Circuit, opts tool.Options,
 	}
 }
 
-func runSingle(out io.Writer, t *tool.Tool, node string, plot bool) error {
-	nr, err := t.SingleNode(node)
+func runSingle(ctx context.Context, out io.Writer, t *tool.Tool, node string, plot bool) error {
+	nr, err := t.SingleNode(ctx, node)
 	if err != nil {
 		return err
 	}
@@ -260,7 +273,7 @@ func runSingle(out io.Writer, t *tool.Tool, node string, plot bool) error {
 
 // runSweep executes a design-variable sweep and prints the worst loop at
 // each point (the trend is the interesting output of a sweep).
-func runSweep(out io.Writer, ckt *netlist.Circuit, opts tool.Options, sweep string) error {
+func runSweep(ctx context.Context, out io.Writer, ckt *netlist.Circuit, opts tool.Options, sweep string) error {
 	name, list, ok := strings.Cut(sweep, "=")
 	if !ok {
 		return fmt.Errorf("-sweep wants name=v1,v2,..., got %q", sweep)
@@ -273,7 +286,7 @@ func runSweep(out io.Writer, ckt *netlist.Circuit, opts tool.Options, sweep stri
 		}
 		vals = append(vals, v)
 	}
-	points, err := tool.RunParamSweep(ckt, opts, strings.ToLower(name), vals)
+	points, err := tool.RunParamSweep(ctx, ckt, opts, strings.ToLower(name), vals)
 	if err != nil {
 		return err
 	}
@@ -295,7 +308,7 @@ func runSweep(out io.Writer, ckt *netlist.Circuit, opts tool.Options, sweep stri
 	return nil
 }
 
-func runTemps(out io.Writer, ckt *netlist.Circuit, opts tool.Options, temps string) error {
+func runTemps(ctx context.Context, out io.Writer, ckt *netlist.Circuit, opts tool.Options, temps string) error {
 	var list []float64
 	for _, s := range strings.Split(temps, ",") {
 		v, err := num.ParseValue(strings.TrimSpace(s))
@@ -304,7 +317,7 @@ func runTemps(out io.Writer, ckt *netlist.Circuit, opts tool.Options, temps stri
 		}
 		list = append(list, v)
 	}
-	results := tool.RunTemps(ckt, opts, list)
+	results := tool.RunTemps(ctx, ckt, opts, list)
 	for _, r := range results {
 		fmt.Fprintf(out, "=== TEMP %g C ===\n", r.Temp)
 		if r.Err != nil {
@@ -320,7 +333,7 @@ func runTemps(out io.Writer, ckt *netlist.Circuit, opts tool.Options, temps stri
 }
 
 // runMC runs a Monte Carlo mismatch study over the design variables.
-func runMC(out io.Writer, ckt *netlist.Circuit, opts tool.Options, runs int, seed int64, sigmas multiFlag) error {
+func runMC(ctx context.Context, out io.Writer, ckt *netlist.Circuit, opts tool.Options, runs int, seed int64, sigmas multiFlag) error {
 	spec := tool.MCSpec{Runs: runs, Seed: seed, Sigma: map[string]float64{}}
 	for _, s := range sigmas {
 		name, vs, ok := strings.Cut(s, "=")
@@ -333,7 +346,7 @@ func runMC(out io.Writer, ckt *netlist.Circuit, opts tool.Options, runs int, see
 		}
 		spec.Sigma[strings.ToLower(name)] = v
 	}
-	res, err := tool.MonteCarlo(ckt, opts, spec)
+	res, err := tool.MonteCarlo(ctx, ckt, opts, spec)
 	if err != nil {
 		return err
 	}
@@ -354,13 +367,17 @@ func runMC(out io.Writer, ckt *netlist.Circuit, opts tool.Options, runs int, see
 	return nil
 }
 
-// runRemote ships the job to an acstabd farm worker.
-func runRemote(out io.Writer, url, src string, opts tool.Options, node, format string) error {
+// runRemote ships the job to an acstabd farm worker. A -timeout is
+// forwarded as the job's timeout_ms so the worker enforces the same
+// deadline server-side.
+func runRemote(ctx context.Context, out io.Writer, url, src string, opts tool.Options,
+	node, format string, timeout time.Duration) error {
 	c := &farm.Client{BaseURL: strings.TrimRight(url, "/")}
-	body, err := c.Submit(&farm.Request{
-		Netlist: src,
-		Format:  format,
-		Node:    node,
+	body, err := c.Submit(ctx, &farm.Request{
+		Netlist:   src,
+		Format:    format,
+		Node:      node,
+		TimeoutMS: timeout.Milliseconds(),
 		Options: farm.RequestOptions{
 			FStartHz:        opts.FStart,
 			FStopHz:         opts.FStop,

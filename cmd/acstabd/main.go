@@ -40,8 +40,13 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	drain := flag.Duration("drain-timeout", 30*time.Second,
 		"how long to wait for in-flight /run jobs on shutdown")
+	maxConc := flag.Int("max-concurrent", 0,
+		"max /run jobs in flight before shedding with 429 (0 = GOMAXPROCS)")
+	reqTimeout := flag.Duration("request-timeout", 5*time.Minute,
+		"per-job deadline ceiling; a request's timeout_ms is capped at this")
 	flag.Parse()
-	if err := serve(*listen, *pprofOn, *drain, nil); err != nil {
+	cfg := farm.Config{MaxConcurrent: *maxConc, MaxTimeout: *reqTimeout}
+	if err := serve(*listen, *pprofOn, *drain, cfg, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "acstabd: %v\n", err)
 		os.Exit(1)
 	}
@@ -51,8 +56,8 @@ func main() {
 // observability middleware) plus, when pprofOn, the pprof handlers. pprof
 // is opt-in because profile endpoints are a debugging surface one does not
 // leave open on a production farm by default.
-func handler(pprofOn bool) http.Handler {
-	h := farm.Handler()
+func handler(pprofOn bool, cfg farm.Config) http.Handler {
+	h := farm.NewHandler(cfg)
 	if !pprofOn {
 		return h
 	}
@@ -70,12 +75,12 @@ func handler(pprofOn bool) http.Handler {
 // signal, then drains gracefully. When ready is non-nil it receives the
 // bound address once the listener is up (used by tests and by operators
 // running with -listen :0).
-func serve(listen string, pprofOn bool, drain time.Duration, ready chan<- string) error {
+func serve(listen string, pprofOn bool, drain time.Duration, cfg farm.Config, ready chan<- string) error {
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: handler(pprofOn)}
+	srv := &http.Server{Handler: handler(pprofOn, cfg)}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

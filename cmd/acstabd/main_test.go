@@ -1,6 +1,7 @@
 package main
 
 import (
+	"acstab/internal/farm"
 	"bytes"
 	"io"
 	"log"
@@ -15,7 +16,7 @@ import (
 
 func TestHandlerPprofGate(t *testing.T) {
 	// Disabled: /debug/pprof/ is not served.
-	srv := httptest.NewServer(handler(false))
+	srv := httptest.NewServer(handler(false, farm.Config{}))
 	resp, err := srv.Client().Get(srv.URL + "/debug/pprof/")
 	if err != nil {
 		t.Fatal(err)
@@ -27,7 +28,7 @@ func TestHandlerPprofGate(t *testing.T) {
 	srv.Close()
 
 	// Enabled: the index responds and the farm routes still work.
-	srv = httptest.NewServer(handler(true))
+	srv = httptest.NewServer(handler(true, farm.Config{}))
 	defer srv.Close()
 	resp, err = srv.Client().Get(srv.URL + "/debug/pprof/")
 	if err != nil {
@@ -52,7 +53,7 @@ func TestGracefulShutdown(t *testing.T) {
 
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
-	go func() { done <- serve("127.0.0.1:0", false, 5*time.Second, ready) }()
+	go func() { done <- serve("127.0.0.1:0", false, 5*time.Second, farm.Config{}, ready) }()
 
 	var addr string
 	select {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -74,7 +75,7 @@ func table1(out io.Writer) error {
 			if err != nil {
 				return err
 			}
-			nr, err := tl.SingleNode("t")
+			nr, err := tl.SingleNode(context.Background(), "t")
 			if err != nil {
 				return err
 			}
@@ -107,7 +108,7 @@ func fig2(out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := s.Tran(analysis.TranSpec{TStop: 3e-6, TStep: 1e-9, RecordEvery: 10})
+	res, err := s.Tran(context.Background(), analysis.TranSpec{TStop: 3e-6, TStep: 1e-9, RecordEvery: 10})
 	if err != nil {
 		return err
 	}
@@ -129,11 +130,11 @@ func fig3(out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	op, err := s.OP()
+	op, err := s.OP(context.Background())
 	if err != nil {
 		return err
 	}
-	res, err := s.AC(num.LogGridPPD(1e2, 1e9, 30), op)
+	res, err := s.AC(context.Background(), num.LogGridPPD(1e2, 1e9, 30), op)
 	if err != nil {
 		return err
 	}
@@ -161,7 +162,7 @@ func fig4(out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	nr, err := tl.SingleNode("output")
+	nr, err := tl.SingleNode(context.Background(), "output")
 	if err != nil {
 		return err
 	}
@@ -181,7 +182,7 @@ func table2(out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	rep, err := tl.AllNodes()
+	rep, err := tl.AllNodes(context.Background())
 	if err != nil {
 		return err
 	}
@@ -193,7 +194,7 @@ func fig5(out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	rep, err := tl.AllNodes()
+	rep, err := tl.AllNodes(context.Background())
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -133,11 +134,11 @@ func run(args []string, out io.Writer) error {
 
 // runPoles lists the natural frequencies of the linearized circuit.
 func runPoles(out io.Writer, sim *analysis.Sim, f0, f1 float64) error {
-	op, err := sim.OP()
+	op, err := sim.OP(context.Background())
 	if err != nil {
 		return err
 	}
-	ps, err := sim.Poles(op, f0, f1)
+	ps, err := sim.Poles(context.Background(), op, f0, f1)
 	if err != nil {
 		return err
 	}
@@ -153,7 +154,7 @@ func runPoles(out io.Writer, sim *analysis.Sim, f0, f1 float64) error {
 }
 
 func runOP(out io.Writer, sim *analysis.Sim) error {
-	op, err := sim.OP()
+	op, err := sim.OP(context.Background())
 	if err != nil {
 		return err
 	}
@@ -173,11 +174,11 @@ func runOP(out io.Writer, sim *analysis.Sim) error {
 }
 
 func runAC(out io.Writer, sim *analysis.Sim, f0, f1 float64, ppd int, probes []string, plot, csvOut bool, expr string) error {
-	op, err := sim.OP()
+	op, err := sim.OP(context.Background())
 	if err != nil {
 		return err
 	}
-	res, err := sim.AC(num.LogGridPPD(f0, f1, ppd), op)
+	res, err := sim.AC(context.Background(), num.LogGridPPD(f0, f1, ppd), op)
 	if err != nil {
 		return err
 	}
@@ -228,7 +229,7 @@ func runAC(out io.Writer, sim *analysis.Sim, f0, f1 float64, ppd int, probes []s
 }
 
 func runTran(out io.Writer, sim *analysis.Sim, tstop, dt float64, probes []string, plot, csvOut bool, expr string) error {
-	res, err := sim.Tran(analysis.TranSpec{TStop: tstop, TStep: dt,
+	res, err := sim.Tran(context.Background(), analysis.TranSpec{TStop: tstop, TStep: dt,
 		RecordEvery: max(1, int(tstop/dt)/2000)})
 	if err != nil {
 		return err
@@ -274,7 +275,7 @@ func runDC(out io.Writer, sim *analysis.Sim, src string, v0, v1 float64, steps i
 	if steps < 2 {
 		steps = 2
 	}
-	res, err := sim.DCSweep(src, num.LinSpace(v0, v1, steps))
+	res, err := sim.DCSweep(context.Background(), src, num.LinSpace(v0, v1, steps))
 	if err != nil {
 		return err
 	}

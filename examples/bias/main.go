@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -54,7 +55,7 @@ func main() {
 	}
 
 	fmt.Println("=== all-nodes stability report of the bias cell ===")
-	rep, err := acstab.AnalyzeAllNodes(ckt, acstab.DefaultOptions())
+	rep, err := acstab.AnalyzeAllNodesContext(context.Background(), ckt, acstab.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep2, err := acstab.AnalyzeAllNodes(fixed, acstab.DefaultOptions())
+	rep2, err := acstab.AnalyzeAllNodesContext(context.Background(), fixed, acstab.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

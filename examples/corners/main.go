@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,7 @@ func main() {
 		// Element expressions like {rq} re-evaluate against the updated
 		// design variables when the analysis flattens the circuit.
 		ckt.SetParam("rq", corner.rq)
-		res, err := acstab.AnalyzeNode(ckt, "t", acstab.DefaultOptions())
+		res, err := acstab.AnalyzeNodeContext(context.Background(), ckt, "t", acstab.DefaultOptions())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -55,7 +56,7 @@ func main() {
 			log.Fatal(err)
 		}
 		ckt.SetTemp(temp)
-		res, err := acstab.AnalyzeNode(ckt, "t", acstab.DefaultOptions())
+		res, err := acstab.AnalyzeNodeContext(context.Background(), ckt, "t", acstab.DefaultOptions())
 		if err != nil {
 			log.Fatal(err)
 		}

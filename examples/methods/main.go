@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 	}
 
 	// 1. The paper's method: probe a node, read the peak.
-	nr, err := acstab.AnalyzeNode(ckt, "a", acstab.DefaultOptions())
+	nr, err := acstab.AnalyzeNodeContext(context.Background(), ckt, "a", acstab.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func main() {
 	fmt.Print("\n\n")
 
 	// 3. Exact poles of the linearized network.
-	poles, err := ckt.Poles(1e4, 1e9)
+	poles, err := ckt.PolesContext(context.Background(), 1e4, 1e9)
 	if err != nil {
 		log.Fatal(err)
 	}

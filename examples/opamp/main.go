@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -58,7 +59,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ac, err := open.ACSweep(100, 1e9, 40)
+	ac, err := open.ACSweepContext(context.Background(), 100, 1e9, 40)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tr, err := buf.Transient(3e-6, 1e-9)
+	tr, err := buf.TransientContext(context.Background(), 3e-6, 1e-9)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func main() {
 	fmt.Printf("measured step overshoot: %.1f%%\n\n", os1)
 
 	// --- 3. The paper's method: stability plot on the closed loop.
-	nr, err := acstab.AnalyzeNode(buf, "output", acstab.DefaultOptions())
+	nr, err := acstab.AnalyzeNodeContext(context.Background(), buf, "output", acstab.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

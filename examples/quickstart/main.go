@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -23,7 +24,7 @@ C1 t 0 1n
 		log.Fatal(err)
 	}
 
-	res, err := acstab.AnalyzeNode(ckt, "t", acstab.DefaultOptions())
+	res, err := acstab.AnalyzeNodeContext(context.Background(), ckt, "t", acstab.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@ package acstab_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -54,7 +55,7 @@ func TestTable1(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			nr, err := tl.SingleNode("t")
+			nr, err := tl.SingleNode(context.Background(), "t")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -102,7 +103,7 @@ func TestTable2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := tl.AllNodes()
+	rep, err := tl.AllNodes(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestTable2(t *testing.T) {
 // TestFig2 regenerates the step-response figure.
 func TestFig2(t *testing.T) {
 	s := simOf(t, circuits.OpAmpBuffer(circuits.OpAmpDefaults()))
-	res, err := s.Tran(analysis.TranSpec{TStop: 3e-6, TStep: 1e-9, RecordEvery: 10})
+	res, err := s.Tran(context.Background(), analysis.TranSpec{TStop: 3e-6, TStep: 1e-9, RecordEvery: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,11 +195,11 @@ func TestFig2(t *testing.T) {
 // baseline method).
 func TestFig3(t *testing.T) {
 	s := simOf(t, circuits.OpAmpOpenLoop(circuits.OpAmpDefaults()))
-	op, err := s.OP()
+	op, err := s.OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.AC(num.LogGridPPD(1e2, 1e9, 30), op)
+	res, err := s.AC(context.Background(), num.LogGridPPD(1e2, 1e9, 30), op)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestFig4(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nr, err := tl.SingleNode("output")
+	nr, err := tl.SingleNode(context.Background(), "output")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestFig5(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := tl.AllNodes()
+	rep, err := tl.AllNodes(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,11 +288,11 @@ func TestFig5(t *testing.T) {
 func TestMethodComparison(t *testing.T) {
 	// Traditional (needs the loop broken).
 	s := simOf(t, circuits.OpAmpOpenLoop(circuits.OpAmpDefaults()))
-	op, err := s.OP()
+	op, err := s.OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.AC(num.LogGridPPD(1e2, 1e9, 60), op)
+	res, err := s.AC(context.Background(), num.LogGridPPD(1e2, 1e9, 60), op)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +306,7 @@ func TestMethodComparison(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nr, err := tl.SingleNode("output")
+	nr, err := tl.SingleNode(context.Background(), "output")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,49 @@
+// Package acerr defines the sentinel errors shared by every analysis
+// layer. The public acstab package re-exports them (acstab.ErrCanceled,
+// acstab.ErrNoConvergence, acstab.ErrSingularMatrix,
+// acstab.ErrUnknownNode), and the internal layers wrap them with %w so
+// errors.Is works across the API boundary regardless of how many layers
+// of context a failure picked up on the way out.
+package acerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors. The texts are chosen so existing wrapped messages keep
+// their historical wording (e.g. "tool: unknown node \"x\"" is now
+// produced by wrapping ErrUnknownNode).
+var (
+	// ErrCanceled marks a run aborted by context cancellation or
+	// deadline expiry. Errors wrapping it also wrap the context's own
+	// error, so errors.Is(err, context.Canceled) and
+	// errors.Is(err, context.DeadlineExceeded) distinguish the cause.
+	ErrCanceled = errors.New("run canceled")
+	// ErrNoConvergence marks a DC solve whose every homotopy failed.
+	ErrNoConvergence = errors.New("analysis: DC did not converge")
+	// ErrSingularMatrix marks a linear solve that hit an (effectively)
+	// singular matrix.
+	ErrSingularMatrix = errors.New("singular matrix")
+	// ErrUnknownNode marks a reference to a node the circuit does not
+	// have.
+	ErrUnknownNode = errors.New("unknown node")
+)
+
+// Canceled wraps the context's error (which must be non-nil) with
+// ErrCanceled, preserving the context.Canceled / context.DeadlineExceeded
+// distinction in the chain.
+func Canceled(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, ctx.Err())
+}
+
+// Ctx returns nil while ctx is live and a Canceled-wrapped error once it
+// is done — the one-line guard the solver loops call between units of
+// work (Newton iterations, frequency points, transient steps).
+func Ctx(ctx context.Context) error {
+	if ctx != nil && ctx.Err() != nil {
+		return Canceled(ctx)
+	}
+	return nil
+}

@@ -8,10 +8,11 @@
 package analysis
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"math"
 
+	"acstab/internal/acerr"
 	"acstab/internal/linalg"
 	"acstab/internal/mna"
 	"acstab/internal/obs"
@@ -86,15 +87,18 @@ func New(sys *mna.System) *Sim {
 	return &Sim{Sys: sys, Opt: DefaultOptions()}
 }
 
-// ErrNoConvergence is returned when every DC homotopy fails.
-var ErrNoConvergence = errors.New("analysis: DC did not converge")
+// ErrNoConvergence is returned when every DC homotopy fails. It is the
+// same sentinel the public package exposes as acstab.ErrNoConvergence.
+var ErrNoConvergence = acerr.ErrNoConvergence
 
 // assembleFn stamps the companion system at candidate x.
 type assembleFn func(a mna.RealAdder, b []float64, x []float64)
 
 // newton runs damped Newton iteration with the given assembler, starting
-// from x0. It returns the converged solution.
-func (s *Sim) newton(assemble assembleFn, x0 []float64) ([]float64, error) {
+// from x0. It returns the converged solution. A canceled ctx aborts
+// between iterations — one assemble+factor+solve at most after the
+// cancellation lands.
+func (s *Sim) newton(ctx context.Context, assemble assembleFn, x0 []float64) ([]float64, error) {
 	n := s.Sys.NumUnknowns()
 	nn := s.Sys.NumNodes()
 	x := append([]float64(nil), x0...)
@@ -106,6 +110,9 @@ func (s *Sim) newton(assemble assembleFn, x0 []float64) ([]float64, error) {
 		s.Trace.Add("newton_iterations", int64(iters))
 	}()
 	for iter := 0; iter < s.Opt.MaxIter; iter++ {
+		if err := acerr.Ctx(ctx); err != nil {
+			return nil, err
+		}
 		iters++
 		a.Zero()
 		for i := range b {
@@ -154,8 +161,10 @@ func (s *Sim) newton(assemble assembleFn, x0 []float64) ([]float64, error) {
 }
 
 // OP computes the DC operating point. On plain-Newton failure it falls
-// back to gmin stepping and then source stepping.
-func (s *Sim) OP() (*mna.OpPoint, error) {
+// back to gmin stepping and then source stepping. A canceled ctx aborts
+// the Newton loops between iterations with an error wrapping
+// acerr.ErrCanceled.
+func (s *Sim) OP(ctx context.Context) (*mna.OpPoint, error) {
 	mOPSolves.Inc()
 	s.Trace.Add("op_solves", 1)
 	// Initial guess: zeros, overridden by any .nodeset hints.
@@ -175,22 +184,28 @@ func (s *Sim) OP() (*mna.OpPoint, error) {
 		}
 	}
 	// Plain Newton.
-	if x, err := s.newton(stamp(0, 1), zero); err == nil {
+	if x, err := s.newton(ctx, stamp(0, 1), zero); err == nil {
 		return s.Sys.Linearize(x, s.Opt.Gmin), nil
+	} else if cerr := acerr.Ctx(ctx); cerr != nil {
+		// Cancellation must not cascade into the homotopies.
+		return nil, cerr
 	}
 	// Gmin stepping: heavy shunt first, relax, warm start each stage.
 	x := zero
 	ok := true
 	for g := 1e-2; g >= 1e-13; g /= 10 {
-		xn, err := s.newton(stamp(g, 1), x)
+		xn, err := s.newton(ctx, stamp(g, 1), x)
 		if err != nil {
 			ok = false
 			break
 		}
 		x = xn
 	}
+	if cerr := acerr.Ctx(ctx); cerr != nil {
+		return nil, cerr
+	}
 	if ok {
-		if xn, err := s.newton(stamp(0, 1), x); err == nil {
+		if xn, err := s.newton(ctx, stamp(0, 1), x); err == nil {
 			return s.Sys.Linearize(xn, s.Opt.Gmin), nil
 		}
 	}
@@ -200,8 +215,11 @@ func (s *Sim) OP() (*mna.OpPoint, error) {
 		if scale > 1 {
 			scale = 1
 		}
-		xn, err := s.newton(stamp(0, scale), x)
+		xn, err := s.newton(ctx, stamp(0, scale), x)
 		if err != nil {
+			if cerr := acerr.Ctx(ctx); cerr != nil {
+				return nil, cerr
+			}
 			return nil, fmt.Errorf("%w (source stepping failed at scale %.2f)", ErrNoConvergence, scale)
 		}
 		x = xn
@@ -215,7 +233,7 @@ func (s *Sim) OP() (*mna.OpPoint, error) {
 func (s *Sim) NodeVoltage(op *mna.OpPoint, node string) (float64, error) {
 	idx, ok := s.Sys.NodeOf(node)
 	if !ok {
-		return 0, fmt.Errorf("analysis: unknown node %q", node)
+		return 0, fmt.Errorf("analysis: %w %q", acerr.ErrUnknownNode, node)
 	}
 	if idx < 0 {
 		return 0, nil
@@ -256,7 +274,7 @@ type ACResult struct {
 func (r *ACResult) NodeWave(node string) (*wave.Wave, error) {
 	idx, ok := r.sys.NodeOf(node)
 	if !ok {
-		return nil, fmt.Errorf("analysis: unknown node %q", node)
+		return nil, fmt.Errorf("analysis: %w %q", acerr.ErrUnknownNode, node)
 	}
 	y := make([]complex128, len(r.Freqs))
 	for k := range r.Freqs {
@@ -290,8 +308,9 @@ func (r *ACResult) BranchWave(elem string) (*wave.Wave, error) {
 }
 
 // AC runs a small-signal sweep over the given frequencies (Hz) with the
-// circuit's own AC sources as excitation.
-func (s *Sim) AC(freqs []float64, op *mna.OpPoint) (*ACResult, error) {
+// circuit's own AC sources as excitation. A canceled ctx aborts between
+// frequency points — within one linear solve of the cancellation.
+func (s *Sim) AC(ctx context.Context, freqs []float64, op *mna.OpPoint) (*ACResult, error) {
 	n := s.Sys.NumUnknowns()
 	res := &ACResult{sys: s.Sys, Freqs: append([]float64(nil), freqs...)}
 	res.Sol = make([][]complex128, len(freqs))
@@ -305,6 +324,9 @@ func (s *Sim) AC(freqs []float64, op *mna.OpPoint) (*ACResult, error) {
 	}
 	b := make([]complex128, n)
 	for k, f := range freqs {
+		if err := acerr.Ctx(ctx); err != nil {
+			return nil, err
+		}
 		omega := 2 * math.Pi * f
 		for i := range b {
 			b[i] = 0
@@ -337,8 +359,10 @@ func (s *Sim) AC(freqs []float64, op *mna.OpPoint) (*ACResult, error) {
 // requested node (unit current injection), returning Z[nodeIdxInList][freq].
 // This is the shared-factorization fast path of the all-nodes stability
 // sweep; the naive alternative (one full AC analysis per node) is kept in
-// the tool package for the ablation benchmark.
-func (s *Sim) ImpedanceMatrixColumns(freqs []float64, op *mna.OpPoint, nodeIdx []int) ([][]complex128, error) {
+// the tool package for the ablation benchmark. A canceled ctx aborts
+// between frequency points — within one factorization of the
+// cancellation.
+func (s *Sim) ImpedanceMatrixColumns(ctx context.Context, freqs []float64, op *mna.OpPoint, nodeIdx []int) ([][]complex128, error) {
 	n := s.Sys.NumUnknowns()
 	out := make([][]complex128, len(nodeIdx))
 	for i := range out {
@@ -354,6 +378,9 @@ func (s *Sim) ImpedanceMatrixColumns(freqs []float64, op *mna.OpPoint, nodeIdx [
 	}
 	b := make([]complex128, n)
 	for k, f := range freqs {
+		if err := acerr.Ctx(ctx); err != nil {
+			return nil, err
+		}
 		omega := 2 * math.Pi * f
 		var solve func([]complex128) ([]complex128, error)
 		if sparseMode {
@@ -394,12 +421,12 @@ func (s *Sim) ImpedanceMatrixColumns(freqs []float64, op *mna.OpPoint, nodeIdx [
 
 // Impedance computes the driving-point impedance of one node across
 // frequency (unit AC current injection, reading the same node's voltage).
-func (s *Sim) Impedance(freqs []float64, op *mna.OpPoint, node string) (*wave.Wave, error) {
+func (s *Sim) Impedance(ctx context.Context, freqs []float64, op *mna.OpPoint, node string) (*wave.Wave, error) {
 	idx, ok := s.Sys.NodeOf(node)
 	if !ok || idx < 0 {
-		return nil, fmt.Errorf("analysis: cannot probe node %q", node)
+		return nil, fmt.Errorf("analysis: cannot probe node %q: %w", node, acerr.ErrUnknownNode)
 	}
-	z, err := s.ImpedanceMatrixColumns(freqs, op, []int{idx})
+	z, err := s.ImpedanceMatrixColumns(ctx, freqs, op, []int{idx})
 	if err != nil {
 		return nil, err
 	}

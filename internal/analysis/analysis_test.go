@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"math"
 	"math/cmplx"
 	"math/rand"
@@ -29,7 +30,7 @@ func compile(t *testing.T, c *netlist.Circuit) *Sim {
 
 func mustOP(t *testing.T, s *Sim) *mna.OpPoint {
 	t.Helper()
-	op, err := s.OP()
+	op, err := s.OP(context.Background())
 	if err != nil {
 		t.Fatalf("OP: %v", err)
 	}
@@ -204,7 +205,7 @@ func TestACLowpass(t *testing.T) {
 	s := compile(t, c)
 	op := mustOP(t, s)
 	fc := 1 / (2 * math.Pi * 1e3 * 1e-6)
-	res, err := s.AC([]float64{fc / 100, fc, fc * 100}, op)
+	res, err := s.AC(context.Background(), []float64{fc / 100, fc, fc * 100}, op)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestACInductorAndBranch(t *testing.T) {
 	s := compile(t, c)
 	op := mustOP(t, s)
 	f := 100 / (2 * math.Pi * 1e-3) // wL = 100 ohm
-	res, err := s.AC([]float64{f}, op)
+	res, err := s.AC(context.Background(), []float64{f}, op)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestACCommonEmitterGain(t *testing.T) {
 	op := mustOP(t, s)
 	ic := (10 - v(t, s, op, "c")) / 1e3
 	gm := ic / 0.02585
-	res, err := s.AC([]float64{1e3}, op)
+	res, err := s.AC(context.Background(), []float64{1e3}, op)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestImpedanceParallelRLC(t *testing.T) {
 	s := compile(t, c)
 	op := mustOP(t, s)
 	f0 := 1 / (2 * math.Pi * math.Sqrt(1e-6*1e-9))
-	zw, err := s.Impedance([]float64{f0 / 10, f0, f0 * 10}, op, "t")
+	zw, err := s.Impedance(context.Background(), []float64{f0 / 10, f0, f0 * 10}, op, "t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,12 +317,12 @@ func TestACSparseMatchesDense(t *testing.T) {
 	freqs := []float64{1e3, 1e5, 1e7}
 
 	s.Opt.Matrix = MatrixDense
-	rd, err := s.AC(freqs, op)
+	rd, err := s.AC(context.Background(), freqs, op)
 	if err != nil {
 		t.Fatal(err)
 	}
 	s.Opt.Matrix = MatrixSparse
-	rs, err := s.AC(freqs, op)
+	rs, err := s.AC(context.Background(), freqs, op)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,13 +377,13 @@ func TestACReciprocityQuick(t *testing.T) {
 			return false
 		}
 		s := New(sys)
-		op, err := s.OP()
+		op, err := s.OP(context.Background())
 		if err != nil {
 			return false
 		}
 		ia, _ := sys.NodeOf("a")
 		ib, _ := sys.NodeOf("b")
-		z, err := s.ImpedanceMatrixColumns([]float64{1e5}, op, []int{ia, ib})
+		z, err := s.ImpedanceMatrixColumns(context.Background(), []float64{1e5}, op, []int{ia, ib})
 		if err != nil {
 			return false
 		}
@@ -421,11 +422,11 @@ func crossImpedance(t *testing.T, c *netlist.Circuit, inj, read string) complex1
 		t.Fatal(err)
 	}
 	s := New(sys)
-	op, err := s.OP()
+	op, err := s.OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := s.AC([]float64{1e5}, op)
+	res, err := s.AC(context.Background(), []float64{1e5}, op)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -444,7 +445,7 @@ func TestTranRCCharge(t *testing.T) {
 	c.AddR("R1", "in", "out", 1e3)
 	c.AddC("C1", "out", "0", 1e-6)
 	s := compile(t, c)
-	res, err := s.Tran(TranSpec{TStop: 5e-3, TStep: 1e-6})
+	res, err := s.Tran(context.Background(), TranSpec{TStop: 5e-3, TStep: 1e-6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -473,7 +474,7 @@ func TestTranRLCStepOvershoot(t *testing.T) {
 	c.AddL("L1", "a", "out", 1e-3)
 	c.AddC("C1", "out", "0", 1e-6)
 	s := compile(t, c)
-	res, err := s.Tran(TranSpec{TStop: 2e-3, TStep: 0.5e-6})
+	res, err := s.Tran(context.Background(), TranSpec{TStop: 2e-3, TStep: 0.5e-6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -500,11 +501,11 @@ func TestTranBackwardEulerDamping(t *testing.T) {
 	c.AddL("L1", "a", "out", 1e-3)
 	c.AddC("C1", "out", "0", 1e-6)
 	s := compile(t, c)
-	trap, err := s.Tran(TranSpec{TStop: 1.5e-3, TStep: 2e-6, Method: Trapezoidal})
+	trap, err := s.Tran(context.Background(), TranSpec{TStop: 1.5e-3, TStep: 2e-6, Method: Trapezoidal})
 	if err != nil {
 		t.Fatal(err)
 	}
-	be, err := s.Tran(TranSpec{TStop: 1.5e-3, TStep: 2e-6, Method: BackwardEuler})
+	be, err := s.Tran(context.Background(), TranSpec{TStop: 1.5e-3, TStep: 2e-6, Method: BackwardEuler})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -521,7 +522,7 @@ func TestTranSinSource(t *testing.T) {
 	c.AddV("V1", "in", "0", netlist.SourceSpec{Tran: netlist.SinFunc{VA: 1, Freq: 1e3}})
 	c.AddR("R1", "in", "0", 1e3)
 	s := compile(t, c)
-	res, err := s.Tran(TranSpec{TStop: 2e-3, TStep: 1e-6})
+	res, err := s.Tran(context.Background(), TranSpec{TStop: 2e-3, TStep: 1e-6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -541,7 +542,7 @@ func TestTranNonlinearDiodeClipper(t *testing.T) {
 	c.AddD("D1", "out", "0", "dm")
 	c.SetModel("dm", "d", map[string]float64{"is": 1e-14})
 	s := compile(t, c)
-	res, err := s.Tran(TranSpec{TStop: 1e-3, TStep: 1e-6})
+	res, err := s.Tran(context.Background(), TranSpec{TStop: 1e-3, TStep: 1e-6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -564,7 +565,7 @@ func TestDCSweepDiodeIV(t *testing.T) {
 	c.SetModel("dm", "d", map[string]float64{"is": 1e-14})
 	s := compile(t, c)
 	vals := num.LinSpace(0.4, 0.75, 15)
-	res, err := s.DCSweep("V1", vals)
+	res, err := s.DCSweep(context.Background(), "V1", vals)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -586,7 +587,7 @@ func TestTempSweepDiodeVf(t *testing.T) {
 	c.AddIDC("I1", "0", "d", 1e-3) // 1mA into the diode
 	c.AddD("D1", "d", "0", "dm")
 	c.SetModel("dm", "d", map[string]float64{"is": 1e-14})
-	ops, sys, err := TempSweep(c, DefaultOptions(), []float64{-40, 27, 125})
+	ops, sys, err := TempSweep(context.Background(), c, DefaultOptions(), []float64{-40, 27, 125})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -626,7 +627,7 @@ func TestKCLAtOPQuick(t *testing.T) {
 			return false
 		}
 		s := New(sys)
-		op, err := s.OP()
+		op, err := s.OP(context.Background())
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -19,7 +20,7 @@ func TestFloatingCurrentSourceFails(t *testing.T) {
 	c.AddIDC("I1", "0", "x", 1e-3)
 	c.AddC("C1", "x", "0", 1e-9) // capacitor is open at DC
 	s := compile(t, c)
-	_, err := s.OP()
+	_, err := s.OP(context.Background())
 	if err == nil {
 		t.Fatal("expected failure for a floating DC node")
 	}
@@ -36,7 +37,7 @@ func TestVoltageSourceLoopFails(t *testing.T) {
 	c.AddVDC("V2", "a", "0", 2)
 	c.AddR("R1", "a", "0", 1e3)
 	s := compile(t, c)
-	if _, err := s.OP(); err == nil {
+	if _, err := s.OP(context.Background()); err == nil {
 		t.Fatal("conflicting ideal sources should fail")
 	}
 }
@@ -48,7 +49,7 @@ func TestShortedInductorLoopFails(t *testing.T) {
 	c.AddVDC("V1", "a", "0", 1)
 	c.AddL("L1", "a", "0", 1e-3)
 	s := compile(t, c)
-	if _, err := s.OP(); err == nil {
+	if _, err := s.OP(context.Background()); err == nil {
 		t.Fatal("ideal V across ideal L should fail at DC")
 	}
 }
@@ -58,10 +59,10 @@ func TestTranBadSpec(t *testing.T) {
 	c.AddVDC("V1", "a", "0", 1)
 	c.AddR("R1", "a", "0", 1e3)
 	s := compile(t, c)
-	if _, err := s.Tran(TranSpec{TStop: 0, TStep: 1e-6}); err == nil {
+	if _, err := s.Tran(context.Background(), TranSpec{TStop: 0, TStep: 1e-6}); err == nil {
 		t.Error("zero TStop should fail")
 	}
-	if _, err := s.Tran(TranSpec{TStop: 1e-3, TStep: 0}); err == nil {
+	if _, err := s.Tran(context.Background(), TranSpec{TStop: 1e-3, TStep: 0}); err == nil {
 		t.Error("zero TStep should fail")
 	}
 }
@@ -79,7 +80,7 @@ func TestACOnSingularCircuit(t *testing.T) {
 	}
 	s := New(sys)
 	op := sys.Linearize(make([]float64, sys.NumUnknowns()), 0)
-	if _, err := s.AC([]float64{1e3}, op); err == nil {
+	if _, err := s.AC(context.Background(), []float64{1e3}, op); err == nil {
 		t.Error("singular AC system should fail")
 	}
 }
@@ -89,10 +90,10 @@ func TestDCSweepBadSource(t *testing.T) {
 	c.AddVDC("V1", "a", "0", 1)
 	c.AddR("R1", "a", "0", 1e3)
 	s := compile(t, c)
-	if _, err := s.DCSweep("R1", []float64{1, 2}); err == nil {
+	if _, err := s.DCSweep(context.Background(), "R1", []float64{1, 2}); err == nil {
 		t.Error("sweeping a resistor should fail")
 	}
-	if _, err := s.DCSweep("nosuch", []float64{1}); err == nil {
+	if _, err := s.DCSweep(context.Background(), "nosuch", []float64{1}); err == nil {
 		t.Error("unknown source should fail")
 	}
 }
@@ -105,7 +106,7 @@ func TestPolesOnDrivenOnlyCircuit(t *testing.T) {
 	c.AddR("R2", "b", "0", 1e3)
 	s := compile(t, c)
 	op := mustOP(t, s)
-	poles, err := s.Poles(op, 1, 1e9)
+	poles, err := s.Poles(context.Background(), op, 1, 1e9)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,13 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
 	"sort"
 
+	"acstab/internal/acerr"
 	"acstab/internal/linalg"
 	"acstab/internal/mna"
 	"acstab/internal/netlist"
@@ -35,7 +37,7 @@ type Pole struct {
 //
 // The dense reduction is O(n³): appropriate for the circuit sizes of this
 // repository's workloads (hundreds of unknowns).
-func (s *Sim) Poles(op *mna.OpPoint, minHz, maxHz float64) ([]Pole, error) {
+func (s *Sim) Poles(ctx context.Context, op *mna.OpPoint, minHz, maxHz float64) ([]Pole, error) {
 	n := s.Sys.NumUnknowns()
 	// Recover G and C from the AC stamp: A(ω) = G + jωC is linear in ω.
 	g := linalg.NewCMatrix(n)
@@ -52,7 +54,7 @@ func (s *Sim) Poles(op *mna.OpPoint, minHz, maxHz float64) ([]Pole, error) {
 	var m *linalg.CMatrix
 	var err error
 	for attempt := 0; attempt < 4; attempt++ {
-		m, err = shiftInvert(g, c, complex(sigma, 0))
+		m, err = shiftInvert(ctx, g, c, complex(sigma, 0))
 		if err == nil {
 			break
 		}
@@ -82,8 +84,9 @@ func (s *Sim) Poles(op *mna.OpPoint, minHz, maxHz float64) ([]Pole, error) {
 	return out, nil
 }
 
-// shiftInvert computes (G + σC)⁻¹ C column by column.
-func shiftInvert(g, c *linalg.CMatrix, sigma complex128) (*linalg.CMatrix, error) {
+// shiftInvert computes (G + σC)⁻¹ C column by column; a canceled ctx
+// aborts between columns.
+func shiftInvert(ctx context.Context, g, c *linalg.CMatrix, sigma complex128) (*linalg.CMatrix, error) {
 	n := g.N
 	b := linalg.NewCMatrix(n)
 	for i := range b.Data {
@@ -96,6 +99,9 @@ func shiftInvert(g, c *linalg.CMatrix, sigma complex128) (*linalg.CMatrix, error
 	m := linalg.NewCMatrix(n)
 	col := make([]complex128, n)
 	for j := 0; j < n; j++ {
+		if err := acerr.Ctx(ctx); err != nil {
+			return nil, err
+		}
 		for i := 0; i < n; i++ {
 			col[i] = c.At(i, j)
 		}
@@ -142,7 +148,7 @@ func ComplexPolePairs(poles []Pole, tol float64) []Pole {
 // footnote 2 is about exactly these: a complex zero close to a complex
 // pole suppresses the pole's stability-plot peak, so exact zero locations
 // are the ground truth for interpreting positive peaks.
-func (s *Sim) TransferZeros(op *mna.OpPoint, src, outNode string, minHz, maxHz float64) ([]Pole, error) {
+func (s *Sim) TransferZeros(ctx context.Context, op *mna.OpPoint, src, outNode string, minHz, maxHz float64) ([]Pole, error) {
 	n := s.Sys.NumUnknowns()
 	outIdx, ok := s.Sys.NodeOf(outNode)
 	if !ok || outIdx < 0 {
@@ -179,7 +185,7 @@ func (s *Sim) TransferZeros(op *mna.OpPoint, src, outNode string, minHz, maxHz f
 	sigma := 2 * math.Pi * math.Sqrt(math.Max(minHz, 1)*math.Max(maxHz, 1))
 	var mm *linalg.CMatrix
 	for attempt := 0; attempt < 4; attempt++ {
-		mm, err = shiftInvert(ga, ca, complex(sigma, 0))
+		mm, err = shiftInvert(ctx, ga, ca, complex(sigma, 0))
 		if err == nil {
 			break
 		}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -22,7 +23,7 @@ func TestPolesRLCTank(t *testing.T) {
 	c.AddC("C1", "t", "0", cap)
 	s := compile(t, c)
 	op := mustOP(t, s)
-	poles, err := s.Poles(op, 1e3, 1e9)
+	poles, err := s.Poles(context.Background(), op, 1e3, 1e9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestPolesRCChain(t *testing.T) {
 	c.AddC("C2", "m", "0", 1e-9) // 15.9 kHz
 	s := compile(t, c)
 	op := mustOP(t, s)
-	poles, err := s.Poles(op, 1e2, 1e9)
+	poles, err := s.Poles(context.Background(), op, 1e2, 1e9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestPolesBandFilter(t *testing.T) {
 	s := compile(t, c)
 	op := mustOP(t, s)
 	// Band excludes the pole.
-	poles, err := s.Poles(op, 1e6, 1e9)
+	poles, err := s.Poles(context.Background(), op, 1e6, 1e9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestTransferZerosNotchFilter(t *testing.T) {
 	c.AddC("C1", "m", "0", 1e-9)
 	s := compile(t, c)
 	op := mustOP(t, s)
-	zeros, err := s.TransferZeros(op, "V1", "out", 1e3, 1e9)
+	zeros, err := s.TransferZeros(context.Background(), op, "V1", "out", 1e3, 1e9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestTransferZerosNotchFilter(t *testing.T) {
 		t.Errorf("notch zero at %g not found: %+v", fz, zeros)
 	}
 	// Cross-check: AC response really nulls there.
-	res, err := s.AC([]float64{fz}, op)
+	res, err := s.AC(context.Background(), []float64{fz}, op)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,14 +132,14 @@ func TestTransferZerosRCHighpassZeroAtDC(t *testing.T) {
 	c.AddR("R1", "out", "0", 1e5)
 	s := compile(t, c)
 	op := mustOP(t, s)
-	zeros, err := s.TransferZeros(op, "V1", "out", 1e3, 1e9)
+	zeros, err := s.TransferZeros(context.Background(), op, "V1", "out", 1e3, 1e9)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(zeros) != 0 {
 		t.Errorf("highpass has only the s=0 zero, got %+v", zeros)
 	}
-	poles, err := s.Poles(op, 1e2, 1e9)
+	poles, err := s.Poles(context.Background(), op, 1e2, 1e9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,13 +154,13 @@ func TestTransferZerosErrors(t *testing.T) {
 	c.AddR("R1", "a", "0", 1e3)
 	s := compile(t, c)
 	op := mustOP(t, s)
-	if _, err := s.TransferZeros(op, "R1", "a", 1, 1e9); err == nil {
+	if _, err := s.TransferZeros(context.Background(), op, "R1", "a", 1, 1e9); err == nil {
 		t.Error("non-source should fail")
 	}
-	if _, err := s.TransferZeros(op, "V1", "nosuch", 1, 1e9); err == nil {
+	if _, err := s.TransferZeros(context.Background(), op, "V1", "nosuch", 1, 1e9); err == nil {
 		t.Error("unknown node should fail")
 	}
-	if _, err := s.TransferZeros(op, "nosuch", "a", 1, 1e9); err == nil {
+	if _, err := s.TransferZeros(context.Background(), op, "nosuch", "a", 1, 1e9); err == nil {
 		t.Error("unknown source should fail")
 	}
 }

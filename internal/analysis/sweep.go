@@ -1,8 +1,10 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 
+	"acstab/internal/acerr"
 	"acstab/internal/mna"
 	"acstab/internal/netlist"
 	"acstab/internal/wave"
@@ -19,7 +21,7 @@ type DCSweepResult struct {
 func (r *DCSweepResult) NodeWave(node string) (*wave.Wave, error) {
 	idx, ok := r.sys.NodeOf(node)
 	if !ok {
-		return nil, fmt.Errorf("analysis: unknown node %q", node)
+		return nil, fmt.Errorf("analysis: %w %q", acerr.ErrUnknownNode, node)
 	}
 	y := make([]float64, len(r.Vals))
 	for k := range r.Vals {
@@ -33,7 +35,7 @@ func (r *DCSweepResult) NodeWave(node string) (*wave.Wave, error) {
 // DCSweep sweeps the DC value of the named independent source, solving the
 // operating point at each step with warm starting. The circuit is restored
 // afterwards.
-func (s *Sim) DCSweep(src string, vals []float64) (*DCSweepResult, error) {
+func (s *Sim) DCSweep(ctx context.Context, src string, vals []float64) (*DCSweepResult, error) {
 	e := s.Sys.Ckt.Element(src)
 	if e == nil || (e.Type != netlist.VSource && e.Type != netlist.ISource) {
 		return nil, fmt.Errorf("analysis: %q is not an independent source", src)
@@ -47,6 +49,9 @@ func (s *Sim) DCSweep(src string, vals []float64) (*DCSweepResult, error) {
 	res := &DCSweepResult{sys: s.Sys, Vals: append([]float64(nil), vals...)}
 	var warm []float64
 	for _, v := range vals {
+		if err := acerr.Ctx(ctx); err != nil {
+			return nil, err
+		}
 		e.Src.DC = v
 		// Compile holds a copy of the SourceSpec, so the system must be
 		// re-stamped through a fresh compile-free path: the spec copy lives
@@ -58,14 +63,14 @@ func (s *Sim) DCSweep(src string, vals []float64) (*DCSweepResult, error) {
 		sim := &Sim{Sys: sys, Opt: s.Opt}
 		var op *mna.OpPoint
 		if warm != nil {
-			if x, err := sim.newton(func(a mna.RealAdder, b []float64, x []float64) {
+			if x, err := sim.newton(ctx, func(a mna.RealAdder, b []float64, x []float64) {
 				sys.StampDC(a, b, x, mna.DCOptions{Gmin: s.Opt.Gmin, SrcScale: 1})
 			}, warm); err == nil {
 				op = sys.Linearize(x, s.Opt.Gmin)
 			}
 		}
 		if op == nil {
-			op, err = sim.OP()
+			op, err = sim.OP(ctx)
 			if err != nil {
 				return nil, fmt.Errorf("analysis: sweep %s=%g: %w", src, v, err)
 			}
@@ -81,19 +86,22 @@ func (s *Sim) DCSweep(src string, vals []float64) (*DCSweepResult, error) {
 // are temperature dependent). It returns one OpPoint per temperature along
 // with the compiled system used (node indexing is identical across
 // temperatures for a fixed circuit).
-func TempSweep(ckt *netlist.Circuit, opt Options, temps []float64) ([]*mna.OpPoint, *mna.System, error) {
+func TempSweep(ctx context.Context, ckt *netlist.Circuit, opt Options, temps []float64) ([]*mna.OpPoint, *mna.System, error) {
 	orig := ckt.Temp
 	defer func() { ckt.Temp = orig }()
 	var ops []*mna.OpPoint
 	var lastSys *mna.System
 	for _, t := range temps {
+		if err := acerr.Ctx(ctx); err != nil {
+			return nil, nil, err
+		}
 		ckt.Temp = t
 		sys, err := mna.Compile(ckt)
 		if err != nil {
 			return nil, nil, err
 		}
 		sim := &Sim{Sys: sys, Opt: opt}
-		op, err := sim.OP()
+		op, err := sim.OP(ctx)
 		if err != nil {
 			return nil, nil, fmt.Errorf("analysis: temp sweep at %g C: %w", t, err)
 		}

@@ -1,9 +1,11 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"acstab/internal/acerr"
 	"acstab/internal/mna"
 	"acstab/internal/wave"
 )
@@ -38,7 +40,7 @@ type TranResult struct {
 func (r *TranResult) NodeWave(node string) (*wave.Wave, error) {
 	idx, ok := r.sys.NodeOf(node)
 	if !ok {
-		return nil, fmt.Errorf("analysis: unknown node %q", node)
+		return nil, fmt.Errorf("analysis: %w %q", acerr.ErrUnknownNode, node)
 	}
 	y := make([]float64, len(r.T))
 	for k := range r.T {
@@ -62,8 +64,9 @@ type capState struct {
 // Tran runs a fixed-step transient analysis. The initial condition is the
 // operating point of the circuit with every transient source held at its
 // t=0 value. Device capacitances are linearized at each accepted timestep
-// (quasi-static charge model; documented in DESIGN.md).
-func (s *Sim) Tran(spec TranSpec) (*TranResult, error) {
+// (quasi-static charge model; documented in DESIGN.md). A canceled ctx
+// aborts between timesteps (and between Newton iterations within a step).
+func (s *Sim) Tran(ctx context.Context, spec TranSpec) (*TranResult, error) {
 	if spec.TStep <= 0 || spec.TStop <= 0 {
 		return nil, fmt.Errorf("analysis: transient needs positive TStep and TStop")
 	}
@@ -79,14 +82,14 @@ func (s *Sim) Tran(spec TranSpec) (*TranResult, error) {
 		}
 	}
 	x0 := make([]float64, sys.NumUnknowns())
-	x, err := s.newton(assembleAt(0), x0)
+	x, err := s.newton(ctx, assembleAt(0), x0)
 	if err != nil {
 		// Fall back: use the DC OP as the starting guess.
-		op, operr := s.OP()
+		op, operr := s.OP(ctx)
 		if operr != nil {
 			return nil, fmt.Errorf("analysis: transient initial point: %w", err)
 		}
-		x, err = s.newton(assembleAt(0), op.X)
+		x, err = s.newton(ctx, assembleAt(0), op.X)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: transient initial point: %w", err)
 		}
@@ -115,6 +118,9 @@ func (s *Sim) Tran(spec TranSpec) (*TranResult, error) {
 	trap := spec.Method == Trapezoidal
 	steps := int(math.Ceil(spec.TStop / h))
 	for n := 1; n <= steps; n++ {
+		if err := acerr.Ctx(ctx); err != nil {
+			return nil, err
+		}
 		t := float64(n) * h
 		assemble := func(a mna.RealAdder, b []float64, xc []float64) {
 			sys.StampDC(a, b, xc, mna.DCOptions{Gmin: s.Opt.Gmin, SrcScale: 0})
@@ -148,7 +154,7 @@ func (s *Sim) Tran(spec TranSpec) (*TranResult, error) {
 				}
 			}
 		}
-		xn, err := s.newton(assemble, x)
+		xn, err := s.newton(ctx, assemble, x)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: transient step at t=%g: %w", t, err)
 		}

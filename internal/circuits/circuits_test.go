@@ -1,6 +1,7 @@
 package circuits
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -28,11 +29,11 @@ func sim(t *testing.T, c *netlist.Circuit) *analysis.Sim {
 // deepest negative peak (any classification).
 func nodePeak(t *testing.T, s *analysis.Sim, node string, fstart, fstop float64) *stab.Peak {
 	t.Helper()
-	op, err := s.OP()
+	op, err := s.OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	zw, err := s.Impedance(num.LogGridPPD(fstart, fstop, 40), op, node)
+	zw, err := s.Impedance(context.Background(), num.LogGridPPD(fstart, fstop, 40), op, node)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,12 +56,12 @@ func nodePeak(t *testing.T, s *analysis.Sim, node string, fstart, fstop float64)
 
 func TestFig3OpenLoopShape(t *testing.T) {
 	s := sim(t, OpAmpOpenLoop(OpAmpDefaults()))
-	op, err := s.OP()
+	op, err := s.OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	freqs := num.LogGridPPD(1e2, 1e9, 60)
-	res, err := s.AC(freqs, op)
+	res, err := s.AC(context.Background(), freqs, op)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestFig4StabilityPeak(t *testing.T) {
 
 func TestFig2StepOvershoot(t *testing.T) {
 	s := sim(t, OpAmpBuffer(OpAmpDefaults()))
-	res, err := s.Tran(analysis.TranSpec{TStop: 3e-6, TStep: 1e-9})
+	res, err := s.Tran(context.Background(), analysis.TranSpec{TStop: 3e-6, TStep: 1e-9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestFig2ConsistentWithFig4(t *testing.T) {
 		t.Fatal("no peak")
 	}
 	s2 := sim(t, OpAmpBuffer(OpAmpDefaults()))
-	res, err := s2.Tran(analysis.TranSpec{TStop: 3e-6, TStep: 1e-9})
+	res, err := s2.Tran(context.Background(), analysis.TranSpec{TStop: 3e-6, TStep: 1e-9})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package circuits
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -11,11 +12,11 @@ import (
 // dominantPair returns the least-damped complex pole pair in band.
 func dominantPair(t *testing.T, s *analysis.Sim, minHz, maxHz float64) *analysis.Pole {
 	t.Helper()
-	op, err := s.OP()
+	op, err := s.OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	poles, err := s.Poles(op, minHz, maxHz)
+	poles, err := s.Poles(context.Background(), op, minHz, maxHz)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,11 +85,11 @@ func TestStabilityPlotMatchesExactPolesTransistor(t *testing.T) {
 // Table 2 content) against the exact pole set.
 func TestBiasLoopsMatchExactPoles(t *testing.T) {
 	s := sim(t, BiasCircuit(BiasDefaults()))
-	op, err := s.OP()
+	op, err := s.OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	poles, err := s.Poles(op, 1e6, 1e10)
+	poles, err := s.Poles(context.Background(), op, 1e6, 1e10)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package circuits
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 
 func TestTransistorOpAmpBias(t *testing.T) {
 	s := sim(t, TransistorOpAmp())
-	op, err := s.OP()
+	op, err := s.OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestTransistorOpAmpStepMatchesPrediction(t *testing.T) {
 		t.Fatal("no peak")
 	}
 	s2 := sim(t, TransistorOpAmp())
-	res, err := s2.Tran(analysis.TranSpec{TStop: 1e-6, TStep: 0.2e-9, RecordEvery: 5})
+	res, err := s2.Tran(context.Background(), analysis.TranSpec{TStop: 1e-6, TStep: 0.2e-9, RecordEvery: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestTransistorBiasLocalLoop(t *testing.T) {
 	// clearly under-damped local loop in the tens of MHz at both loop
 	// nodes, with no main loop anywhere in sight.
 	s := sim(t, TransistorBias())
-	op, err := s.OP()
+	op, err := s.OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

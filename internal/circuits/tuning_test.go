@@ -1,6 +1,7 @@
 package circuits
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -13,12 +14,12 @@ import (
 func measureAll(t *testing.T, p OpAmpParams) (fc, pm, f180, fn, peak, os float64) {
 	t.Helper()
 	s := sim(t, OpAmpOpenLoop(p))
-	op, err := s.OP()
+	op, err := s.OP(context.Background())
 	if err != nil {
 		return
 	}
 	freqs := num.LogGridPPD(1e2, 1e9, 60)
-	res, err := s.AC(freqs, op)
+	res, err := s.AC(context.Background(), freqs, op)
 	if err != nil {
 		return
 	}
@@ -35,11 +36,11 @@ func measureAll(t *testing.T, p OpAmpParams) (fc, pm, f180, fn, peak, os float64
 	cb := OpAmpBuffer(p)
 	cb.ZeroACSources()
 	s2 := sim(t, cb)
-	op2, err := s2.OP()
+	op2, err := s2.OP(context.Background())
 	if err != nil {
 		return
 	}
-	zw, err := s2.Impedance(num.LogGridPPD(1e4, 1e8, 60), op2, "output")
+	zw, err := s2.Impedance(context.Background(), num.LogGridPPD(1e4, 1e8, 60), op2, "output")
 	if err != nil {
 		return
 	}
@@ -50,7 +51,7 @@ func measureAll(t *testing.T, p OpAmpParams) (fc, pm, f180, fn, peak, os float64
 	fn = r2.Dominant.Freq
 	peak = r2.Dominant.Value
 	s3 := sim(t, OpAmpBuffer(p))
-	tr, err := s3.Tran(analysis.TranSpec{TStop: 3e-6, TStep: 2e-9})
+	tr, err := s3.Tran(context.Background(), analysis.TranSpec{TStop: 3e-6, TStep: 2e-9})
 	if err != nil {
 		return
 	}

@@ -5,35 +5,63 @@
 // and the matching client. A fleet of acstabd processes behind any HTTP
 // load balancer is the modern equivalent of the compute-farm dispatch the
 // authors planned.
+//
+// The request path is built to degrade gracefully under overload: a
+// server-side concurrency limiter sheds excess jobs with 429 + a
+// Retry-After hint while in-flight jobs run to completion, every job
+// carries a deadline (the request's timeout_ms capped by the server
+// maximum), and a client disconnect cancels the solve mid-sweep through
+// the request context. The Client retries shed and transient failures
+// with exponential backoff and jitter.
 package farm
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
+	"acstab/internal/acerr"
 	"acstab/internal/netlist"
 	"acstab/internal/obs"
 	"acstab/internal/report"
 	"acstab/internal/tool"
 )
 
-// Worker telemetry: job throughput and saturation. Phase latencies and
-// solver counters come from the instrumented analysis/tool packages via
-// the shared obs registry.
+// Worker telemetry: job throughput, saturation, and shed/abort volume.
+// Phase latencies and solver counters come from the instrumented
+// analysis/tool packages via the shared obs registry.
 var (
 	mJobsInflight = obs.GetGauge("acstab_jobs_inflight")
 	mRunsTotal    = obs.GetCounter("acstab_farm_runs_total")
 	mRunErrors    = obs.GetCounter("acstab_farm_run_errors_total")
+	// mShed counts jobs rejected with 429 by the concurrency limiter.
+	mShed = obs.GetCounter("acstab_farm_shed_total")
+	// mCanceled counts jobs aborted because the client went away.
+	mCanceled = obs.GetCounter("acstab_farm_canceled_total")
+	// mDeadline counts jobs aborted by their per-request deadline.
+	mDeadline = obs.GetCounter("acstab_farm_deadline_exceeded_total")
 )
+
+// WireVersion is the farm protocol version this worker speaks. Requests
+// may omit the field (legacy clients) or send this value; anything else
+// is rejected up front so a future incompatible format fails loudly
+// instead of mis-running.
+const WireVersion = 1
 
 // Request is one remote stability job.
 type Request struct {
+	// V is the wire-format version (WireVersion; 0 is accepted as
+	// legacy shorthand for version 1).
+	V int `json:"v,omitempty"`
 	// Netlist is the circuit source text.
 	Netlist string `json:"netlist"`
 	// Format selects the response rendering: text (default), csv, json,
@@ -41,6 +69,10 @@ type Request struct {
 	Format string `json:"format,omitempty"`
 	// Node switches to single-node mode when non-empty.
 	Node string `json:"node,omitempty"`
+	// TimeoutMS is the job deadline in milliseconds, measured from the
+	// moment the worker admits the job. The server caps it at its
+	// -request-timeout; 0 means "server default".
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Options carries the sweep setup (zero values take server defaults).
 	Options RequestOptions `json:"options"`
 	// Variables override design variables before the run.
@@ -62,22 +94,64 @@ type RequestOptions struct {
 // MaxNetlistBytes bounds request size.
 const MaxNetlistBytes = 4 << 20
 
-// Handler returns the HTTP handler of a farm worker: POST /run executes a
-// job, GET /healthz reports liveness, GET /metrics serves the Prometheus
+// Config tunes a farm worker's request path.
+type Config struct {
+	// MaxConcurrent bounds the number of /run jobs executing at once;
+	// excess requests are shed with 429 + Retry-After. 0 selects
+	// GOMAXPROCS.
+	MaxConcurrent int
+	// MaxTimeout caps the per-request deadline and is the default for
+	// requests that do not set timeout_ms. 0 selects 5 minutes.
+	MaxTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses. 0 selects 1s.
+	RetryAfter time.Duration
+	// Logf is the request-log sink (nil selects log.Printf).
+	Logf obs.Logf
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// server is one worker's HTTP state: its config and admission semaphore.
+type server struct {
+	cfg   Config
+	sem   chan struct{}
+	start time.Time
+}
+
+// Handler returns a farm worker handler with default Config.
+func Handler() http.Handler { return NewHandler(Config{}) }
+
+// NewHandler returns the HTTP handler of a farm worker: POST /run
+// executes a job under the concurrency limiter and per-request deadline,
+// GET /healthz reports liveness, GET /metrics serves the Prometheus
 // exposition of the process registry, and GET /statusz serves a JSON
-// status snapshot (jobs in flight, per-phase latency histograms, solver
-// counters, worker utilization). Every route is wrapped in the obs
-// request-logging middleware.
-func Handler() http.Handler {
-	start := time.Now()
+// status snapshot (jobs in flight, shed/abort counters, per-phase
+// latency histograms, solver counters, worker utilization). Every route
+// is wrapped in the obs request-logging middleware.
+func NewHandler(cfg Config) http.Handler {
+	s := &server{
+		cfg:   cfg.withDefaults(),
+		start: time.Now(),
+	}
+	s.sem = make(chan struct{}, s.cfg.MaxConcurrent)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", handleHealthz)
-	mux.HandleFunc("/run", handleRun)
+	mux.HandleFunc("/run", s.handleRun)
 	mux.Handle("/metrics", obs.MetricsHandler())
-	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
-		handleStatusz(w, r, start)
-	})
-	return obs.Middleware(mux, nil)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	return obs.Middleware(mux, s.cfg.Logf)
 }
 
 func handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -89,34 +163,138 @@ func handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-func handleRun(w http.ResponseWriter, r *http.Request) {
+// ErrorBody is the structured JSON document returned for 4xx/5xx.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries the machine-readable failure code and the human
+// message.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes returned in ErrorBody.
+const (
+	CodeBadJSON            = "bad_json"
+	CodeUnsupportedVersion = "unsupported_version"
+	CodeMethodNotAllowed   = "method_not_allowed"
+	CodeOverloaded         = "overloaded"
+	CodeDeadlineExceeded   = "deadline_exceeded"
+	CodeClientClosed       = "client_closed_request"
+	CodeUnknownNode        = "unknown_node"
+	CodeNoConvergence      = "no_convergence"
+	CodeSingularMatrix     = "singular_matrix"
+	CodeRunFailed          = "run_failed"
+)
+
+// writeErr sends a structured error body with the given status.
+func writeErr(w http.ResponseWriter, status int, code, message string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorBody{Error: ErrorDetail{Code: code, Message: message}})
+}
+
+// decodeRequest parses a job, rejecting unknown fields and unsupported
+// wire versions so schema drift surfaces as a 400 instead of a silently
+// ignored option.
+func decodeRequest(body []byte) (*Request, int, string, error) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		return nil, http.StatusBadRequest, CodeBadJSON, fmt.Errorf("bad request JSON: %w", err)
+	}
+	if req.V != 0 && req.V != WireVersion {
+		return nil, http.StatusBadRequest, CodeUnsupportedVersion,
+			fmt.Errorf("unsupported wire version %d (worker speaks %d)", req.V, WireVersion)
+	}
+	return &req, 0, "", nil
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		writeErr(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
+		return
+	}
+	// Admission control: shed instead of queueing so latency stays
+	// bounded and the load balancer can route around a busy worker.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		mShed.Inc()
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeErr(w, http.StatusTooManyRequests, CodeOverloaded,
+			fmt.Sprintf("worker at capacity (%d jobs in flight)", s.cfg.MaxConcurrent))
 		return
 	}
 	mJobsInflight.Inc()
 	defer mJobsInflight.Dec()
 	body, err := io.ReadAll(io.LimitReader(r.Body, MaxNetlistBytes+4096))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeErr(w, http.StatusBadRequest, CodeBadJSON, err.Error())
 		return
 	}
-	var req Request
-	if err := json.Unmarshal(body, &req); err != nil {
-		http.Error(w, "bad request JSON: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	out, contentType, err := Run(&req)
+	req, status, code, err := decodeRequest(body)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		writeErr(w, status, code, err.Error())
+		return
+	}
+
+	// Per-request deadline: client ask capped by the server maximum;
+	// the context also dies when the client disconnects, so an
+	// abandoned job stops burning CPU within one linear solve.
+	timeout := s.cfg.MaxTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	out, contentType, err := Run(ctx, req)
+	if err != nil {
+		status, code := classifyRunError(r, err)
+		writeErr(w, status, code, err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", contentType)
 	w.Write(out)
 }
 
+// classifyRunError maps a job failure to its HTTP status and error code,
+// counting sheds of the deadline/disconnect kind.
+func classifyRunError(r *http.Request, err error) (int, string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		mDeadline.Inc()
+		return http.StatusGatewayTimeout, CodeDeadlineExceeded
+	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
+		// The client hung up; nobody reads this response, but the
+		// status keeps the request log and metrics honest. 499 is the
+		// de-facto "client closed request" code.
+		mCanceled.Inc()
+		return 499, CodeClientClosed
+	case errors.Is(err, acerr.ErrUnknownNode):
+		return http.StatusUnprocessableEntity, CodeUnknownNode
+	case errors.Is(err, acerr.ErrNoConvergence):
+		return http.StatusUnprocessableEntity, CodeNoConvergence
+	case errors.Is(err, acerr.ErrSingularMatrix):
+		return http.StatusUnprocessableEntity, CodeSingularMatrix
+	default:
+		return http.StatusUnprocessableEntity, CodeRunFailed
+	}
+}
+
 // Run executes one job locally (the server calls this; tests can too).
-func Run(req *Request) (body []byte, contentType string, err error) {
+// A canceled or deadline-expired ctx aborts the solve within one linear
+// solve with an error wrapping acerr.ErrCanceled plus the context's own
+// error.
+func Run(ctx context.Context, req *Request) (body []byte, contentType string, err error) {
 	mRunsTotal.Inc()
 	defer func() {
 		if err != nil {
@@ -164,7 +342,7 @@ func Run(req *Request) (body []byte, contentType string, err error) {
 
 	var buf bytes.Buffer
 	if req.Node != "" {
-		nr, err := t.SingleNode(req.Node)
+		nr, err := t.SingleNode(ctx, req.Node)
 		if err != nil {
 			return nil, "", err
 		}
@@ -176,7 +354,7 @@ func Run(req *Request) (body []byte, contentType string, err error) {
 		return buf.Bytes(), "application/json", nil
 	}
 
-	rep, err := t.AllNodes()
+	rep, err := t.AllNodes(ctx)
 	if err != nil {
 		return nil, "", err
 	}
@@ -210,6 +388,9 @@ type Statusz struct {
 	JobsInflight float64 `json:"jobs_inflight"`
 	RunsTotal    int64   `json:"runs_total"`
 	RunErrors    int64   `json:"run_errors_total"`
+	// Overload reports the admission-control state: the concurrency
+	// ceiling and the cumulative shed/canceled/deadline counts.
+	Overload StatuszOverload `json:"overload"`
 	// Requests maps `path="...",code="..."` label sets to request counts.
 	Requests map[string]int64 `json:"http_requests_total,omitempty"`
 	// Phases maps phase names (parse, mna_assembly, op, sweep, stability,
@@ -219,6 +400,18 @@ type Statusz struct {
 	// solves, Newton iterations, operating-point solves, MNA compiles).
 	Solver  map[string]int64 `json:"solver,omitempty"`
 	Workers StatuszWorkers   `json:"workers"`
+}
+
+// StatuszOverload reports the request-shedding state of the worker.
+type StatuszOverload struct {
+	// MaxConcurrent is the admission-control ceiling on parallel jobs.
+	MaxConcurrent int `json:"max_concurrent"`
+	// Shed counts jobs rejected with 429.
+	Shed int64 `json:"shed_total"`
+	// Canceled counts jobs aborted by client disconnect.
+	Canceled int64 `json:"canceled_total"`
+	// DeadlineExceeded counts jobs aborted by their deadline.
+	DeadlineExceeded int64 `json:"deadline_exceeded_total"`
 }
 
 // StatuszWorkers reports sweep-pool saturation.
@@ -231,7 +424,7 @@ type StatuszWorkers struct {
 }
 
 // statuszFrom assembles the status document from a registry snapshot.
-func statuszFrom(snap map[string]any, uptime time.Duration) *Statusz {
+func statuszFrom(snap map[string]any, uptime time.Duration, cfg Config) *Statusz {
 	st := &Statusz{
 		UptimeSeconds: uptime.Seconds(),
 		Requests:      map[string]int64{},
@@ -239,6 +432,7 @@ func statuszFrom(snap map[string]any, uptime time.Duration) *Statusz {
 		Solver:        map[string]int64{},
 	}
 	st.Workers.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	st.Overload.MaxConcurrent = cfg.MaxConcurrent
 	const (
 		phasePrefix = `acstab_phase_duration_seconds{phase="`
 		reqPrefix   = `acstab_http_requests_total{`
@@ -262,6 +456,12 @@ func statuszFrom(snap map[string]any, uptime time.Duration) *Statusz {
 			st.RunsTotal, _ = v.(int64)
 		case name == "acstab_farm_run_errors_total":
 			st.RunErrors, _ = v.(int64)
+		case name == "acstab_farm_shed_total":
+			st.Overload.Shed, _ = v.(int64)
+		case name == "acstab_farm_canceled_total":
+			st.Overload.Canceled, _ = v.(int64)
+		case name == "acstab_farm_deadline_exceeded_total":
+			st.Overload.DeadlineExceeded, _ = v.(int64)
 		case name == "acstab_sweep_workers_busy":
 			st.Workers.SweepBusy, _ = v.(float64)
 		case strings.HasPrefix(name, solverPre) && strings.HasSuffix(name, "_total") &&
@@ -279,7 +479,7 @@ func statuszFrom(snap map[string]any, uptime time.Duration) *Statusz {
 	return st
 }
 
-func handleStatusz(w http.ResponseWriter, r *http.Request, start time.Time) {
+func (s *server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
@@ -287,7 +487,7 @@ func handleStatusz(w http.ResponseWriter, r *http.Request, start time.Time) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(statuszFrom(obs.Default.Snapshot(), time.Since(start)))
+	enc.Encode(statuszFrom(obs.Default.Snapshot(), time.Since(s.start), s.cfg))
 }
 
 type singleNodeResult struct {
@@ -313,35 +513,181 @@ func singleNodeJSON(nr *tool.NodeResult) singleNodeResult {
 	return out
 }
 
-// Client submits jobs to a farm worker.
+// Client submits jobs to a farm worker, retrying shed (429) and
+// transient (5xx, transport) failures with exponential backoff and
+// jitter.
 type Client struct {
 	// BaseURL is the worker address, e.g. "http://farm:8080".
 	BaseURL string
-	// HTTPClient defaults to a client with a 5-minute timeout.
+	// HTTPClient overrides the transport; nil selects a client with
+	// Timeout (below) as its per-attempt limit.
 	HTTPClient *http.Client
+	// Timeout bounds each attempt when HTTPClient is nil (default 5m).
+	Timeout time.Duration
+	// MaxRetries is the number of re-attempts after the first try on
+	// retryable failures (default 3; negative disables retries).
+	MaxRetries int
+	// RetryBaseDelay seeds the exponential backoff (default 200ms). The
+	// delay doubles per attempt with ±50% jitter; a larger Retry-After
+	// hint from the worker takes precedence.
+	RetryBaseDelay time.Duration
+	// MaxRetryDelay caps the backoff (default 5s).
+	MaxRetryDelay time.Duration
 }
 
-// Submit posts the job and returns the rendered report body.
-func (c *Client) Submit(req *Request) ([]byte, error) {
+// StatusError is a non-2xx reply from a farm worker, carrying the
+// structured error fields when the worker sent them.
+type StatusError struct {
+	// StatusCode is the HTTP status.
+	StatusCode int
+	// Code is the machine-readable error code (empty for unstructured
+	// bodies).
+	Code string
+	// Message is the human-readable failure description.
+	Message string
+	// RetryAfter is the worker's backoff hint (0 if absent).
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (e *StatusError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("farm: worker returned %d %s: %s", e.StatusCode, e.Code, e.Message)
+	}
+	return fmt.Sprintf("farm: worker returned %d: %s", e.StatusCode, e.Message)
+}
+
+// Retryable reports whether a retry may succeed: the worker shed the job
+// (429) or failed transiently (5xx).
+func (e *StatusError) Retryable() bool {
+	return e.StatusCode == http.StatusTooManyRequests || e.StatusCode >= 500
+}
+
+// Submit posts the job and returns the rendered report body. Shed and
+// transient failures are retried per the client's backoff settings; the
+// final failure is returned as a *StatusError (HTTP-level) or transport
+// error. ctx bounds the whole call including backoff waits.
+func (c *Client) Submit(ctx context.Context, req *Request) ([]byte, error) {
 	hc := c.HTTPClient
 	if hc == nil {
-		hc = &http.Client{Timeout: 5 * time.Minute}
+		t := c.Timeout
+		if t <= 0 {
+			t = 5 * time.Minute
+		}
+		hc = &http.Client{Timeout: t}
 	}
-	payload, err := json.Marshal(req)
+	wire := *req
+	if wire.V == 0 {
+		wire.V = WireVersion
+	}
+	payload, err := json.Marshal(&wire)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := hc.Post(c.BaseURL+"/run", "application/json", bytes.NewReader(payload))
+	base := c.RetryBaseDelay
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	maxDelay := c.MaxRetryDelay
+	if maxDelay <= 0 {
+		maxDelay = 5 * time.Second
+	}
+	retries := c.MaxRetries
+	if retries == 0 {
+		retries = 3
+	}
+	if retries < 0 {
+		retries = 0
+	}
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		body, err := c.submitOnce(ctx, hc, payload)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		if attempt >= retries || !retryable(err) || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		delay := backoffDelay(base, maxDelay, attempt)
+		var se *StatusError
+		if errors.As(err, &se) && se.RetryAfter > delay {
+			delay = se.RetryAfter
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("farm: %w (last attempt: %v)", ctx.Err(), lastErr)
+		}
+	}
+}
+
+// submitOnce performs one POST /run attempt, always draining and closing
+// the response body so the underlying connection returns to the pool for
+// the next attempt instead of leaking.
+func (c *Client) submitOnce(ctx context.Context, hc *http.Client, payload []byte) ([]byte, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/run",
+		bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := hc.Do(hreq)
 	if err != nil {
 		return nil, fmt.Errorf("farm: %w", err)
 	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
+	body, readErr := io.ReadAll(resp.Body)
+	// Drain whatever ReadAll left behind (e.g. on a limited read error)
+	// and close: an undrained body poisons connection reuse.
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if readErr != nil {
+		return nil, fmt.Errorf("farm: reading response: %w", readErr)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("farm: worker returned %s: %s", resp.Status, bytes.TrimSpace(body))
+		se := &StatusError{StatusCode: resp.StatusCode, Message: string(bytes.TrimSpace(body))}
+		var eb ErrorBody
+		if json.Unmarshal(body, &eb) == nil && eb.Error.Code != "" {
+			se.Code = eb.Error.Code
+			se.Message = eb.Error.Message
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				se.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, se
 	}
 	return body, nil
+}
+
+// retryable reports whether an attempt failure is worth retrying:
+// transport errors and retryable status codes are; 4xx rejections and
+// context expiry are not.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Retryable()
+	}
+	return true // transport-level failure
+}
+
+// backoffDelay computes the attempt's wait: base·2^attempt with ±50%
+// jitter, capped at maxDelay. Jitter decorrelates a thundering herd of
+// clients retrying against the same recovering worker.
+func backoffDelay(base, maxDelay time.Duration, attempt int) time.Duration {
+	d := base << uint(attempt)
+	if d > maxDelay || d <= 0 {
+		d = maxDelay
+	}
+	jitter := 0.5 + rand.Float64()
+	out := time.Duration(float64(d) * jitter)
+	if out > maxDelay {
+		out = maxDelay
+	}
+	return out
 }

@@ -1,6 +1,7 @@
 package farm
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -20,7 +21,7 @@ C1 t 0 1n
 `
 
 func TestRunAllNodesText(t *testing.T) {
-	body, ct, err := Run(&Request{Netlist: tankNetlist})
+	body, ct, err := Run(context.Background(), &Request{Netlist: tankNetlist})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestRunAllNodesText(t *testing.T) {
 
 func TestRunFormats(t *testing.T) {
 	for _, f := range []string{"csv", "json", "annotate"} {
-		body, _, err := Run(&Request{Netlist: tankNetlist, Format: f})
+		body, _, err := Run(context.Background(), &Request{Netlist: tankNetlist, Format: f})
 		if err != nil {
 			t.Fatalf("%s: %v", f, err)
 		}
@@ -42,13 +43,13 @@ func TestRunFormats(t *testing.T) {
 			t.Errorf("%s: empty body", f)
 		}
 	}
-	if _, _, err := Run(&Request{Netlist: tankNetlist, Format: "bogus"}); err == nil {
+	if _, _, err := Run(context.Background(), &Request{Netlist: tankNetlist, Format: "bogus"}); err == nil {
 		t.Error("bad format should fail")
 	}
 }
 
 func TestRunSingleNode(t *testing.T) {
-	body, ct, err := Run(&Request{Netlist: tankNetlist, Node: "t"})
+	body, ct, err := Run(context.Background(), &Request{Netlist: tankNetlist, Node: "t"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,11 +72,11 @@ func TestRunSingleNode(t *testing.T) {
 }
 
 func TestRunVariables(t *testing.T) {
-	a, _, err := Run(&Request{Netlist: tankNetlist, Node: "t"})
+	a, _, err := Run(context.Background(), &Request{Netlist: tankNetlist, Node: "t"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := Run(&Request{Netlist: tankNetlist, Node: "t",
+	b, _, err := Run(context.Background(), &Request{Netlist: tankNetlist, Node: "t",
 		Variables: map[string]float64{"rq": 1000}})
 	if err != nil {
 		t.Fatal(err)
@@ -83,17 +84,17 @@ func TestRunVariables(t *testing.T) {
 	if string(a) == string(b) {
 		t.Error("variable override had no effect")
 	}
-	if _, _, err := Run(&Request{Netlist: tankNetlist,
+	if _, _, err := Run(context.Background(), &Request{Netlist: tankNetlist,
 		Variables: map[string]float64{"nosuch": 1}}); err == nil {
 		t.Error("unknown variable should fail")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if _, _, err := Run(&Request{Netlist: "broken\nZZ\n"}); err == nil {
+	if _, _, err := Run(context.Background(), &Request{Netlist: "broken\nZZ\n"}); err == nil {
 		t.Error("bad netlist should fail")
 	}
-	if _, _, err := Run(&Request{Netlist: strings.Repeat("x", MaxNetlistBytes+1)}); err == nil {
+	if _, _, err := Run(context.Background(), &Request{Netlist: strings.Repeat("x", MaxNetlistBytes+1)}); err == nil {
 		t.Error("oversized netlist should fail")
 	}
 }
@@ -103,7 +104,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 	defer srv.Close()
 
 	c := &Client{BaseURL: srv.URL}
-	body, err := c.Submit(&Request{Netlist: tankNetlist})
+	body, err := c.Submit(context.Background(), &Request{Netlist: tankNetlist})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 		t.Errorf("remote report:\n%s", body)
 	}
 	// Errors propagate with status text.
-	if _, err := c.Submit(&Request{Netlist: "broken\nZZ\n"}); err == nil {
+	if _, err := c.Submit(context.Background(), &Request{Netlist: "broken\nZZ\n"}); err == nil {
 		t.Error("remote error should surface")
 	}
 	// Health endpoint.
@@ -217,7 +218,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 	// One real job, then assert the counters moved.
 	c := &Client{BaseURL: srv.URL}
-	if _, err := c.Submit(&Request{Netlist: tankNetlist}); err != nil {
+	if _, err := c.Submit(context.Background(), &Request{Netlist: tankNetlist}); err != nil {
 		t.Fatal(err)
 	}
 	text := read("/metrics")
@@ -251,7 +252,7 @@ func TestStatuszEndpoint(t *testing.T) {
 	defer srv.Close()
 
 	c := &Client{BaseURL: srv.URL}
-	if _, err := c.Submit(&Request{Netlist: tankNetlist}); err != nil {
+	if _, err := c.Submit(context.Background(), &Request{Netlist: tankNetlist}); err != nil {
 		t.Fatal(err)
 	}
 	resp, err := srv.Client().Get(srv.URL + "/statusz")

@@ -5,15 +5,17 @@
 package linalg
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"math/cmplx"
+
+	"acstab/internal/acerr"
 )
 
 // ErrSingular is returned when factorization encounters an (effectively)
-// singular matrix.
-var ErrSingular = errors.New("linalg: singular matrix")
+// singular matrix. It wraps acerr.ErrSingularMatrix so the condition is
+// recognizable across the public API boundary via errors.Is.
+var ErrSingular = fmt.Errorf("linalg: %w", acerr.ErrSingularMatrix)
 
 // Matrix is a dense real matrix in row-major order.
 type Matrix struct {

@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"errors"
@@ -18,7 +19,7 @@ func table2Report(t *testing.T) (*tool.Tool, *tool.Report) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := tl.AllNodes()
+	rep, err := tl.AllNodes(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestTextReportNotices(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := tl.AllNodes()
+	rep, err := tl.AllNodes(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

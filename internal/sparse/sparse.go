@@ -10,14 +10,17 @@
 package sparse
 
 import (
-	"errors"
 	"fmt"
 	"math/cmplx"
 	"sort"
+
+	"acstab/internal/acerr"
 )
 
-// ErrSingular is returned when no usable pivot exists.
-var ErrSingular = errors.New("sparse: singular matrix")
+// ErrSingular is returned when no usable pivot exists. It wraps
+// acerr.ErrSingularMatrix so the condition is recognizable across the
+// public API boundary via errors.Is.
+var ErrSingular = fmt.Errorf("sparse: %w", acerr.ErrSingularMatrix)
 
 // Matrix is a sparse complex matrix under construction.
 type Matrix struct {

@@ -1,6 +1,7 @@
 package tool
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -44,15 +45,15 @@ func TestZeroNearPoleSuppression(t *testing.T) {
 		t.Fatal(err)
 	}
 	sim := analysis.New(sys)
-	op, err := sim.OP()
+	op, err := sim.OP(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	poles, err := sim.Poles(op, 1e5, 1e8)
+	poles, err := sim.Poles(context.Background(), op, 1e5, 1e8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	zeros, err := sim.TransferZeros(op, "IPROBE", "t", 1e5, 1e8)
+	zeros, err := sim.TransferZeros(context.Background(), op, "IPROBE", "t", 1e5, 1e8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestZeroNearPoleSuppression(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nr, err := tl.SingleNode("t")
+	nr, err := tl.SingleNode(context.Background(), "t")
 	if err != nil {
 		t.Fatal(err)
 	}

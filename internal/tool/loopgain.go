@@ -1,9 +1,11 @@
 package tool
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"acstab/internal/acerr"
 	"acstab/internal/analysis"
 	"acstab/internal/linalg"
 	"acstab/internal/mna"
@@ -34,7 +36,7 @@ import (
 // circuits whose bias does not depend on the probed source (behavioral
 // macromodels; for transistor circuits the loop transconductance lives
 // inside device models and is not individually removable).
-func ReturnRatio(ckt *netlist.Circuit, elem string, freqs []float64) (*wave.Wave, error) {
+func ReturnRatio(ctx context.Context, ckt *netlist.Circuit, elem string, freqs []float64) (*wave.Wave, error) {
 	flat, err := netlist.Flatten(ckt)
 	if err != nil {
 		return nil, err
@@ -75,7 +77,7 @@ func ReturnRatio(ckt *netlist.Circuit, elem string, freqs []float64) (*wave.Wave
 		return nil, err
 	}
 	sim := analysis.New(sys)
-	op, err := sim.OP()
+	op, err := sim.OP(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -101,6 +103,9 @@ func ReturnRatio(ckt *netlist.Circuit, elem string, freqs []float64) (*wave.Wave
 	}
 	b := make([]complex128, n)
 	for k, f := range freqs {
+		if err := acerr.Ctx(ctx); err != nil {
+			return nil, err
+		}
 		omega := 2 * 3.141592653589793 * f
 		for i := range b {
 			b[i] = 0
@@ -169,6 +174,6 @@ func roundTo(x float64) float64 {
 }
 
 // LoopGainGrid is a convenience wrapper running ReturnRatio on a log grid.
-func LoopGainGrid(ckt *netlist.Circuit, elem string, fstart, fstop float64, ppd int) (*wave.Wave, error) {
-	return ReturnRatio(ckt, elem, num.LogGridPPD(fstart, fstop, ppd))
+func LoopGainGrid(ctx context.Context, ckt *netlist.Circuit, elem string, fstart, fstop float64, ppd int) (*wave.Wave, error) {
+	return ReturnRatio(ctx, ckt, elem, num.LogGridPPD(fstart, fstop, ppd))
 }

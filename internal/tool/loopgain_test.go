@@ -1,6 +1,7 @@
 package tool
 
 import (
+	"context"
 	"math"
 	"math/cmplx"
 	"testing"
@@ -19,7 +20,7 @@ func TestReturnRatioSimpleLoop(t *testing.T) {
 	// Negative feedback: current pulled out of a proportional to v(a).
 	c.AddG("GLOOP", "a", "0", "a", "0", 2e-3)
 	freqs := num.LogGridPPD(1e3, 1e9, 20)
-	tw, err := ReturnRatio(c, "GLOOP", freqs)
+	tw, err := ReturnRatio(context.Background(), c, "GLOOP", freqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestReturnRatioOpAmpMatchesBrokenLoop(t *testing.T) {
 	// probe: the main loop is the only loop through it. G2 also sits
 	// inside the local Miller loop, so RR(G2) mixes both loops.)
 	ckt := circuits.OpAmpBuffer(circuits.OpAmpDefaults())
-	tw, err := LoopGainGrid(ckt, "g1", 100, 1e9, 40)
+	tw, err := LoopGainGrid(context.Background(), ckt, "g1", 100, 1e9, 40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestReturnRatioAgreesWithStabilityPlot(t *testing.T) {
 	// estimates agree within a few degrees (the stability plot's estimate
 	// is the second-order equivalent).
 	ckt := circuits.OpAmpBuffer(circuits.OpAmpDefaults())
-	tw, err := LoopGainGrid(ckt, "g1", 100, 1e9, 40)
+	tw, err := LoopGainGrid(context.Background(), ckt, "g1", 100, 1e9, 40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestReturnRatioAgreesWithStabilityPlot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nr, err := tl.SingleNode("output")
+	nr, err := tl.SingleNode(context.Background(), "output")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,10 +96,10 @@ func TestReturnRatioAgreesWithStabilityPlot(t *testing.T) {
 
 func TestReturnRatioErrors(t *testing.T) {
 	c := circuits.SecondOrder(0.3, 1e6)
-	if _, err := ReturnRatio(c, "nosuch", []float64{1e3}); err == nil {
+	if _, err := ReturnRatio(context.Background(), c, "nosuch", []float64{1e3}); err == nil {
 		t.Error("unknown element should fail")
 	}
-	if _, err := ReturnRatio(c, "R1", []float64{1e3}); err == nil {
+	if _, err := ReturnRatio(context.Background(), c, "R1", []float64{1e3}); err == nil {
 		t.Error("non-VCCS should fail")
 	}
 }

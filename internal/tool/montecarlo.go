@@ -1,6 +1,7 @@
 package tool
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -41,7 +42,7 @@ type MCResult struct {
 // variables — mismatch/tolerance analysis for loop stability, the natural
 // extension of the paper's planned corner support. The source circuit is
 // not modified.
-func MonteCarlo(ckt *netlist.Circuit, opts Options, spec MCSpec) (*MCResult, error) {
+func MonteCarlo(ctx context.Context, ckt *netlist.Circuit, opts Options, spec MCSpec) (*MCResult, error) {
 	if spec.Runs <= 0 {
 		return nil, fmt.Errorf("tool: MonteCarlo needs Runs > 0")
 	}
@@ -62,7 +63,7 @@ func MonteCarlo(ckt *netlist.Circuit, opts Options, spec MCSpec) (*MCResult, err
 			vars[name] = nominal * math.Exp(sigma*rng.NormFloat64())
 		}
 		sample := MCSample{Variables: vars}
-		rep, err := runOneCorner(ckt, opts, Corner{
+		rep, err := runOneCorner(ctx, ckt, opts, Corner{
 			Name:   fmt.Sprintf("mc-%d", k),
 			Params: vars,
 		})

@@ -1,6 +1,7 @@
 package tool
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -25,7 +26,7 @@ func TestMonteCarloBasics(t *testing.T) {
 	c := mcCircuit(t)
 	opts := DefaultOptions()
 	opts.FStart, opts.FStop = 1e4, 1e8
-	res, err := MonteCarlo(c, opts, MCSpec{
+	res, err := MonteCarlo(context.Background(), c, opts, MCSpec{
 		Runs: 20, Seed: 42,
 		Sigma: map[string]float64{"rq": 0.2, "cq": 0.05},
 	})
@@ -70,11 +71,11 @@ func TestMonteCarloDeterministic(t *testing.T) {
 	opts := DefaultOptions()
 	opts.FStart, opts.FStop = 1e4, 1e8
 	spec := MCSpec{Runs: 5, Seed: 7, Sigma: map[string]float64{"rq": 0.1}}
-	a, err := MonteCarlo(c, opts, spec)
+	a, err := MonteCarlo(context.Background(), c, opts, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := MonteCarlo(mcCircuit(t), opts, spec)
+	b, err := MonteCarlo(context.Background(), mcCircuit(t), opts, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,13 +90,13 @@ func TestMonteCarloDeterministic(t *testing.T) {
 func TestMonteCarloErrors(t *testing.T) {
 	c := mcCircuit(t)
 	opts := DefaultOptions()
-	if _, err := MonteCarlo(c, opts, MCSpec{Runs: 0, Sigma: map[string]float64{"rq": 0.1}}); err == nil {
+	if _, err := MonteCarlo(context.Background(), c, opts, MCSpec{Runs: 0, Sigma: map[string]float64{"rq": 0.1}}); err == nil {
 		t.Error("zero runs should fail")
 	}
-	if _, err := MonteCarlo(c, opts, MCSpec{Runs: 1}); err == nil {
+	if _, err := MonteCarlo(context.Background(), c, opts, MCSpec{Runs: 1}); err == nil {
 		t.Error("empty sigma should fail")
 	}
-	if _, err := MonteCarlo(c, opts, MCSpec{Runs: 1, Sigma: map[string]float64{"zz": 0.1}}); err == nil {
+	if _, err := MonteCarlo(context.Background(), c, opts, MCSpec{Runs: 1, Sigma: map[string]float64{"zz": 0.1}}); err == nil {
 		t.Error("unknown variable should fail")
 	}
 	empty := &MCResult{}

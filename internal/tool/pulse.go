@@ -1,6 +1,7 @@
 package tool
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -37,7 +38,7 @@ type PulseResult struct {
 // resonance far from it is simply missed. Kept as the comparison baseline
 // for the paper's speed and coverage claims (see
 // BenchmarkAblationPulsingVsAC).
-func NodePulse(ckt *netlist.Circuit, node string, fGuess float64) (*PulseResult, error) {
+func NodePulse(ctx context.Context, ckt *netlist.Circuit, node string, fGuess float64) (*PulseResult, error) {
 	if fGuess <= 0 {
 		return nil, fmt.Errorf("tool: node pulsing needs a frequency guess")
 	}
@@ -67,7 +68,7 @@ func NodePulse(ckt *netlist.Circuit, node string, fGuess float64) (*PulseResult,
 		TStop: 26 * period,
 		TStep: period / 200,
 	}
-	res, err := sim.Tran(spec)
+	res, err := sim.Tran(ctx, spec)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package tool
 
 import (
+	"context"
 	"testing"
 
 	"acstab/internal/circuits"
@@ -10,7 +11,7 @@ import (
 func TestNodePulseRecoversTank(t *testing.T) {
 	// Lightly damped tank: ringing is clean and the log decrement exact.
 	zeta, fn := 0.1, 1e6
-	pr, err := NodePulse(circuits.SecondOrder(zeta, fn), "t", 1.3e6)
+	pr, err := NodePulse(context.Background(), circuits.SecondOrder(zeta, fn), "t", 1.3e6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +32,7 @@ func TestNodePulseAgreesWithStabilityPlot(t *testing.T) {
 	// confirms the AC method's numbers (the paper's section 1.1 claim
 	// that the AC technique carries the same information).
 	ckt := circuits.OpAmpBuffer(circuits.OpAmpDefaults())
-	pr, err := NodePulse(ckt, "output", 3e6)
+	pr, err := NodePulse(context.Background(), ckt, "output", 3e6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestNodePulseAgreesWithStabilityPlot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nr, err := tl.SingleNode("output")
+	nr, err := tl.SingleNode(context.Background(), "output")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestNodePulseMissesOutOfBandResonance(t *testing.T) {
 	// The documented limitation: with a frequency guess two decades off,
 	// the pulse window never resolves the ringing — the coverage gap the
 	// paper's AC method closes.
-	pr, err := NodePulse(circuits.SecondOrder(0.2, 1e6), "t", 1e4)
+	pr, err := NodePulse(context.Background(), circuits.SecondOrder(0.2, 1e6), "t", 1e4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,10 +71,10 @@ func TestNodePulseMissesOutOfBandResonance(t *testing.T) {
 }
 
 func TestNodePulseErrors(t *testing.T) {
-	if _, err := NodePulse(circuits.SecondOrder(0.2, 1e6), "t", 0); err == nil {
+	if _, err := NodePulse(context.Background(), circuits.SecondOrder(0.2, 1e6), "t", 0); err == nil {
 		t.Error("zero guess should fail")
 	}
-	if _, err := NodePulse(circuits.SecondOrder(0.2, 1e6), "nosuch", 1e6); err == nil {
+	if _, err := NodePulse(context.Background(), circuits.SecondOrder(0.2, 1e6), "nosuch", 1e6); err == nil {
 		t.Error("unknown node should fail")
 	}
 }

@@ -1,6 +1,7 @@
 package tool
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -125,7 +126,7 @@ type ParamSweepPoint struct {
 // running an all-nodes analysis at each point (the paper's "in-tool
 // sweeps" feature generalized beyond temperature). The source circuit is
 // not modified.
-func RunParamSweep(ckt *netlist.Circuit, opts Options, param string, values []float64) ([]ParamSweepPoint, error) {
+func RunParamSweep(ctx context.Context, ckt *netlist.Circuit, opts Options, param string, values []float64) ([]ParamSweepPoint, error) {
 	if _, ok := ckt.Params[param]; !ok {
 		return nil, fmt.Errorf("tool: unknown design variable %q", param)
 	}
@@ -134,7 +135,7 @@ func RunParamSweep(ckt *netlist.Circuit, opts Options, param string, values []fl
 	out := make([]ParamSweepPoint, len(sorted))
 	for i, v := range sorted {
 		out[i].Value = v
-		rep, err := runOneCorner(ckt, opts, Corner{
+		rep, err := runOneCorner(ctx, ckt, opts, Corner{
 			Name:   fmt.Sprintf("%s=%g", param, v),
 			Params: map[string]float64{param: v},
 		})

@@ -2,6 +2,7 @@ package tool
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -90,7 +91,7 @@ func TestRunParamSweep(t *testing.T) {
 	}
 	opts := DefaultOptions()
 	opts.FStart, opts.FStop = 1e4, 1e8
-	points, err := RunParamSweep(c, opts, "rval", []float64{2000, 500, 1000})
+	points, err := RunParamSweep(context.Background(), c, opts, "rval", []float64{2000, 500, 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestRunParamSweep(t *testing.T) {
 	if !(peaks[0] > peaks[1] && peaks[1] > peaks[2]) {
 		t.Errorf("peaks not monotone with rval: %v", peaks)
 	}
-	if _, err := RunParamSweep(c, opts, "nosuch", []float64{1}); err == nil {
+	if _, err := RunParamSweep(context.Background(), c, opts, "nosuch", []float64{1}); err == nil {
 		t.Error("unknown param should fail")
 	}
 	if c.Params["rval"] != 500 {

@@ -1,9 +1,11 @@
 package tool
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"acstab/internal/acerr"
 	"acstab/internal/netlist"
 	"acstab/internal/stab"
 )
@@ -31,18 +33,21 @@ type CornerResult struct {
 // RunCorners executes an all-nodes analysis per corner, rebuilding the
 // circuit with the corner's design variables. Corners run independently;
 // a corner that fails carries its error rather than aborting the set.
-func RunCorners(ckt *netlist.Circuit, opts Options, corners []Corner) []CornerResult {
+func RunCorners(ctx context.Context, ckt *netlist.Circuit, opts Options, corners []Corner) []CornerResult {
 	out := make([]CornerResult, len(corners))
 	for i, c := range corners {
 		out[i].Corner = c
-		rep, err := runOneCorner(ckt, opts, c)
+		rep, err := runOneCorner(ctx, ckt, opts, c)
 		out[i].Report = rep
 		out[i].Err = err
 	}
 	return out
 }
 
-func runOneCorner(ckt *netlist.Circuit, opts Options, c Corner) (*Report, error) {
+func runOneCorner(ctx context.Context, ckt *netlist.Circuit, opts Options, c Corner) (*Report, error) {
+	if err := acerr.Ctx(ctx); err != nil {
+		return nil, err
+	}
 	mod := cloneForOverride(ckt)
 	for k, v := range c.Params {
 		if _, ok := mod.Params[k]; !ok {
@@ -63,7 +68,7 @@ func runOneCorner(ckt *netlist.Circuit, opts Options, c Corner) (*Report, error)
 	if err != nil {
 		return nil, err
 	}
-	return t.AllNodes()
+	return t.AllNodes(ctx)
 }
 
 // cloneForOverride shallow-copies the circuit with fresh params/elements
@@ -120,13 +125,13 @@ type TempResult struct {
 // RunTemps executes an all-nodes analysis at each temperature (the
 // "in-tool sweeps (TEMP etc)" feature from the paper's in-development
 // list).
-func RunTemps(ckt *netlist.Circuit, opts Options, temps []float64) []TempResult {
+func RunTemps(ctx context.Context, ckt *netlist.Circuit, opts Options, temps []float64) []TempResult {
 	sorted := append([]float64(nil), temps...)
 	sort.Float64s(sorted)
 	out := make([]TempResult, len(sorted))
 	for i, temp := range sorted {
 		out[i].Temp = temp
-		rep, err := runOneCorner(ckt, opts, Corner{Name: fmt.Sprintf("%gC", temp), Temp: temp, TempSet: true})
+		rep, err := runOneCorner(ctx, ckt, opts, Corner{Name: fmt.Sprintf("%gC", temp), Temp: temp, TempSet: true})
 		out[i].Report = rep
 		out[i].Err = err
 	}

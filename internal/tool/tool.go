@@ -6,6 +6,8 @@
 package tool
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -13,6 +15,7 @@ import (
 	"strings"
 	"sync"
 
+	"acstab/internal/acerr"
 	"acstab/internal/analysis"
 	"acstab/internal/mna"
 	"acstab/internal/netlist"
@@ -154,10 +157,10 @@ func New(ckt *netlist.Circuit, opts Options) (*Tool, error) {
 }
 
 // ensureOP computes and caches the operating point.
-func (t *Tool) ensureOP() (*mna.OpPoint, error) {
+func (t *Tool) ensureOP(ctx context.Context) (*mna.OpPoint, error) {
 	if t.op == nil {
 		sp := obs.StartPhase(t.Opts.Trace, "op")
-		op, err := t.Sim.OP()
+		op, err := t.Sim.OP(ctx)
 		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("tool: operating point: %w", err)
@@ -177,23 +180,26 @@ func (t *Tool) Grid() []float64 {
 const drivenThreshold = 1e-9
 
 // SingleNode runs the "Single Node" mode: inject at the named node,
-// compute the stability plot, peaks, and phase-margin estimate.
-func (t *Tool) SingleNode(node string) (*NodeResult, error) {
+// compute the stability plot, peaks, and phase-margin estimate. A node
+// the circuit does not have yields an error wrapping
+// acerr.ErrUnknownNode; a canceled ctx aborts the sweep within one
+// linear solve with an error wrapping acerr.ErrCanceled.
+func (t *Tool) SingleNode(ctx context.Context, node string) (*NodeResult, error) {
 	idx, ok := t.Sys.NodeOf(strings.ToLower(node))
 	if !ok {
-		return nil, fmt.Errorf("tool: unknown node %q", node)
+		return nil, fmt.Errorf("tool: %w %q", acerr.ErrUnknownNode, node)
 	}
 	if idx < 0 {
 		return nil, fmt.Errorf("tool: cannot probe the ground node")
 	}
-	op, err := t.ensureOP()
+	op, err := t.ensureOP(ctx)
 	if err != nil {
 		return nil, err
 	}
 	mSingleNodeRuns.Inc()
 	freqs := t.Grid()
 	sp := obs.StartPhase(t.Opts.Trace, "sweep")
-	cols, err := t.Sim.ImpedanceMatrixColumns(freqs, op, []int{idx})
+	cols, err := t.Sim.ImpedanceMatrixColumns(ctx, freqs, op, []int{idx})
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -293,8 +299,13 @@ func (t *Tool) subcktNodes(prefix string) map[string]bool {
 // the results clustered into loops. The sweep shares one matrix
 // factorization per frequency across all nodes and distributes frequency
 // points over a worker pool unless Options.Naive is set.
-func (t *Tool) AllNodes() (*Report, error) {
-	op, err := t.ensureOP()
+//
+// A canceled (or deadline-expired) ctx aborts the run within one linear
+// solve: the operating-point Newton loop, every sweep worker, and the
+// per-node post-processing all check the context between units of work.
+// The returned error wraps acerr.ErrCanceled.
+func (t *Tool) AllNodes(ctx context.Context) (*Report, error) {
+	op, err := t.ensureOP(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -309,9 +320,9 @@ func (t *Tool) AllNodes() (*Report, error) {
 	sp := obs.StartPhase(t.Opts.Trace, "sweep")
 	var cols [][]complex128
 	if t.Opts.Naive {
-		cols, err = t.naiveColumns(freqs, op, idx)
+		cols, err = t.naiveColumns(ctx, freqs, op, idx)
 	} else {
-		cols, err = t.parallelColumns(freqs, op, idx)
+		cols, err = t.parallelColumns(ctx, freqs, op, idx)
 	}
 	sp.End()
 	if err != nil {
@@ -326,6 +337,10 @@ func (t *Tool) AllNodes() (*Report, error) {
 	sp = obs.StartPhase(t.Opts.Trace, "stability")
 	var peaks []stab.NodePeak
 	for i, name := range names {
+		if err := acerr.Ctx(ctx); err != nil {
+			sp.End()
+			return nil, err
+		}
 		nr, err := t.analyzeColumn(name, freqs, cols[i])
 		if err != nil {
 			sp.End()
@@ -346,8 +361,9 @@ func (t *Tool) AllNodes() (*Report, error) {
 
 // parallelColumns computes impedance columns with frequency points
 // distributed across workers; within each frequency one factorization
-// serves every injection node.
-func (t *Tool) parallelColumns(freqs []float64, op *mna.OpPoint, idx []int) ([][]complex128, error) {
+// serves every injection node. The first worker failure cancels the
+// remaining workers so a dying run releases its CPUs promptly.
+func (t *Tool) parallelColumns(ctx context.Context, freqs []float64, op *mna.OpPoint, idx []int) ([][]complex128, error) {
 	workers := t.Opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -361,13 +377,15 @@ func (t *Tool) parallelColumns(freqs []float64, op *mna.OpPoint, idx []int) ([][
 	}
 	if workers <= 1 {
 		mWorkersBusy.Inc()
-		got, err := t.Sim.ImpedanceMatrixColumns(freqs, op, idx)
+		got, err := t.Sim.ImpedanceMatrixColumns(ctx, freqs, op, idx)
 		mWorkersBusy.Dec()
 		if err != nil {
 			return nil, err
 		}
 		return got, nil
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var wg sync.WaitGroup
 	errCh := make(chan error, workers)
 	chunk := (len(freqs) + workers - 1) / workers
@@ -390,9 +408,10 @@ func (t *Tool) parallelColumns(freqs []float64, op *mna.OpPoint, idx []int) ([][
 			// during AC stamping. The trace is shared: obs.Run is
 			// concurrency-safe.
 			sim := &analysis.Sim{Sys: t.Sys, Opt: t.Sim.Opt, Trace: t.Sim.Trace}
-			sub, err := sim.ImpedanceMatrixColumns(freqs[lo:hi], op, idx)
+			sub, err := sim.ImpedanceMatrixColumns(ctx, freqs[lo:hi], op, idx)
 			if err != nil {
 				errCh <- err
+				cancel()
 				return
 			}
 			for i := range idx {
@@ -402,18 +421,26 @@ func (t *Tool) parallelColumns(freqs []float64, op *mna.OpPoint, idx []int) ([][
 	}
 	wg.Wait()
 	close(errCh)
-	if err := <-errCh; err != nil {
-		return nil, err
+	// Report the root cause: a real solver failure beats the secondary
+	// cancellation errors it induced in sibling workers.
+	var firstErr error
+	for err := range errCh {
+		if firstErr == nil || (errors.Is(firstErr, acerr.ErrCanceled) && !errors.Is(err, acerr.ErrCanceled)) {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return cols, nil
 }
 
 // naiveColumns mimics the paper's original flow: one complete AC sweep per
 // node, each refactoring the matrix at every frequency.
-func (t *Tool) naiveColumns(freqs []float64, op *mna.OpPoint, idx []int) ([][]complex128, error) {
+func (t *Tool) naiveColumns(ctx context.Context, freqs []float64, op *mna.OpPoint, idx []int) ([][]complex128, error) {
 	cols := make([][]complex128, len(idx))
 	for i, nodeIdx := range idx {
-		got, err := t.Sim.ImpedanceMatrixColumns(freqs, op, []int{nodeIdx})
+		got, err := t.Sim.ImpedanceMatrixColumns(ctx, freqs, op, []int{nodeIdx})
 		if err != nil {
 			return nil, err
 		}

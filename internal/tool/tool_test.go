@@ -1,6 +1,7 @@
 package tool
 
 import (
+	"context"
 	"math"
 	"math/cmplx"
 	"testing"
@@ -15,7 +16,7 @@ func TestSingleNodeSecondOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nr, err := tl.SingleNode("t")
+	nr, err := tl.SingleNode(context.Background(), "t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,10 +37,10 @@ func TestSingleNodeErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tl.SingleNode("nosuch"); err == nil {
+	if _, err := tl.SingleNode(context.Background(), "nosuch"); err == nil {
 		t.Error("expected unknown-node error")
 	}
-	if _, err := tl.SingleNode("0"); err == nil {
+	if _, err := tl.SingleNode(context.Background(), "0"); err == nil {
 		t.Error("expected ground error")
 	}
 	if _, err := New(circuits.SecondOrder(0.3, 1e6), Options{FStart: -1, FStop: 1}); err == nil {
@@ -61,7 +62,7 @@ func TestAutoZeroAC(t *testing.T) {
 	if c.Element("istim").Src.ACMag != 5 {
 		t.Error("original circuit must not be modified")
 	}
-	nr, err := tl.SingleNode("t")
+	nr, err := tl.SingleNode(context.Background(), "t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestAllNodesDrivenNodeSkipped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := tl.AllNodes()
+	rep, err := tl.AllNodes(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestAllNodesTable2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := tl.AllNodes()
+	rep, err := tl.AllNodes(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep, err := tl.AllNodes()
+		rep, err := tl.AllNodes(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -181,7 +182,7 @@ func TestNaiveMatchesShared(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep, err := tl.AllNodes()
+		rep, err := tl.AllNodes(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -207,7 +208,7 @@ func TestSkipNodesFilter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := tl.AllNodes()
+	rep, err := tl.AllNodes(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ C1 t 0 1n
 	}
 	opts := DefaultOptions()
 	opts.FStart, opts.FStop = 1e4, 1e8
-	res := RunCorners(c, opts, []Corner{
+	res := RunCorners(context.Background(), c, opts, []Corner{
 		{Name: "nom"},
 		{Name: "light", Params: map[string]float64{"rval": 2000}},
 		{Name: "bad", Params: map[string]float64{"nosuch": 1}},
@@ -266,7 +267,7 @@ func TestRunTemps(t *testing.T) {
 	c.Element("r1").Params = map[string]float64{"tc1": 5e-3}
 	opts := DefaultOptions()
 	opts.FStart, opts.FStop = 1e4, 1e8
-	res := RunTemps(c, opts, []float64{125, -40, 27})
+	res := RunTemps(context.Background(), c, opts, []float64{125, -40, 27})
 	for _, r := range res {
 		if r.Err != nil {
 			t.Fatalf("temp %g: %v", r.Temp, r.Err)
@@ -291,7 +292,7 @@ func TestReportLoopStructure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := tl.AllNodes()
+	rep, err := tl.AllNodes(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +335,7 @@ Rg a 0 1e6
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := tl.AllNodes()
+	rep, err := tl.AllNodes(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package tool
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -56,11 +57,11 @@ func TestMethodVsExactPolesQuick(t *testing.T) {
 			return false
 		}
 		sim := analysis.New(sys)
-		op, err := sim.OP()
+		op, err := sim.OP(context.Background())
 		if err != nil {
 			return false
 		}
-		poles, err := sim.Poles(op, fn/100, fn*100)
+		poles, err := sim.Poles(context.Background(), op, fn/100, fn*100)
 		if err != nil {
 			return false
 		}
@@ -82,7 +83,7 @@ func TestMethodVsExactPolesQuick(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		nr, err := tl.SingleNode("a")
+		nr, err := tl.SingleNode(context.Background(), "a")
 		if err != nil || nr.Best == nil {
 			return false
 		}

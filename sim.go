@@ -1,6 +1,7 @@
 package acstab
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -29,13 +30,13 @@ func (c *Circuit) compile() (*analysis.Sim, error) {
 }
 
 // OperatingPoint solves the DC operating point and returns every node
-// voltage by name.
+// voltage by name. It can return ErrNoConvergence or ErrSingularMatrix.
 func (c *Circuit) OperatingPoint() (map[string]float64, error) {
 	sim, err := c.compile()
 	if err != nil {
 		return nil, err
 	}
-	op, err := sim.OP()
+	op, err := sim.OP(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +55,20 @@ type ACResult struct {
 
 // ACSweep runs a small-signal sweep from fstart to fstop (Hz) at ppd
 // points per decade, using the circuit's AC sources as excitation.
+//
+// Deprecated: use ACSweepContext, which can be canceled and deadlined.
+// This wrapper runs with context.Background().
 func (c *Circuit) ACSweep(fstart, fstop float64, ppd int) (*ACResult, error) {
+	return c.ACSweepContext(context.Background(), fstart, fstop, ppd)
+}
+
+// ACSweepContext runs a small-signal sweep from fstart to fstop (Hz) at
+// ppd points per decade, using the circuit's AC sources as excitation.
+//
+// Errors: ErrNoConvergence if the operating point cannot be found,
+// ErrSingularMatrix on a degenerate MNA system, and ErrCanceled once
+// ctx is done (the sweep aborts between frequency points).
+func (c *Circuit) ACSweepContext(ctx context.Context, fstart, fstop float64, ppd int) (*ACResult, error) {
 	if fstart <= 0 || fstop <= fstart {
 		return nil, fmt.Errorf("acstab: bad AC range [%g, %g]", fstart, fstop)
 	}
@@ -65,11 +79,11 @@ func (c *Circuit) ACSweep(fstart, fstop float64, ppd int) (*ACResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	op, err := sim.OP()
+	op, err := sim.OP(ctx)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.AC(num.LogGridPPD(fstart, fstop, ppd), op)
+	res, err := sim.AC(ctx, num.LogGridPPD(fstart, fstop, ppd), op)
 	if err != nil {
 		return nil, err
 	}
@@ -141,12 +155,25 @@ type TranResult struct {
 
 // Transient runs a fixed-step transient simulation to tstop with step
 // tstep, driven by the circuit's time-dependent sources.
+//
+// Deprecated: use TransientContext, which can be canceled and
+// deadlined. This wrapper runs with context.Background().
 func (c *Circuit) Transient(tstop, tstep float64) (*TranResult, error) {
+	return c.TransientContext(context.Background(), tstop, tstep)
+}
+
+// TransientContext runs a fixed-step transient simulation to tstop with
+// step tstep, driven by the circuit's time-dependent sources.
+//
+// Errors: ErrNoConvergence if a timestep's Newton solve fails,
+// ErrSingularMatrix on a degenerate system, and ErrCanceled once ctx is
+// done (the stepper aborts between timesteps).
+func (c *Circuit) TransientContext(ctx context.Context, tstop, tstep float64) (*TranResult, error) {
 	sim, err := c.compile()
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Tran(analysis.TranSpec{TStop: tstop, TStep: tstep})
+	res, err := sim.Tran(ctx, analysis.TranSpec{TStop: tstop, TStep: tstep})
 	if err != nil {
 		return nil, err
 	}
@@ -221,21 +248,35 @@ type Pole struct {
 	Zeta float64
 }
 
-// Poles computes the exact natural frequencies of the circuit linearized
-// at its operating point (eigenvalues of the MNA pencil), restricted to
-// [minHz, maxHz]. This is classic pole-zero analysis, and the ground
-// truth the stability-plot estimates are validated against in this
-// repository's test suite.
+// Poles computes the exact natural frequencies of the circuit
+// linearized at its operating point, restricted to [minHz, maxHz].
+//
+// Deprecated: use PolesContext, which can be canceled and deadlined.
+// This wrapper runs with context.Background().
 func (c *Circuit) Poles(minHz, maxHz float64) ([]Pole, error) {
+	return c.PolesContext(context.Background(), minHz, maxHz)
+}
+
+// PolesContext computes the exact natural frequencies of the circuit
+// linearized at its operating point (eigenvalues of the MNA pencil),
+// restricted to [minHz, maxHz]. This is classic pole-zero analysis, and
+// the ground truth the stability-plot estimates are validated against
+// in this repository's test suite.
+//
+// Errors: ErrNoConvergence if the operating point cannot be found,
+// ErrSingularMatrix if the shifted pencil cannot be factored, and
+// ErrCanceled once ctx is done (the dense reduction aborts between
+// columns).
+func (c *Circuit) PolesContext(ctx context.Context, minHz, maxHz float64) ([]Pole, error) {
 	sim, err := c.compile()
 	if err != nil {
 		return nil, err
 	}
-	op, err := sim.OP()
+	op, err := sim.OP(ctx)
 	if err != nil {
 		return nil, err
 	}
-	ps, err := sim.Poles(op, minHz, maxHz)
+	ps, err := sim.Poles(ctx, op, minHz, maxHz)
 	if err != nil {
 		return nil, err
 	}
@@ -258,7 +299,7 @@ func (c *Circuit) LoopGain(elem string, fstart, fstop float64, ppd int) (fcHz, p
 	if ppd <= 0 {
 		ppd = 40
 	}
-	tw, err := tool.LoopGainGrid(c.n, elem, fstart, fstop, ppd)
+	tw, err := tool.LoopGainGrid(context.Background(), c.n, elem, fstart, fstop, ppd)
 	if err != nil {
 		return 0, 0, 0, nil, err
 	}
