@@ -16,6 +16,7 @@ import (
 	"acstab/internal/mna"
 	"acstab/internal/netlist"
 	"acstab/internal/num"
+	"acstab/internal/obs"
 	"acstab/internal/report"
 	"acstab/internal/sos"
 	"acstab/internal/stab"
@@ -326,6 +327,95 @@ func TestEmitBenchSummary(t *testing.T) {
 	t.Logf("wrote %d benchmark rows to %s", len(rows), path)
 }
 
+// TestEmitSparseBenchSummary writes a BENCH_sparse.json summary of the
+// two-phase sparse solver's hot path when ACSTAB_BENCH_JSON names an
+// output file. Alongside the usual ns/allocs rows it records the solver
+// counter deltas (refactorizations vs full factorizations and symbolic
+// cache reuse) accumulated across the measured runs, so the symbolic /
+// numeric split's effect is visible in the perf-trajectory artifact, not
+// just in /metrics.
+func TestEmitSparseBenchSummary(t *testing.T) {
+	path := os.Getenv("ACSTAB_BENCH_JSON")
+	if path == "" {
+		t.Skip("set ACSTAB_BENCH_JSON=FILE to emit the sparse benchmark summary")
+	}
+	counterNames := []string{
+		"acstab_ac_refactorizations_total",
+		"acstab_ac_factorizations_total",
+		"acstab_ac_symbolic_builds_total",
+		"acstab_ac_symbolic_reuses_total",
+		"acstab_ac_refactor_fallbacks_total",
+		"acstab_ac_pattern_drift_total",
+	}
+	before := make(map[string]int64, len(counterNames))
+	for _, n := range counterNames {
+		before[n] = obs.GetCounter(n).Value()
+	}
+	ops := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"AllNodesScaling32Auto", func(b *testing.B) { benchAllNodesScaling(b, 32, analysis.MatrixAuto) }},
+		{"AllNodesScaling32Sparse", func(b *testing.B) { benchAllNodesScaling(b, 32, analysis.MatrixSparse) }},
+		{"ACLadder150Sparse", func(b *testing.B) { benchACLadder(b, 150, analysis.MatrixSparse) }},
+		{"ACLadder150Dense", func(b *testing.B) { benchACLadder(b, 150, analysis.MatrixDense) }},
+	}
+	var rows []benchSummaryRow
+	for _, op := range ops {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			op.fn(b)
+		})
+		rows = append(rows, benchSummaryRow{
+			Op:          op.name,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		})
+	}
+	counters := make(map[string]int64, len(counterNames))
+	for _, n := range counterNames {
+		counters[n] = obs.GetCounter(n).Value() - before[n]
+	}
+	out := struct {
+		Rows     []benchSummaryRow `json:"rows"`
+		Counters map[string]int64  `json:"counters"`
+	}{rows, counters}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d benchmark rows to %s", len(rows), path)
+}
+
+// benchACLadder measures a bare AC sweep on an RC ladder in the given
+// matrix mode (the inner loop the refactor path accelerates, without the
+// stability-analysis overhead of the all-nodes flow).
+func benchACLadder(b *testing.B, n int, mode analysis.MatrixMode) {
+	s := benchSim(b, circuits.RCLadder(n))
+	s.Opt.Matrix = mode
+	op, err := s.OP(context.Background())
+	if err != nil {
+		b.Fatal(err)
+	}
+	freqs := num.LogGridPPD(1e3, 1e9, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.AC(context.Background(), freqs, op); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func itoa(n int) string {
 	if n == 0 {
 		return "0"
@@ -389,24 +479,38 @@ func BenchmarkReturnRatio(b *testing.B) {
 }
 
 // BenchmarkAllNodesScaling sweeps the all-nodes cost across circuit sizes
-// (resonator fields of 8..64 nodes).
+// (resonator fields of 8..64 nodes), in auto matrix mode and with the
+// sparse two-phase solver forced, so the symbolic/numeric split's win is
+// directly visible per size.
 func BenchmarkAllNodesScaling(b *testing.B) {
-	for _, k := range []int{4, 8, 16, 32} {
-		b.Run("loops-"+itoa(k), func(b *testing.B) {
-			ckt := circuits.ResonatorField(k, 1e5, 0.35)
-			opts := tool.DefaultOptions()
-			opts.Workers = 1
-			tl, err := tool.New(ckt, opts)
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := tl.AllNodes(context.Background()); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+	for _, mode := range []struct {
+		name string
+		m    analysis.MatrixMode
+	}{{"auto", analysis.MatrixAuto}, {"sparse", analysis.MatrixSparse}} {
+		for _, k := range []int{4, 8, 16, 32} {
+			b.Run(mode.name+"/loops-"+itoa(k), func(b *testing.B) {
+				benchAllNodesScaling(b, k, mode.m)
+			})
+		}
+	}
+}
+
+func benchAllNodesScaling(b *testing.B, loops int, mode analysis.MatrixMode) {
+	ckt := circuits.ResonatorField(loops, 1e5, 0.35)
+	opts := tool.DefaultOptions()
+	opts.Workers = 1
+	aopts := analysis.DefaultOptions()
+	aopts.Matrix = mode
+	opts.Analysis = &aopts
+	tl, err := tool.New(ckt, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tl.AllNodes(context.Background()); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

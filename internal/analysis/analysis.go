@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"acstab/internal/acerr"
 	"acstab/internal/linalg"
@@ -28,6 +29,15 @@ var (
 	mACSolves         = obs.GetCounter("acstab_ac_solves_total")
 	mNewtonIterations = obs.GetCounter("acstab_newton_iterations_total")
 	mOPSolves         = obs.GetCounter("acstab_op_solves_total")
+	// Two-phase sparse solver telemetry: how often the per-frequency hot
+	// path got away with a pivot-free numeric refactorization, how often
+	// the symbolic analysis was built versus reused across workers, and
+	// how often the guards bounced a sweep back to a full factorization.
+	mACRefactorizations  = obs.GetCounter("acstab_ac_refactorizations_total")
+	mACSymbolicBuilds    = obs.GetCounter("acstab_ac_symbolic_builds_total")
+	mACSymbolicReuses    = obs.GetCounter("acstab_ac_symbolic_reuses_total")
+	mACRefactorFallbacks = obs.GetCounter("acstab_ac_refactor_fallbacks_total")
+	mACPatternDrift      = obs.GetCounter("acstab_ac_pattern_drift_total")
 )
 
 // Options tunes the solvers.
@@ -80,11 +90,89 @@ type Sim struct {
 	// solves, Newton iterations) for the run-level trace in addition to
 	// the process-wide obs registry.
 	Trace *obs.Run
+
+	// ac caches the AC matrix's stamp pattern and symbolic factorization
+	// analysis, which depend only on the compiled system's structure and
+	// so are computed once per Sim and shared read-only by every Fork.
+	ac     *acShared
+	acInit sync.Once
 }
 
 // New returns a simulator over the compiled system with default options.
 func New(sys *mna.System) *Sim {
 	return &Sim{Sys: sys, Opt: DefaultOptions()}
+}
+
+// Fork returns a Sim sharing the compiled system, options, trace, and the
+// cached AC symbolic analysis, for concurrent sweep workers: the shared
+// pieces are read-only or internally locked, while per-worker numeric
+// workspaces stay private to each ImpedanceMatrixColumns/AC call.
+func (s *Sim) Fork() *Sim {
+	return &Sim{Sys: s.Sys, Opt: s.Opt, Trace: s.Trace, ac: s.acShared()}
+}
+
+// acShared returns the lazily created shared AC solver cache.
+func (s *Sim) acShared() *acShared {
+	s.acInit.Do(func() {
+		if s.ac == nil {
+			s.ac = &acShared{}
+		}
+	})
+	return s.ac
+}
+
+// acShared holds the per-system symbolic state of the two-phase sparse AC
+// solver: the frozen stamp pattern and the pivot-order/fill analysis. One
+// instance is shared by all workers of a sweep; the mutex only guards the
+// build-once handoff, after which both pointers are immutable.
+type acShared struct {
+	mu  sync.Mutex
+	pat *sparse.Pattern
+	sym *sparse.Symbolic
+}
+
+// invalidate drops the cached analysis after pattern drift so the next
+// sweep rebuilds from the current stamp structure.
+func (sh *acShared) invalidate() {
+	sh.mu.Lock()
+	sh.pat, sh.sym = nil, nil
+	sh.mu.Unlock()
+}
+
+// ensureSymbolic returns the shared pattern and symbolic analysis,
+// building them on first use from one stamped frequency point (omega, op
+// supply the numeric values the pivot-order search runs on).
+func (s *Sim) ensureSymbolic(omega float64, op *mna.OpPoint) (*sparse.Pattern, *sparse.Symbolic, error) {
+	sh := s.acShared()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.sym != nil {
+		mACSymbolicReuses.Inc()
+		s.Trace.Add("ac_symbolic_reuses", 1)
+		return sh.pat, sh.sym, nil
+	}
+	rec := sparse.NewRecorder(s.Sys.NumUnknowns())
+	s.Sys.StampAC(rec, nil, omega, op)
+	pat := rec.Compile()
+	vals := pat.NewVals()
+	vals.Begin()
+	s.Sys.StampAC(vals, nil, omega, op)
+	if vals.Drift() {
+		// Two back-to-back stamps disagreeing structurally means the
+		// stamping is not deterministic; the two-phase path cannot be used.
+		mACPatternDrift.Inc()
+		return nil, nil, fmt.Errorf("analysis: non-deterministic AC stamp pattern")
+	}
+	sym, err := pat.Analyze(vals.Values())
+	if err != nil {
+		return nil, nil, err
+	}
+	sh.pat, sh.sym = pat, sym
+	mACSymbolicBuilds.Inc()
+	mACFactorizations.Inc() // the analysis pass is a full factorization
+	s.Trace.Add("ac_symbolic_builds", 1)
+	s.Trace.Add("ac_factorizations", 1)
+	return pat, sym, nil
 }
 
 // ErrNoConvergence is returned when every DC homotopy fails. It is the
@@ -307,6 +395,127 @@ func (r *ACResult) BranchWave(elem string) (*wave.Wave, error) {
 	return w, nil
 }
 
+// cSolver is a ready factorization of one frequency point's AC matrix.
+// All implementations (sparse.Numeric, sparse.LU, linalg.CLU) solve into
+// caller-owned storage without allocating.
+type cSolver interface {
+	SolveInto(x, b []complex128) error
+}
+
+// acFactorizer produces a ready-to-solve factorization of the AC system
+// at each frequency of a sweep. In sparse mode it reuses the Sim-shared
+// symbolic analysis and owns the per-worker numeric workspaces, so the
+// steady-state factorize+solve cycle is pivot-free, map-free, and
+// allocation-free; the structural-checksum and collapsed-pivot guards
+// fall back to a full map-based factorization for the offending
+// frequency. In dense mode the factorization storage is reused across
+// frequencies. Counter deltas accumulate locally and are published by
+// flush (deferred by the callers), keeping atomics off the inner loop.
+type acFactorizer struct {
+	s      *Sim
+	op     *mna.OpPoint
+	sparse bool
+
+	// Sparse two-phase path.
+	pat  *sparse.Pattern
+	sym  *sparse.Symbolic
+	num  *sparse.Numeric
+	vals *sparse.Vals
+	smat *sparse.Matrix // full-factorization fallback matrix, lazy
+
+	// Dense path.
+	dm  *linalg.CMatrix
+	clu *linalg.CLU
+
+	refactors int64
+	fulls     int64
+	solves    int64
+}
+
+// newACFactorizer prepares the per-sweep solver state. A failed symbolic
+// build is not fatal: the sweep degrades to one full factorization per
+// frequency (the pre-split behavior) and each point reports its own error.
+func (s *Sim) newACFactorizer(omega0 float64, op *mna.OpPoint) *acFactorizer {
+	fz := &acFactorizer{s: s, op: op, sparse: s.useSparse()}
+	if fz.sparse {
+		if pat, sym, err := s.ensureSymbolic(omega0, op); err == nil {
+			fz.pat, fz.sym = pat, sym
+			fz.num = sym.NewNumeric()
+			fz.vals = pat.NewVals()
+		}
+	} else {
+		fz.dm = linalg.NewCMatrix(s.Sys.NumUnknowns())
+	}
+	return fz
+}
+
+// at stamps and factors the AC system at omega, returning a solver valid
+// until the next call. When b is non-nil it is stamped with the RHS
+// excitation; the caller must pass it zeroed.
+func (fz *acFactorizer) at(omega float64, b []complex128) (cSolver, error) {
+	s := fz.s
+	if !fz.sparse {
+		fz.dm.Zero()
+		s.Sys.StampAC(fz.dm, b, omega, fz.op)
+		clu, err := linalg.CFactorInto(fz.clu, fz.dm)
+		fz.clu = clu
+		if err != nil {
+			return nil, err
+		}
+		fz.fulls++
+		return clu, nil
+	}
+	if fz.sym != nil {
+		fz.vals.Begin()
+		s.Sys.StampAC(fz.vals, b, omega, fz.op)
+		if fz.vals.Drift() {
+			// The stamp structure changed under the cached pattern: drop
+			// the cache for future sweeps and run out this one on full
+			// factorizations.
+			mACPatternDrift.Inc()
+			s.acShared().invalidate()
+			fz.sym = nil
+		} else if err := fz.num.Refactor(fz.vals.Values()); err == nil {
+			fz.refactors++
+			return fz.num, nil
+		} else {
+			// Collapsed pivot under the frozen order; retry this single
+			// frequency with a fresh pivot search.
+			mACRefactorFallbacks.Inc()
+			s.Trace.Add("ac_refactor_fallbacks", 1)
+		}
+	}
+	if fz.smat == nil {
+		fz.smat = sparse.New(s.Sys.NumUnknowns())
+	} else {
+		fz.smat.Zero()
+	}
+	if b != nil {
+		// The refactor attempt may already have stamped the RHS.
+		for i := range b {
+			b[i] = 0
+		}
+	}
+	s.Sys.StampAC(fz.smat, b, omega, fz.op)
+	lu, err := sparse.Factor(fz.smat)
+	if err != nil {
+		return nil, err
+	}
+	fz.fulls++
+	return lu, nil
+}
+
+// flush publishes the accumulated counter deltas.
+func (fz *acFactorizer) flush() {
+	mACFactorizations.Add(fz.fulls)
+	mACRefactorizations.Add(fz.refactors)
+	mACSolves.Add(fz.solves)
+	fz.s.Trace.Add("ac_factorizations", fz.fulls)
+	fz.s.Trace.Add("ac_refactorizations", fz.refactors)
+	fz.s.Trace.Add("ac_solves", fz.solves)
+	fz.fulls, fz.refactors, fz.solves = 0, 0, 0
+}
+
 // AC runs a small-signal sweep over the given frequencies (Hz) with the
 // circuit's own AC sources as excitation. A canceled ctx aborts between
 // frequency points — within one linear solve of the cancellation.
@@ -314,14 +523,11 @@ func (s *Sim) AC(ctx context.Context, freqs []float64, op *mna.OpPoint) (*ACResu
 	n := s.Sys.NumUnknowns()
 	res := &ACResult{sys: s.Sys, Freqs: append([]float64(nil), freqs...)}
 	res.Sol = make([][]complex128, len(freqs))
-	sparseMode := s.useSparse()
-	var dm *linalg.CMatrix
-	var sm *sparse.Matrix
-	if sparseMode {
-		sm = sparse.New(n)
-	} else {
-		dm = linalg.NewCMatrix(n)
+	if len(freqs) == 0 {
+		return res, nil
 	}
+	fz := s.newACFactorizer(2*math.Pi*freqs[0], op)
+	defer fz.flush()
 	b := make([]complex128, n)
 	for k, f := range freqs {
 		if err := acerr.Ctx(ctx); err != nil {
@@ -331,26 +537,17 @@ func (s *Sim) AC(ctx context.Context, freqs []float64, op *mna.OpPoint) (*ACResu
 		for i := range b {
 			b[i] = 0
 		}
-		var x []complex128
-		var err error
-		if sparseMode {
-			sm.Zero()
-			s.Sys.StampAC(sm, b, omega, op)
-			x, err = sparse.Solve(sm, b)
-		} else {
-			dm.Zero()
-			s.Sys.StampAC(dm, b, omega, op)
-			x, err = linalg.CSolveDense(dm, b)
-		}
+		slv, err := fz.at(omega, b)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: AC at %g Hz: %w", f, err)
 		}
+		x := make([]complex128, n)
+		if err := slv.SolveInto(x, b); err != nil {
+			return nil, fmt.Errorf("analysis: AC at %g Hz: %w", f, err)
+		}
+		fz.solves++
 		res.Sol[k] = x
 	}
-	mACFactorizations.Add(int64(len(freqs)))
-	mACSolves.Add(int64(len(freqs)))
-	s.Trace.Add("ac_factorizations", int64(len(freqs)))
-	s.Trace.Add("ac_solves", int64(len(freqs)))
 	return res, nil
 }
 
@@ -359,63 +556,45 @@ func (s *Sim) AC(ctx context.Context, freqs []float64, op *mna.OpPoint) (*ACResu
 // requested node (unit current injection), returning Z[nodeIdxInList][freq].
 // This is the shared-factorization fast path of the all-nodes stability
 // sweep; the naive alternative (one full AC analysis per node) is kept in
-// the tool package for the ablation benchmark. A canceled ctx aborts
-// between frequency points — within one factorization of the
-// cancellation.
+// the tool package for the ablation benchmark. In sparse mode the
+// factorization itself is the two-phase kind: the pivot order and fill
+// pattern come from the Sim-shared symbolic analysis and each frequency
+// only refills preallocated numeric arrays, so the steady-state loop body
+// performs no allocations at all. A canceled ctx aborts between frequency
+// points — within one factorization of the cancellation.
 func (s *Sim) ImpedanceMatrixColumns(ctx context.Context, freqs []float64, op *mna.OpPoint, nodeIdx []int) ([][]complex128, error) {
 	n := s.Sys.NumUnknowns()
 	out := make([][]complex128, len(nodeIdx))
 	for i := range out {
 		out[i] = make([]complex128, len(freqs))
 	}
-	sparseMode := s.useSparse()
-	var dm *linalg.CMatrix
-	var sm *sparse.Matrix
-	if sparseMode {
-		sm = sparse.New(n)
-	} else {
-		dm = linalg.NewCMatrix(n)
+	if len(freqs) == 0 {
+		return out, nil
 	}
+	fz := s.newACFactorizer(2*math.Pi*freqs[0], op)
+	defer fz.flush()
 	b := make([]complex128, n)
+	x := make([]complex128, n)
 	for k, f := range freqs {
 		if err := acerr.Ctx(ctx); err != nil {
 			return nil, err
 		}
 		omega := 2 * math.Pi * f
-		var solve func([]complex128) ([]complex128, error)
-		if sparseMode {
-			sm.Zero()
-			s.Sys.StampAC(sm, nil, omega, op)
-			fac, err := sparse.Factor(sm)
-			if err != nil {
-				return nil, fmt.Errorf("analysis: impedance at %g Hz: %w", f, err)
-			}
-			solve = fac.Solve
-		} else {
-			dm.Zero()
-			s.Sys.StampAC(dm, nil, omega, op)
-			fac, err := linalg.CFactor(dm)
-			if err != nil {
-				return nil, fmt.Errorf("analysis: impedance at %g Hz: %w", f, err)
-			}
-			solve = fac.Solve
+		slv, err := fz.at(omega, nil)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: impedance at %g Hz: %w", f, err)
 		}
 		for i, idx := range nodeIdx {
-			for j := range b {
-				b[j] = 0
-			}
 			b[idx] = 1 // 1 A injection into the node
-			x, err := solve(b)
+			err := slv.SolveInto(x, b)
+			b[idx] = 0 // b stays all-zero between solves
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("analysis: impedance at %g Hz: %w", f, err)
 			}
 			out[i][k] = x[idx]
 		}
+		fz.solves += int64(len(nodeIdx))
 	}
-	mACFactorizations.Add(int64(len(freqs)))
-	mACSolves.Add(int64(len(freqs) * len(nodeIdx)))
-	s.Trace.Add("ac_factorizations", int64(len(freqs)))
-	s.Trace.Add("ac_solves", int64(len(freqs)*len(nodeIdx)))
 	return out, nil
 }
 

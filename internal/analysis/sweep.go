@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"acstab/internal/acerr"
@@ -46,6 +47,16 @@ func (s *Sim) DCSweep(ctx context.Context, src string, vals []float64) (*DCSweep
 	orig := e.Src.DC
 	defer func() { e.Src.DC = orig }()
 
+	// Only the swept source's DC value changes between points, so the
+	// circuit is compiled exactly once (into a private System, leaving the
+	// caller's s.Sys untouched) and each point just updates the source's
+	// operating value in the compiled instance tables.
+	sys, err := mna.Compile(s.Sys.Ckt)
+	if err != nil {
+		return nil, err
+	}
+	sim := &Sim{Sys: sys, Opt: s.Opt, Trace: s.Trace}
+
 	res := &DCSweepResult{sys: s.Sys, Vals: append([]float64(nil), vals...)}
 	var warm []float64
 	for _, v := range vals {
@@ -53,21 +64,24 @@ func (s *Sim) DCSweep(ctx context.Context, src string, vals []float64) (*DCSweep
 			return nil, err
 		}
 		e.Src.DC = v
-		// Compile holds a copy of the SourceSpec, so the system must be
-		// re-stamped through a fresh compile-free path: the spec copy lives
-		// in the instance table. Rebuild the system cheaply.
-		sys, err := mna.Compile(s.Sys.Ckt)
-		if err != nil {
-			return nil, err
+		if !sys.SetSourceDC(src, v) {
+			return nil, fmt.Errorf("analysis: %q is not an independent source", src)
 		}
-		sim := &Sim{Sys: sys, Opt: s.Opt}
 		var op *mna.OpPoint
 		if warm != nil {
-			if x, err := sim.newton(ctx, func(a mna.RealAdder, b []float64, x []float64) {
+			x, werr := sim.newton(ctx, func(a mna.RealAdder, b []float64, x []float64) {
 				sys.StampDC(a, b, x, mna.DCOptions{Gmin: s.Opt.Gmin, SrcScale: 1})
-			}, warm); err == nil {
+			}, warm)
+			switch {
+			case werr == nil:
 				op = sys.Linearize(x, s.Opt.Gmin)
+			case errors.Is(werr, acerr.ErrCanceled):
+				// A canceled context is a request to stop, not a hard
+				// operating point — don't pay for a cold homotopy retry.
+				return nil, werr
 			}
+			// Genuine non-convergence from the warm start falls through to
+			// the cold solve below.
 		}
 		if op == nil {
 			op, err = sim.OP(ctx)

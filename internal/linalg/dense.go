@@ -17,6 +17,19 @@ import (
 // recognizable across the public API boundary via errors.Is.
 var ErrSingular = fmt.Errorf("linalg: %w", acerr.ErrSingularMatrix)
 
+// singularTol is the relative pivot threshold for declaring a matrix
+// numerically singular: a pivot whose magnitude falls below this fraction
+// of its scale carries no meaningful solution digits in float64, so
+// factoring through it would only launder Inf/NaN into downstream
+// analyses. The scale is min(column max, pivot row max) over the
+// *original* matrix: a pivot must be collapsed relative to both its own
+// column and its own row to count as singular. Either test alone misfires
+// on honestly ill-scaled MNA systems — a ±1 voltage-source pivot is
+// perfectly usable even when an overflowing transistor conductance
+// (~1e16) elsewhere in the column dwarfs it, and a lone gmin conductance
+// is fine despite being tiny in absolute terms.
+const singularTol = 1e-13
+
 // Matrix is a dense real matrix in row-major order.
 type Matrix struct {
 	N    int
@@ -65,20 +78,53 @@ func (m *Matrix) String() string {
 
 // LU holds an LU factorization with partial pivoting of a real matrix.
 type LU struct {
-	n    int
-	lu   []float64
-	piv  []int
-	sign int
+	n        int
+	lu       []float64
+	piv      []int
+	sign     int
+	colScale []float64 // original per-column max magnitude (singularity test)
+	rowScale []float64 // original per-row max magnitude, indexed by original row
 }
 
 // Factor computes the LU factorization of m (m is not modified).
 func Factor(m *Matrix) (*LU, error) {
+	f, err := FactorInto(nil, m)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FactorInto computes the LU factorization of m, reusing f's storage when
+// it matches m's size; pass nil (or a differently sized f) to allocate.
+// On error the returned factorization's storage remains reusable but its
+// contents are invalid. m is not modified.
+func FactorInto(f *LU, m *Matrix) (*LU, error) {
 	n := m.N
-	f := &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n), sign: 1}
+	if f == nil || f.n != n {
+		f = &LU{n: n, lu: make([]float64, n*n), piv: make([]int, n),
+			colScale: make([]float64, n), rowScale: make([]float64, n)}
+	}
+	f.sign = 1
 	copy(f.lu, m.Data)
 	lu := f.lu
 	for i := range f.piv {
 		f.piv[i] = i
+	}
+	for j := range f.colScale {
+		f.colScale[j] = 0
+		f.rowScale[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a := math.Abs(lu[i*n+j])
+			if a > f.colScale[j] {
+				f.colScale[j] = a
+			}
+			if a > f.rowScale[i] {
+				f.rowScale[i] = a
+			}
+		}
 	}
 	for k := 0; k < n; k++ {
 		// Partial pivoting: find largest magnitude in column k at/below row k.
@@ -88,8 +134,15 @@ func Factor(m *Matrix) (*LU, error) {
 				p, pmax = i, a
 			}
 		}
-		if pmax == 0 {
-			return nil, fmt.Errorf("%w (column %d)", ErrSingular, k)
+		// A numerically collapsed pivot — not just an exactly zero one — is
+		// singular; NaN input is caught here too (comparisons with NaN are
+		// false, so !(pmax > x) fires).
+		scale := f.colScale[k]
+		if rs := f.rowScale[f.piv[p]]; rs < scale {
+			scale = rs
+		}
+		if !(pmax > singularTol*scale) {
+			return f, fmt.Errorf("%w (column %d)", ErrSingular, k)
 		}
 		if p != k {
 			rk, rp := lu[k*n:k*n+n], lu[p*n:p*n+n]
@@ -116,11 +169,20 @@ func Factor(m *Matrix) (*LU, error) {
 
 // Solve solves A x = b using the factorization; b is unchanged.
 func (f *LU) Solve(b []float64) ([]float64, error) {
-	if len(b) != f.n {
-		return nil, fmt.Errorf("linalg: rhs length %d, want %d", len(b), f.n)
+	x := make([]float64, f.n)
+	if err := f.SolveInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto solves A x = b into the caller's x without allocating. The
+// substitution runs in place on x; b is unchanged and must not alias x.
+func (f *LU) SolveInto(x, b []float64) error {
+	if len(b) != f.n || len(x) != f.n {
+		return fmt.Errorf("linalg: rhs/solution length %d/%d, want %d", len(b), len(x), f.n)
 	}
 	n, lu := f.n, f.lu
-	x := make([]float64, n)
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
 	}
@@ -140,7 +202,21 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 		}
 		x[i] = s / lu[i*n+i]
 	}
-	return x, nil
+	// Guard: a factorization that slipped past the pivot test must not
+	// hand non-finite "solutions" to Newton or the sweep. v-v is 0 for
+	// finite v and NaN otherwise, so the all-finite case is branch-free.
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		acc += x[i] - x[i]
+	}
+	if acc != 0 {
+		for i := 0; i < n; i++ {
+			if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+				return fmt.Errorf("%w (non-finite solution component %d)", ErrSingular, i)
+			}
+		}
+	}
+	return nil
 }
 
 // Det returns the determinant of the factored matrix.
@@ -197,19 +273,54 @@ func (m *CMatrix) Clone() *CMatrix {
 
 // CLU holds an LU factorization with partial pivoting of a complex matrix.
 type CLU struct {
-	n   int
-	lu  []complex128
-	piv []int
+	n        int
+	lu       []complex128
+	piv      []int
+	colScale []float64 // original per-column max magnitude (singularity test)
+	rowScale []float64 // original per-row max magnitude, indexed by original row
 }
 
 // CFactor computes the complex LU factorization of m (m is not modified).
 func CFactor(m *CMatrix) (*CLU, error) {
+	f, err := CFactorInto(nil, m)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// CFactorInto computes the complex LU factorization of m, reusing f's
+// storage when it matches m's size; pass nil (or a differently sized f)
+// to allocate. This is the dense counterpart of the sparse refactor path:
+// an AC sweep factors a same-size matrix at every frequency, so the
+// factorization storage is paid for once. On error the returned
+// factorization's storage remains reusable but its contents are invalid.
+// m is not modified.
+func CFactorInto(f *CLU, m *CMatrix) (*CLU, error) {
 	n := m.N
-	f := &CLU{n: n, lu: make([]complex128, n*n), piv: make([]int, n)}
+	if f == nil || f.n != n {
+		f = &CLU{n: n, lu: make([]complex128, n*n), piv: make([]int, n),
+			colScale: make([]float64, n), rowScale: make([]float64, n)}
+	}
 	copy(f.lu, m.Data)
 	lu := f.lu
 	for i := range f.piv {
 		f.piv[i] = i
+	}
+	for j := range f.colScale {
+		f.colScale[j] = 0
+		f.rowScale[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a := cmplx.Abs(lu[i*n+j])
+			if a > f.colScale[j] {
+				f.colScale[j] = a
+			}
+			if a > f.rowScale[i] {
+				f.rowScale[i] = a
+			}
+		}
 	}
 	for k := 0; k < n; k++ {
 		p, pmax := k, cmplx.Abs(lu[k*n+k])
@@ -218,8 +329,14 @@ func CFactor(m *CMatrix) (*CLU, error) {
 				p, pmax = i, a
 			}
 		}
-		if pmax == 0 {
-			return nil, fmt.Errorf("%w (column %d)", ErrSingular, k)
+		// Collapsed or NaN pivots are singular, not just exactly zero ones
+		// (!(x > y) is also true when x is NaN).
+		scale := f.colScale[k]
+		if rs := f.rowScale[f.piv[p]]; rs < scale {
+			scale = rs
+		}
+		if !(pmax > singularTol*scale) {
+			return f, fmt.Errorf("%w (column %d)", ErrSingular, k)
 		}
 		if p != k {
 			rk, rp := lu[k*n:k*n+n], lu[p*n:p*n+n]
@@ -248,11 +365,22 @@ func CFactor(m *CMatrix) (*CLU, error) {
 // the key optimization of the all-nodes stability sweep (one LU per
 // frequency point serves current injection at every node).
 func (f *CLU) Solve(b []complex128) ([]complex128, error) {
-	if len(b) != f.n {
-		return nil, fmt.Errorf("linalg: rhs length %d, want %d", len(b), f.n)
+	x := make([]complex128, f.n)
+	if err := f.SolveInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto solves A x = b into the caller's x without allocating: the
+// substitution runs in place on x. b is unchanged and must not alias x.
+// This is the per-node inner step of the all-nodes sweep, so it must stay
+// off the allocator.
+func (f *CLU) SolveInto(x, b []complex128) error {
+	if len(b) != f.n || len(x) != f.n {
+		return fmt.Errorf("linalg: rhs/solution length %d/%d, want %d", len(b), len(x), f.n)
 	}
 	n, lu := f.n, f.lu
-	x := make([]complex128, n)
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
 	}
@@ -270,7 +398,20 @@ func (f *CLU) Solve(b []complex128) ([]complex128, error) {
 		}
 		x[i] = s / lu[i*n+i]
 	}
-	return x, nil
+	// Same branch-free finiteness guard as the real SolveInto.
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		re, im := real(x[i]), imag(x[i])
+		acc += (re - re) + (im - im)
+	}
+	if acc != 0 {
+		for i := 0; i < n; i++ {
+			if cmplx.IsNaN(x[i]) || cmplx.IsInf(x[i]) {
+				return fmt.Errorf("%w (non-finite solution component %d)", ErrSingular, i)
+			}
+		}
+	}
+	return nil
 }
 
 // SolveColumn solves A x = e_k (unit vector excitation at index k) and

@@ -267,6 +267,28 @@ func (s *System) BranchOf(elem string) (int, bool) {
 	return br, ok
 }
 
+// SetSourceDC updates the DC value of the named independent V or I source
+// in the compiled instance tables, reporting whether the source was found.
+// Only the DC operating value changes — the stamp structure is untouched —
+// so DC sweeps can reuse one compiled System across every sweep point
+// instead of recompiling the whole circuit per point.
+func (s *System) SetSourceDC(name string, v float64) bool {
+	name = strings.ToLower(name)
+	for i := range s.vsrc {
+		if s.vsrc[i].name == name {
+			s.vsrc[i].src.DC = v
+			return true
+		}
+	}
+	for i := range s.isrc {
+		if s.isrc[i].name == name {
+			s.isrc[i].src.DC = v
+			return true
+		}
+	}
+	return false
+}
+
 // HasBJTOrMOS reports whether the circuit contains any transistor.
 func (s *System) HasBJTOrMOS() bool {
 	return len(s.bjts) > 0 || len(s.moss) > 0

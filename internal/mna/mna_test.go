@@ -482,3 +482,48 @@ func TestStampPNPAndPMOSDirect(t *testing.T) {
 		t.Errorf("v(qc) = %g, PNP should conduct", x[qc])
 	}
 }
+
+func TestSetSourceDC(t *testing.T) {
+	c := netlist.NewCircuit("set dc")
+	c.AddVDC("V1", "a", "0", 1)
+	c.AddI("I1", "0", "b", netlist.SourceSpec{DC: 1e-3})
+	c.AddR("R1", "a", "b", 1e3)
+	c.AddR("R2", "b", "0", 1e3)
+	sys, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.SetSourceDC("V1", 2) {
+		t.Error("V1 not found")
+	}
+	if !sys.SetSourceDC("i1", 2e-3) {
+		t.Error("I1 not found (case-insensitive lookup)")
+	}
+	if sys.SetSourceDC("R1", 1) {
+		t.Error("resistor accepted as source")
+	}
+	if sys.SetSourceDC("nosuch", 1) {
+		t.Error("unknown element accepted")
+	}
+	// The updated values must flow into the DC stamp: solve the 2x2
+	// resistive system and check superposition of both updated sources.
+	n := sys.NumUnknowns()
+	a := linalg.NewMatrix(n)
+	b := make([]float64, n)
+	x := make([]float64, n)
+	sys.StampDC(a, b, x, DCOptions{SrcScale: 1})
+	got, err := linalg.SolveDense(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, _ := sys.NodeOf("a")
+	ib, _ := sys.NodeOf("b")
+	if math.Abs(got[ia]-2) > 1e-9 {
+		t.Errorf("v(a) = %g, want 2", got[ia])
+	}
+	// v(b): source 2V through 1k into 1k||(2mA injection): node equation
+	// gives v(b) = (2/1e3 + 2e-3) / (1/1e3 + 1/1e3) = 2.
+	if math.Abs(got[ib]-2) > 1e-9 {
+		t.Errorf("v(b) = %g, want 2", got[ib])
+	}
+}

@@ -106,6 +106,18 @@ func (m *Matrix) MulVec(x []complex128) []complex128 {
 // sparser of two equal-magnitude candidates win.
 const pivotThreshold = 0.99
 
+// singularTol is the relative pivot threshold for declaring a matrix
+// numerically singular: a pivot column whose best remaining candidate is
+// below this fraction of its scale cannot produce meaningful solution
+// digits in a float64 factorization. The scale is min(column max, pivot
+// row max) over the *original* matrix — a pivot must be collapsed
+// relative to both its own column and its own row to count as singular.
+// Either test alone misfires on honestly ill-scaled MNA systems: a ±1
+// voltage-source pivot is perfectly usable even when a transistor
+// conductance elsewhere in the column dwarfs it, and a lone gmin
+// conductance is fine despite being tiny in absolute terms.
+const singularTol = 1e-13
+
 // LU is a factorization of a sparse matrix.
 type LU struct {
 	n int
@@ -120,6 +132,10 @@ type LU struct {
 	perm []int
 	// ucols[k] is the solution (column) index of pivot step k.
 	ucols []int
+	// y is the permuted-RHS workspace for SolveInto. Lazily sized; its
+	// presence makes SolveInto unsafe for concurrent use (Solve remains
+	// safe: it allocates fresh vectors).
+	y []complex128
 }
 
 type entry struct {
@@ -138,11 +154,22 @@ type elimOp struct {
 func Factor(m *Matrix) (*LU, error) {
 	n := m.n
 	work := make([]map[int]complex128, n)
+	colScale := make([]float64, n)
+	rowScale := make([]float64, n)
 	for i := range work {
 		if m.rows[i] == nil {
 			work[i] = map[int]complex128{}
 		} else {
 			work[i] = m.rows[i]
+		}
+		for j, v := range work[i] {
+			a := cmplx.Abs(v)
+			if a > colScale[j] {
+				colScale[j] = a
+			}
+			if a > rowScale[i] {
+				rowScale[i] = a
+			}
 		}
 	}
 	active := make([]bool, n)
@@ -162,17 +189,25 @@ func Factor(m *Matrix) (*LU, error) {
 		best := -1
 		bestLen := 0
 		maxMag := 0.0
+		maxRow := -1
 		for i := 0; i < n; i++ {
 			if active[i] {
 				continue
 			}
 			if v, ok := work[i][col]; ok && v != 0 {
 				if a := cmplx.Abs(v); a > maxMag {
-					maxMag = a
+					maxMag, maxRow = a, i
 				}
 			}
 		}
-		if maxMag == 0 {
+		// A numerically collapsed pivot column (not just an exactly zero
+		// one) is singular: factoring through it would only launder Inf/NaN
+		// into the downstream stability analysis.
+		scale := colScale[col]
+		if maxRow >= 0 && rowScale[maxRow] < scale {
+			scale = rowScale[maxRow]
+		}
+		if maxMag <= singularTol*scale {
 			return nil, fmt.Errorf("%w (column %d)", ErrSingular, col)
 		}
 		for i := 0; i < n; i++ {
@@ -245,12 +280,29 @@ func Factor(m *Matrix) (*LU, error) {
 
 // Solve solves A x = b. b is unchanged.
 func (f *LU) Solve(b []complex128) ([]complex128, error) {
-	if len(b) != f.n {
-		return nil, fmt.Errorf("sparse: rhs length %d, want %d", len(b), f.n)
+	x := make([]complex128, f.n)
+	if err := f.solveInto(x, b, make([]complex128, f.n)); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto solves A x = b into the caller's x without allocating. It
+// reuses an internal workspace, so it is not safe for concurrent use on
+// one LU (Solve is). b is unchanged and must not alias x.
+func (f *LU) SolveInto(x, b []complex128) error {
+	if f.y == nil {
+		f.y = make([]complex128, f.n)
+	}
+	return f.solveInto(x, b, f.y)
+}
+
+func (f *LU) solveInto(x, b, y []complex128) error {
+	if len(b) != f.n || len(x) != f.n {
+		return fmt.Errorf("sparse: rhs/solution length %d/%d, want %d", len(b), len(x), f.n)
 	}
 	n := f.n
 	// y in elimination order.
-	y := make([]complex128, n)
 	for k := 0; k < n; k++ {
 		y[k] = b[f.perm[k]]
 	}
@@ -263,7 +315,6 @@ func (f *LU) Solve(b []complex128) ([]complex128, error) {
 	}
 	// Back substitution: rows in reverse elimination order. The solution is
 	// indexed by column.
-	x := make([]complex128, n)
 	for k := n - 1; k >= 0; k-- {
 		s := y[k]
 		for _, e := range f.urows[k] {
@@ -271,7 +322,7 @@ func (f *LU) Solve(b []complex128) ([]complex128, error) {
 		}
 		x[f.ucols[k]] = s / f.udiag[k]
 	}
-	return x, nil
+	return checkFinite(x)
 }
 
 // FillIn returns the number of L operations plus U entries, a measure of

@@ -39,6 +39,9 @@ type Options struct {
 	// classified MinMax (numerical extremum, not a resonance). The bound
 	// comes from the real-pole analysis: an isolated real pole dips to
 	// -0.5 and two coincident real poles (zeta = 1) reach exactly -1.
+	// Zero or negative disables the filter — every extremum is kept —
+	// so the default (0.75) only applies through DefaultOptions, not to
+	// an explicitly zeroed Options value.
 	MinPeakDepth float64
 	// MaxPeaks bounds how many peaks are reported per node (deepest first
 	// within each sign). 0 = unlimited.
@@ -170,10 +173,14 @@ func Plot(mag *wave.Wave, opts Options) (*wave.Wave, error) {
 }
 
 // Analyze computes the stability plot of a response magnitude and detects
-// and classifies its peaks.
+// and classifies its peaks. opts is taken literally: a zero (or negative)
+// MinPeakDepth disables the min/max filter rather than being replaced by
+// the default — callers wanting defaults start from DefaultOptions.
 func Analyze(mag *wave.Wave, opts Options) (*Result, error) {
-	if opts.MinPeakDepth == 0 {
-		opts.MinPeakDepth = DefaultOptions().MinPeakDepth
+	switch opts.Stencil {
+	case 0, 3, 5:
+	default:
+		return nil, fmt.Errorf("stab: unsupported stencil %d (want 0, 3 or 5)", opts.Stencil)
 	}
 	plot, err := Plot(mag, opts)
 	if err != nil {

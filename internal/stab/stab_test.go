@@ -450,3 +450,57 @@ func TestMaxPeaksOption(t *testing.T) {
 		t.Error("limited peaks not sorted by frequency")
 	}
 }
+
+func TestZeroMinPeakDepthDisablesFilter(t *testing.T) {
+	// An overdamped pair dips only ~ -0.3, which the default filter
+	// classifies MinMax. An explicit zero threshold must disable the
+	// filter — not be silently replaced by the 0.75 default — so the same
+	// interior peak comes back Normal.
+	tf := ratfn.SecondOrder(1.35, 2*math.Pi*1e6)
+	mag := magWave(tf, 1e3, 1e9, 40)
+
+	opts := DefaultOptions()
+	res, err := Analyze(mag, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawMinMax := false
+	for _, p := range res.Peaks {
+		if p.Type == PeakMinMax {
+			sawMinMax = true
+		}
+	}
+	if !sawMinMax {
+		t.Fatal("expected a MinMax-classified peak under the default filter")
+	}
+
+	opts.MinPeakDepth = 0
+	res, err = Analyze(mag, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Peaks {
+		if p.Type == PeakMinMax {
+			t.Errorf("MinPeakDepth=0 still filtered peak %+v", p)
+		}
+	}
+}
+
+func TestAnalyzeInvalidStencil(t *testing.T) {
+	tf := ratfn.SecondOrder(0.3, 2*math.Pi*1e6)
+	mag := magWave(tf, 1e3, 1e9, 40)
+	for _, st := range []int{1, 2, 4, 7, -3} {
+		opts := DefaultOptions()
+		opts.Stencil = st
+		if _, err := Analyze(mag, opts); err == nil {
+			t.Errorf("stencil %d accepted", st)
+		}
+	}
+	for _, st := range []int{0, 3, 5} {
+		opts := DefaultOptions()
+		opts.Stencil = st
+		if _, err := Analyze(mag, opts); err != nil {
+			t.Errorf("stencil %d rejected: %v", st, err)
+		}
+	}
+}

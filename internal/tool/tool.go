@@ -404,10 +404,12 @@ func (t *Tool) parallelColumns(ctx context.Context, freqs []float64, op *mna.OpP
 			mWorkersBusy.Inc()
 			defer mWorkersBusy.Dec()
 			// Each worker needs its own Sim wrapper: ImpedanceMatrixColumns
-			// allocates its own matrices, and the shared System is read-only
-			// during AC stamping. The trace is shared: obs.Run is
-			// concurrency-safe.
-			sim := &analysis.Sim{Sys: t.Sys, Opt: t.Sim.Opt, Trace: t.Sim.Trace}
+			// owns per-sweep numeric workspaces, and the shared System is
+			// read-only during AC stamping. Fork shares the symbolic
+			// analysis cache, so the pivot order and fill pattern are
+			// computed once and reused read-only by every worker. The trace
+			// is shared: obs.Run is concurrency-safe.
+			sim := t.Sim.Fork()
 			sub, err := sim.ImpedanceMatrixColumns(ctx, freqs[lo:hi], op, idx)
 			if err != nil {
 				errCh <- err
