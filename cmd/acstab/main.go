@@ -12,6 +12,7 @@
 //	acstab -i circuit.cir -set rload=2k        # design-variable override
 //	acstab -i circuit.cir -stats               # phase timings + solver counters
 //	acstab -i circuit.cir -trace-json t.json   # machine-readable run trace
+//	acstab -i circuit.cir -trace-chrome t.json # Chrome trace-event timeline (Perfetto)
 package main
 
 import (
@@ -49,32 +50,33 @@ func run(args []string, out io.Writer) error {
 func runWith(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("acstab", flag.ContinueOnError)
 	var (
-		input    = fs.String("i", "", "input netlist file (default: stdin)")
-		node     = fs.String("node", "", "single-node mode: analyze this node")
-		fstart   = fs.String("fstart", "1k", "sweep start frequency")
-		fstop    = fs.String("fstop", "1g", "sweep stop frequency")
-		ppd      = fs.Int("ppd", 40, "points per decade")
-		format   = fs.String("format", "text", "all-nodes output: text, csv, json")
-		annotate = fs.Bool("annotate", false, "print the annotated netlist instead of the report")
-		plot     = fs.Bool("plot", false, "render ASCII plots (single-node mode)")
-		workers  = fs.Int("workers", 0, "parallel sweep workers (0 = all CPUs)")
-		naive    = fs.Bool("naive", false, "one AC run per node (paper's original flow)")
-		loopTol  = fs.Float64("loop-tol", 0.12, "relative tolerance for loop clustering")
-		skip     = fs.String("skip", "", "comma-separated node-name substrings to skip")
-		subckt   = fs.String("subckt", "", "restrict all-nodes mode to one subcircuit instance (e.g. x1)")
-		temps    = fs.String("temps", "", "comma-separated temperatures (C) for a sweep")
-		sweep    = fs.String("sweep", "", "design-variable sweep: name=v1,v2,v3")
-		mcRuns   = fs.Int("mc", 0, "Monte Carlo runs (with -sigma)")
-		mcSeed   = fs.Int64("mc-seed", 1, "Monte Carlo seed")
-		sigmas   multiFlag
-		stateIn  = fs.String("state", "", "load run setup from a saved state file")
-		stateOut = fs.String("save-state", "", "save the run setup to a state file")
-		remote   = fs.String("remote", "", "submit the run to a remote acstabd worker (URL)")
-		sets     multiFlag
-		diagFile = fs.String("diag", "", "write a diagnostic report file on completion")
-		stats    = fs.Bool("stats", false, "print phase timings and solver counters to stderr")
-		traceOut = fs.String("trace-json", "", "write the machine-readable run trace to this file")
-		timeout  = fs.Duration("timeout", 0, "abort the run after this long (e.g. 30s; 0 = no limit)")
+		input     = fs.String("i", "", "input netlist file (default: stdin)")
+		node      = fs.String("node", "", "single-node mode: analyze this node")
+		fstart    = fs.String("fstart", "1k", "sweep start frequency")
+		fstop     = fs.String("fstop", "1g", "sweep stop frequency")
+		ppd       = fs.Int("ppd", 40, "points per decade")
+		format    = fs.String("format", "text", "all-nodes output: text, csv, json")
+		annotate  = fs.Bool("annotate", false, "print the annotated netlist instead of the report")
+		plot      = fs.Bool("plot", false, "render ASCII plots (single-node mode)")
+		workers   = fs.Int("workers", 0, "parallel sweep workers (0 = all CPUs)")
+		naive     = fs.Bool("naive", false, "one AC run per node (paper's original flow)")
+		loopTol   = fs.Float64("loop-tol", 0.12, "relative tolerance for loop clustering")
+		skip      = fs.String("skip", "", "comma-separated node-name substrings to skip")
+		subckt    = fs.String("subckt", "", "restrict all-nodes mode to one subcircuit instance (e.g. x1)")
+		temps     = fs.String("temps", "", "comma-separated temperatures (C) for a sweep")
+		sweep     = fs.String("sweep", "", "design-variable sweep: name=v1,v2,v3")
+		mcRuns    = fs.Int("mc", 0, "Monte Carlo runs (with -sigma)")
+		mcSeed    = fs.Int64("mc-seed", 1, "Monte Carlo seed")
+		sigmas    multiFlag
+		stateIn   = fs.String("state", "", "load run setup from a saved state file")
+		stateOut  = fs.String("save-state", "", "save the run setup to a state file")
+		remote    = fs.String("remote", "", "submit the run to a remote acstabd worker (URL)")
+		sets      multiFlag
+		diagFile  = fs.String("diag", "", "write a diagnostic report file on completion")
+		stats     = fs.Bool("stats", false, "print phase timings and solver counters to stderr")
+		traceOut  = fs.String("trace-json", "", "write the machine-readable run trace to this file")
+		chromeOut = fs.String("trace-chrome", "", "write the run trace in Chrome trace-event format (open in Perfetto)")
+		timeout   = fs.Duration("timeout", 0, "abort the run after this long (e.g. 30s; 0 = no limit)")
 	)
 	fs.Var(&sets, "set", "design-variable override name=value (repeatable)")
 	fs.Var(&sigmas, "sigma", "Monte Carlo relative sigma name=value (repeatable)")
@@ -167,7 +169,7 @@ func runWith(args []string, out, errOut io.Writer) error {
 	var runErr error
 	switch {
 	case *remote != "":
-		runErr = runRemote(ctx, out, *remote, src, opts, *node, *format, *timeout)
+		runErr = runRemote(ctx, out, *remote, src, opts, *node, *format, *timeout, trace)
 	case *mcRuns > 0:
 		runErr = runMC(ctx, out, ckt, opts, *mcRuns, *mcSeed, sigmas)
 	default:
@@ -190,6 +192,19 @@ func runWith(args []string, out, errOut io.Writer) error {
 		}
 		if werr != nil {
 			return fmt.Errorf("-trace-json: %v", werr)
+		}
+	}
+	if *chromeOut != "" {
+		f, err := os.Create(*chromeOut)
+		if err != nil {
+			return fmt.Errorf("-trace-chrome: %v", err)
+		}
+		werr := trace.WriteChromeTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("-trace-chrome: %v", werr)
 		}
 	}
 	if *diagFile != "" {
@@ -369,11 +384,14 @@ func runMC(ctx context.Context, out io.Writer, ckt *netlist.Circuit, opts tool.O
 
 // runRemote ships the job to an acstabd farm worker. A -timeout is
 // forwarded as the job's timeout_ms so the worker enforces the same
-// deadline server-side.
+// deadline server-side. The submission runs traced: the worker's phase
+// spans and solver counters come back over the wire and land in this
+// process's run trace, so -stats/-trace-json/-trace-chrome show the
+// remote flatten/op/sweep/stability work as if it ran locally.
 func runRemote(ctx context.Context, out io.Writer, url, src string, opts tool.Options,
-	node, format string, timeout time.Duration) error {
+	node, format string, timeout time.Duration, trace *obs.Run) error {
 	c := &farm.Client{BaseURL: strings.TrimRight(url, "/")}
-	body, err := c.Submit(ctx, &farm.Request{
+	body, err := c.SubmitTraced(ctx, &farm.Request{
 		Netlist:   src,
 		Format:    format,
 		Node:      node,
@@ -387,7 +405,7 @@ func runRemote(ctx context.Context, out io.Writer, url, src string, opts tool.Op
 			Naive:           opts.Naive,
 			SkipNodes:       opts.SkipNodes,
 		},
-	})
+	}, trace)
 	if err != nil {
 		return err
 	}

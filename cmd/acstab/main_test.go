@@ -315,3 +315,142 @@ func TestIncludeFromCLI(t *testing.T) {
 		t.Errorf("include run failed:\n%s", out.String())
 	}
 }
+
+// TestRemoteTraceJSON is the distributed-tracing acceptance check: a
+// -remote run with -trace-json produces one merged trace in which the
+// worker's flatten/op/sweep/stability phases appear (attempt 1) alongside
+// the client's own spans, with the worker's solver counters merged in.
+func TestRemoteTraceJSON(t *testing.T) {
+	srv := httptest.NewServer(farm.Handler())
+	defer srv.Close()
+	path := writeNetlist(t, opampNetlist)
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	var out, errOut bytes.Buffer
+	if err := runWith([]string{"-i", path, "-remote", srv.URL,
+		"-trace-json", traceFile, "-stats"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Loop at") {
+		t.Errorf("remote report:\n%s", out.String())
+	}
+
+	b, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr obs.Trace
+	if err := json.Unmarshal(b, &tr); err != nil {
+		t.Fatal(err)
+	}
+	local, remote := map[string]bool{}, map[string]bool{}
+	for _, p := range tr.Phases {
+		if p.Attempt == 0 {
+			local[p.Phase] = true
+			continue
+		}
+		if p.Attempt != 1 {
+			t.Errorf("remote span %s attempt = %d, want 1", p.Phase, p.Attempt)
+		}
+		remote[p.Phase] = true
+	}
+	for _, want := range []string{"flatten", "op", "sweep", "stability"} {
+		if !remote[want] {
+			t.Errorf("worker phase %q missing from merged trace (remote=%v)", want, remote)
+		}
+	}
+	if !local["parse"] || !local["farm_submit"] {
+		t.Errorf("client-side spans missing (local=%v)", local)
+	}
+	if tr.Counters["ac_factorizations"] <= 0 {
+		t.Errorf("worker solver counters not merged: %v", tr.Counters)
+	}
+	// -stats aggregates the merged phases by plain name.
+	for _, want := range []string{"phase sweep", "phase farm_submit", "ac_factorizations"} {
+		if !strings.Contains(errOut.String(), want) {
+			t.Errorf("-stats missing %q:\n%s", want, errOut.String())
+		}
+	}
+}
+
+// TestTraceChromeFlag: -trace-chrome writes a valid Trace Event Format
+// document with the run's phases as complete events.
+func TestTraceChromeFlag(t *testing.T) {
+	path := writeNetlist(t, opampNetlist)
+	chromeFile := filepath.Join(t.TempDir(), "chrome.json")
+	var out bytes.Buffer
+	if err := run([]string{"-i", path, "-trace-chrome", chromeFile}, &out); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(chromeFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("-trace-chrome output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	names := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph != "X" && ph != "M" {
+			t.Errorf("event %d: ph = %q", i, ph)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Errorf("event %d: missing pid", i)
+		}
+		if ph == "X" {
+			if ts, ok := ev["ts"].(float64); !ok || ts < 0 {
+				t.Errorf("event %d: ts = %v", i, ev["ts"])
+			}
+			if dur, ok := ev["dur"].(float64); !ok || dur < 0 {
+				t.Errorf("event %d: dur = %v", i, ev["dur"])
+			}
+		}
+		if name, ok := ev["name"].(string); ok {
+			names[name] = true
+		}
+	}
+	for _, want := range []string{"process_name", "sweep", "stability"} {
+		if !names[want] {
+			t.Errorf("missing event %q (got %v)", want, names)
+		}
+	}
+}
+
+// TestRemoteTraceChrome: the merged remote trace exports to Chrome format
+// with the worker's spans under their own attempt process.
+func TestRemoteTraceChrome(t *testing.T) {
+	srv := httptest.NewServer(farm.Handler())
+	defer srv.Close()
+	path := writeNetlist(t, tankNetlist)
+	chromeFile := filepath.Join(t.TempDir(), "chrome.json")
+	var out bytes.Buffer
+	if err := run([]string{"-i", path, "-remote", srv.URL, "-trace-chrome", chromeFile}, &out); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(chromeFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var workerPid float64
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] == "sweep" {
+			workerPid, _ = ev["pid"].(float64)
+		}
+	}
+	if workerPid != 2 {
+		t.Errorf("worker sweep span under pid %g, want 2 (attempt 1)", workerPid)
+	}
+}

@@ -1,10 +1,12 @@
 // Command acstabd is a stability-analysis farm worker: the remote
 // simulation capability the paper lists under future development. It
 // serves POST /run (netlist + options JSON in, rendered report out),
-// GET /healthz, GET /metrics (Prometheus text exposition), and
-// GET /statusz (JSON status snapshot). With -pprof it additionally exposes
-// the net/http/pprof handlers under /debug/pprof/. Point any number of
-// acstab clients — or a load balancer — at a fleet of workers.
+// GET /healthz, GET /metrics (Prometheus text exposition), GET /statusz
+// (JSON status snapshot), and GET /debug/runs (flight recorder: the last
+// -recent-runs run records with their traces and outcomes). With -pprof
+// it additionally exposes the net/http/pprof handlers under
+// /debug/pprof/. Point any number of acstab clients — or a load
+// balancer — at a fleet of workers.
 //
 // On SIGINT/SIGTERM the worker stops accepting connections, drains
 // in-flight /run jobs for up to -drain-timeout, and logs a final metrics
@@ -44,8 +46,10 @@ func main() {
 		"max /run jobs in flight before shedding with 429 (0 = GOMAXPROCS)")
 	reqTimeout := flag.Duration("request-timeout", 5*time.Minute,
 		"per-job deadline ceiling; a request's timeout_ms is capped at this")
+	recentRuns := flag.Int("recent-runs", obs.DefaultRecentRuns,
+		"flight-recorder depth: how many recent runs GET /debug/runs keeps")
 	flag.Parse()
-	cfg := farm.Config{MaxConcurrent: *maxConc, MaxTimeout: *reqTimeout}
+	cfg := farm.Config{MaxConcurrent: *maxConc, MaxTimeout: *reqTimeout, RecentRuns: *recentRuns}
 	if err := serve(*listen, *pprofOn, *drain, cfg, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "acstabd: %v\n", err)
 		os.Exit(1)

@@ -90,3 +90,24 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Error("server still accepting connections after shutdown")
 	}
 }
+
+func TestDebugRunsThroughDaemonHandler(t *testing.T) {
+	srv := httptest.NewServer(handler(true, farm.Config{RecentRuns: 4}))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"runs"`) {
+		t.Errorf("/debug/runs: status %d body %q", resp.StatusCode, body)
+	}
+	// The flight recorder and pprof share the /debug prefix without clashing.
+	resp, err = srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof next to /debug/runs: %v %v", resp, err)
+	}
+	resp.Body.Close()
+}

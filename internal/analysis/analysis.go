@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"acstab/internal/acerr"
 	"acstab/internal/linalg"
@@ -430,7 +431,24 @@ type acFactorizer struct {
 	refactors int64
 	fulls     int64
 	solves    int64
+
+	// kind names the solver path the most recent at() call took, the
+	// slow-point context tag: "dense", "refactor" (pivot-free numeric
+	// refill), "full" (map-based factorization), "refactor_fallback" (the
+	// refill hit a collapsed pivot and this point fell back to a full
+	// factorization), or "pattern_drift" (the frozen pattern was
+	// invalidated mid-sweep).
+	kind string
 }
+
+// Solver-path tags reported in slow-point captures.
+const (
+	solveKindDense            = "dense"
+	solveKindRefactor         = "refactor"
+	solveKindFull             = "full"
+	solveKindRefactorFallback = "refactor_fallback"
+	solveKindPatternDrift     = "pattern_drift"
+)
 
 // newACFactorizer prepares the per-sweep solver state. A failed symbolic
 // build is not fatal: the sweep degrades to one full factorization per
@@ -463,8 +481,10 @@ func (fz *acFactorizer) at(omega float64, b []complex128) (cSolver, error) {
 			return nil, err
 		}
 		fz.fulls++
+		fz.kind = solveKindDense
 		return clu, nil
 	}
+	fz.kind = solveKindFull
 	if fz.sym != nil {
 		fz.vals.Begin()
 		s.Sys.StampAC(fz.vals, b, omega, fz.op)
@@ -475,14 +495,17 @@ func (fz *acFactorizer) at(omega float64, b []complex128) (cSolver, error) {
 			mACPatternDrift.Inc()
 			s.acShared().invalidate()
 			fz.sym = nil
+			fz.kind = solveKindPatternDrift
 		} else if err := fz.num.Refactor(fz.vals.Values()); err == nil {
 			fz.refactors++
+			fz.kind = solveKindRefactor
 			return fz.num, nil
 		} else {
 			// Collapsed pivot under the frozen order; retry this single
 			// frequency with a fresh pivot search.
 			mACRefactorFallbacks.Inc()
 			s.Trace.Add("ac_refactor_fallbacks", 1)
+			fz.kind = solveKindRefactorFallback
 		}
 	}
 	if fz.smat == nil {
@@ -503,6 +526,68 @@ func (fz *acFactorizer) at(omega float64, b []complex128) (cSolver, error) {
 	}
 	fz.fulls++
 	return lu, nil
+}
+
+// slowTracker keeps a sweep's worst-K frequency points by factor+solve
+// wall time, tagged with the solver path each point took, so "why was this
+// sweep slow" is answerable from the run trace alone. It is only allocated
+// when the Sim carries a trace — an untraced sweep pays nothing, not even
+// the clock reads. K is obs.MaxSlowPoints (8); workers flush their local
+// worst-K into the shared run, which keeps the global worst-K.
+type slowTracker struct {
+	pts []obs.SlowPoint
+	min int64 // smallest wall time held once the tracker is full
+}
+
+// newSlowTracker returns a tracker when r collects traces, else nil (the
+// nil tracker disables capture in the sweep loops).
+func newSlowTracker(r *obs.Run) *slowTracker {
+	if r == nil {
+		return nil
+	}
+	return &slowTracker{pts: make([]obs.SlowPoint, 0, obs.MaxSlowPoints)}
+}
+
+// note records one frequency point's factor+solve wall time.
+func (st *slowTracker) note(freqHz float64, wall time.Duration, kind string) {
+	w := wall.Nanoseconds()
+	if len(st.pts) < obs.MaxSlowPoints {
+		st.pts = append(st.pts, obs.SlowPoint{FreqHz: freqHz, WallNS: w, Detail: kind})
+		if len(st.pts) == obs.MaxSlowPoints {
+			st.refreshMin()
+		}
+		return
+	}
+	if w <= st.min {
+		return
+	}
+	for i := range st.pts {
+		if st.pts[i].WallNS == st.min {
+			st.pts[i] = obs.SlowPoint{FreqHz: freqHz, WallNS: w, Detail: kind}
+			break
+		}
+	}
+	st.refreshMin()
+}
+
+func (st *slowTracker) refreshMin() {
+	st.min = st.pts[0].WallNS
+	for _, p := range st.pts[1:] {
+		if p.WallNS < st.min {
+			st.min = p.WallNS
+		}
+	}
+}
+
+// flush hands the captured points to the run trace (nil-tracker safe, so
+// callers can defer it unconditionally).
+func (st *slowTracker) flush(r *obs.Run) {
+	if st == nil {
+		return
+	}
+	r.AddSlowPoints(st.pts)
+	st.pts = st.pts[:0]
+	st.min = 0
 }
 
 // flush publishes the accumulated counter deltas.
@@ -528,6 +613,8 @@ func (s *Sim) AC(ctx context.Context, freqs []float64, op *mna.OpPoint) (*ACResu
 	}
 	fz := s.newACFactorizer(2*math.Pi*freqs[0], op)
 	defer fz.flush()
+	slow := newSlowTracker(s.Trace)
+	defer slow.flush(s.Trace)
 	b := make([]complex128, n)
 	for k, f := range freqs {
 		if err := acerr.Ctx(ctx); err != nil {
@@ -536,6 +623,10 @@ func (s *Sim) AC(ctx context.Context, freqs []float64, op *mna.OpPoint) (*ACResu
 		omega := 2 * math.Pi * f
 		for i := range b {
 			b[i] = 0
+		}
+		var t0 time.Time
+		if slow != nil {
+			t0 = time.Now()
 		}
 		slv, err := fz.at(omega, b)
 		if err != nil {
@@ -546,6 +637,9 @@ func (s *Sim) AC(ctx context.Context, freqs []float64, op *mna.OpPoint) (*ACResu
 			return nil, fmt.Errorf("analysis: AC at %g Hz: %w", f, err)
 		}
 		fz.solves++
+		if slow != nil {
+			slow.note(f, time.Since(t0), fz.kind)
+		}
 		res.Sol[k] = x
 	}
 	return res, nil
@@ -573,6 +667,8 @@ func (s *Sim) ImpedanceMatrixColumns(ctx context.Context, freqs []float64, op *m
 	}
 	fz := s.newACFactorizer(2*math.Pi*freqs[0], op)
 	defer fz.flush()
+	slow := newSlowTracker(s.Trace)
+	defer slow.flush(s.Trace)
 	b := make([]complex128, n)
 	x := make([]complex128, n)
 	for k, f := range freqs {
@@ -580,6 +676,10 @@ func (s *Sim) ImpedanceMatrixColumns(ctx context.Context, freqs []float64, op *m
 			return nil, err
 		}
 		omega := 2 * math.Pi * f
+		var t0 time.Time
+		if slow != nil {
+			t0 = time.Now()
+		}
 		slv, err := fz.at(omega, nil)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: impedance at %g Hz: %w", f, err)
@@ -594,6 +694,9 @@ func (s *Sim) ImpedanceMatrixColumns(ctx context.Context, freqs []float64, op *m
 			out[i][k] = x[idx]
 		}
 		fz.solves += int64(len(nodeIdx))
+		if slow != nil {
+			slow.note(f, time.Since(t0), fz.kind)
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"acstab/internal/obs"
+)
+
+// TestACSlowPointCapture: a traced sweep records the worst-K frequency
+// points, each tagged with the solver path that produced it; an untraced
+// sweep records nothing and pays nothing.
+func TestACSlowPointCapture(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := compile(t, randomLadder(rng, 50))
+	s.Opt.Matrix = MatrixSparse
+	op := mustOP(t, s)
+	freqs := sweepFreqs(40)
+
+	run := obs.StartRun("slow-capture")
+	s.Trace = run
+	if _, err := s.AC(context.Background(), freqs, op); err != nil {
+		t.Fatal(err)
+	}
+	run.Finish()
+
+	tr := run.Trace()
+	if len(tr.SlowPoints) == 0 || len(tr.SlowPoints) > obs.MaxSlowPoints {
+		t.Fatalf("slow points = %d, want 1..%d", len(tr.SlowPoints), obs.MaxSlowPoints)
+	}
+	valid := map[string]bool{
+		"dense": true, "full": true, "refactor": true,
+		"refactor_fallback": true, "pattern_drift": true,
+	}
+	for i, p := range tr.SlowPoints {
+		if p.WallNS <= 0 {
+			t.Errorf("slow[%d] has non-positive wall time: %+v", i, p)
+		}
+		if p.FreqHz < freqs[0] || p.FreqHz > freqs[len(freqs)-1] {
+			t.Errorf("slow[%d] frequency %g outside the sweep", i, p.FreqHz)
+		}
+		if !valid[p.Detail] {
+			t.Errorf("slow[%d] solver path = %q, not a known kind", i, p.Detail)
+		}
+		if i > 0 && p.WallNS > tr.SlowPoints[i-1].WallNS {
+			t.Errorf("slow points not sorted worst-first at %d", i)
+		}
+	}
+
+	// Untraced: the impedance path with no trace attached must stay silent.
+	s.Trace = nil
+	if _, err := s.ImpedanceMatrixColumns(context.Background(), freqs, op, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestImpedanceSlowPointCapture covers the shared-factorization loop.
+func TestImpedanceSlowPointCapture(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := compile(t, randomLadder(rng, 30))
+	s.Opt.Matrix = MatrixSparse
+	op := mustOP(t, s)
+	run := obs.StartRun("slow-z")
+	s.Trace = run
+	if _, err := s.ImpedanceMatrixColumns(context.Background(), sweepFreqs(20), op, []int{0, 3}); err != nil {
+		t.Fatal(err)
+	}
+	run.Finish()
+	tr := run.Trace()
+	if len(tr.SlowPoints) == 0 || len(tr.SlowPoints) > obs.MaxSlowPoints {
+		t.Fatalf("slow points = %d, want 1..%d", len(tr.SlowPoints), obs.MaxSlowPoints)
+	}
+}

@@ -18,6 +18,8 @@ package farm
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -77,6 +79,33 @@ type Request struct {
 	Options RequestOptions `json:"options"`
 	// Variables override design variables before the run.
 	Variables map[string]float64 `json:"variables,omitempty"`
+	// TraceID is the client's correlation ID. The worker stores it in its
+	// flight-recorder record so a farm-wide search can find this job.
+	TraceID string `json:"trace_id,omitempty"`
+	// CollectTrace asks the worker to return the job's run trace: the
+	// response becomes a TracedResponse envelope (signaled by the
+	// TraceHeader response header) instead of the raw rendered report.
+	CollectTrace bool `json:"collect_trace,omitempty"`
+}
+
+// TraceHeader marks a response whose body is a TracedResponse envelope
+// rather than the raw rendered report.
+const TraceHeader = "X-Acstab-Trace"
+
+// TracedResponse is the response envelope for CollectTrace jobs: the
+// rendered report plus the worker-side run trace, which the client grafts
+// into the caller's trace.
+type TracedResponse struct {
+	V int `json:"v"`
+	// RequestID is the worker's flight-recorder ID for this job; quote it
+	// when asking "what happened to my run" against GET /debug/runs.
+	RequestID string `json:"request_id,omitempty"`
+	// ContentType is the media type of Body.
+	ContentType string `json:"content_type"`
+	// Body is the rendered report (base64 in JSON).
+	Body []byte `json:"body"`
+	// Trace is the worker's run trace for this job.
+	Trace *obs.Trace `json:"trace,omitempty"`
 }
 
 // RequestOptions mirrors the CLI sweep flags.
@@ -105,6 +134,10 @@ type Config struct {
 	MaxTimeout time.Duration
 	// RetryAfter is the hint returned with 429 responses. 0 selects 1s.
 	RetryAfter time.Duration
+	// RecentRuns sizes the flight recorder behind GET /debug/runs: the
+	// worker keeps the last RecentRuns run records (trace, outcome, wall
+	// time). 0 selects obs.DefaultRecentRuns.
+	RecentRuns int
 	// Logf is the request-log sink (nil selects log.Printf).
 	Logf obs.Logf
 }
@@ -120,13 +153,18 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.RecentRuns <= 0 {
+		c.RecentRuns = obs.DefaultRecentRuns
+	}
 	return c
 }
 
-// server is one worker's HTTP state: its config and admission semaphore.
+// server is one worker's HTTP state: its config, admission semaphore, and
+// flight recorder.
 type server struct {
 	cfg   Config
 	sem   chan struct{}
+	rec   *obs.Recorder
 	start time.Time
 }
 
@@ -138,19 +176,24 @@ func Handler() http.Handler { return NewHandler(Config{}) }
 // GET /healthz reports liveness, GET /metrics serves the Prometheus
 // exposition of the process registry, and GET /statusz serves a JSON
 // status snapshot (jobs in flight, shed/abort counters, per-phase
-// latency histograms, solver counters, worker utilization). Every route
-// is wrapped in the obs request-logging middleware.
+// latency histograms, solver counters, worker utilization). GET
+// /debug/runs lists the flight recorder's recent runs and GET
+// /debug/runs/<id> serves one run's full trace. Every route is wrapped
+// in the obs request-logging middleware.
 func NewHandler(cfg Config) http.Handler {
 	s := &server{
 		cfg:   cfg.withDefaults(),
 		start: time.Now(),
 	}
 	s.sem = make(chan struct{}, s.cfg.MaxConcurrent)
+	s.rec = obs.NewRecorder(s.cfg.RecentRuns)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", handleHealthz)
 	mux.HandleFunc("/run", s.handleRun)
 	mux.Handle("/metrics", obs.MetricsHandler())
 	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/debug/runs", s.handleDebugRuns)
+	mux.HandleFunc("/debug/runs/", s.handleDebugRuns)
 	return obs.Middleware(mux, s.cfg.Logf)
 }
 
@@ -184,6 +227,7 @@ const (
 	CodeDeadlineExceeded   = "deadline_exceeded"
 	CodeClientClosed       = "client_closed_request"
 	CodeUnknownNode        = "unknown_node"
+	CodeUnknownRun         = "unknown_run"
 	CodeNoConvergence      = "no_convergence"
 	CodeSingularMatrix     = "singular_matrix"
 	CodeRunFailed          = "run_failed"
@@ -225,6 +269,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.sem }()
 	default:
 		mShed.Inc()
+		s.rec.Begin("run", "", nil).Finish("shed")
 		w.Header().Set("Retry-After",
 			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 		writeErr(w, http.StatusTooManyRequests, CodeOverloaded,
@@ -235,11 +280,13 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	defer mJobsInflight.Dec()
 	body, err := io.ReadAll(io.LimitReader(r.Body, MaxNetlistBytes+4096))
 	if err != nil {
+		s.rec.Begin("run", "", nil).Finish(CodeBadJSON)
 		writeErr(w, http.StatusBadRequest, CodeBadJSON, err.Error())
 		return
 	}
 	req, status, code, err := decodeRequest(body)
 	if err != nil {
+		s.rec.Begin("run", "", nil).Finish(code)
 		writeErr(w, status, code, err.Error())
 		return
 	}
@@ -256,14 +303,80 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	out, contentType, err := Run(ctx, req)
+	// Every job runs under its own run trace, recorded in the flight
+	// recorder while in flight — a hung run is diagnosable from its
+	// partial trace at GET /debug/runs/<id>.
+	run := obs.StartRun("farm/run")
+	rec := s.rec.Begin("run", req.TraceID, run)
+	out, contentType, err := runTraced(ctx, req, run)
+	run.Finish()
 	if err != nil {
 		status, code := classifyRunError(r, err)
+		rec.Finish(runOutcome(code))
 		writeErr(w, status, code, err.Error())
+		return
+	}
+	rec.Finish("ok")
+	if req.CollectTrace {
+		tr := run.Trace()
+		w.Header().Set(TraceHeader, "1")
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(TracedResponse{
+			V:           WireVersion,
+			RequestID:   rec.ID(),
+			ContentType: contentType,
+			Body:        out,
+			Trace:       &tr,
+		})
 		return
 	}
 	w.Header().Set("Content-Type", contentType)
 	w.Write(out)
+}
+
+// runOutcome maps an error code to the flight-recorder outcome word.
+func runOutcome(code string) string {
+	switch code {
+	case CodeClientClosed:
+		return "canceled"
+	case CodeDeadlineExceeded:
+		return "deadline"
+	}
+	return code
+}
+
+// handleDebugRuns serves the flight recorder: GET /debug/runs lists
+// recent runs (newest first, in-flight runs marked running) and GET
+// /debug/runs/<id> returns one run's full record including its trace.
+func (s *server) handleDebugRuns(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(strings.TrimPrefix(r.URL.Path, "/debug/runs"), "/")
+	if id == "" {
+		runs := s.rec.List()
+		if runs == nil {
+			runs = []obs.RunSummary{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Runs []obs.RunSummary `json:"runs"`
+		}{runs})
+		return
+	}
+	det, ok := s.rec.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, CodeUnknownRun,
+			fmt.Sprintf("no recorded run %q (evicted or never ran here)", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(det)
 }
 
 // classifyRunError maps a job failure to its HTTP status and error code,
@@ -295,6 +408,14 @@ func classifyRunError(r *http.Request, err error) (int, string) {
 // solve with an error wrapping acerr.ErrCanceled plus the context's own
 // error.
 func Run(ctx context.Context, req *Request) (body []byte, contentType string, err error) {
+	return runTraced(ctx, req, nil)
+}
+
+// runTraced is Run with the job executed under the given run trace (nil
+// for untraced execution): phase spans and solver counters land in run,
+// which the worker returns to the client and keeps in its flight
+// recorder.
+func runTraced(ctx context.Context, req *Request, run *obs.Run) (body []byte, contentType string, err error) {
 	mRunsTotal.Inc()
 	defer func() {
 		if err != nil {
@@ -304,7 +425,7 @@ func Run(ctx context.Context, req *Request) (body []byte, contentType string, er
 	if len(req.Netlist) > MaxNetlistBytes {
 		return nil, "", fmt.Errorf("farm: netlist larger than %d bytes", MaxNetlistBytes)
 	}
-	sp := obs.StartPhase(nil, "parse")
+	sp := obs.StartPhase(run, "parse")
 	ckt, err := netlist.Parse(req.Netlist)
 	sp.End()
 	if err != nil {
@@ -317,6 +438,7 @@ func Run(ctx context.Context, req *Request) (body []byte, contentType string, er
 		ckt.Params[k] = v
 	}
 	opts := tool.DefaultOptions()
+	opts.Trace = run
 	if o := req.Options; true {
 		if o.FStartHz > 0 {
 			opts.FStart = o.FStartHz
@@ -400,6 +522,9 @@ type Statusz struct {
 	// solves, Newton iterations, operating-point solves, MNA compiles).
 	Solver  map[string]int64 `json:"solver,omitempty"`
 	Workers StatuszWorkers   `json:"workers"`
+	// DebugRunsURL points at the worker's flight recorder (GET lists
+	// recent runs; append /<id> for one run's full trace).
+	DebugRunsURL string `json:"debug_runs_url,omitempty"`
 }
 
 // StatuszOverload reports the request-shedding state of the worker.
@@ -487,7 +612,9 @@ func (s *server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(statuszFrom(obs.Default.Snapshot(), time.Since(s.start), s.cfg))
+	st := statuszFrom(obs.Default.Snapshot(), time.Since(s.start), s.cfg)
+	st.DebugRunsURL = "/debug/runs"
+	enc.Encode(st)
 }
 
 type singleNodeResult struct {
@@ -568,6 +695,19 @@ func (e *StatusError) Retryable() bool {
 // final failure is returned as a *StatusError (HTTP-level) or transport
 // error. ctx bounds the whole call including backoff waits.
 func (c *Client) Submit(ctx context.Context, req *Request) ([]byte, error) {
+	return c.submit(ctx, req, nil)
+}
+
+// SubmitTraced is Submit with distributed tracing: it asks the worker to
+// collect its run trace and grafts the returned remote spans into run,
+// anchored inside this client's request window (clock-skew safe) and
+// annotated with the attempt number so retried submissions stay
+// distinguishable. A nil run behaves exactly like Submit.
+func (c *Client) SubmitTraced(ctx context.Context, req *Request, run *obs.Run) ([]byte, error) {
+	return c.submit(ctx, req, run)
+}
+
+func (c *Client) submit(ctx context.Context, req *Request, run *obs.Run) ([]byte, error) {
 	hc := c.HTTPClient
 	if hc == nil {
 		t := c.Timeout
@@ -579,6 +719,12 @@ func (c *Client) Submit(ctx context.Context, req *Request) ([]byte, error) {
 	wire := *req
 	if wire.V == 0 {
 		wire.V = WireVersion
+	}
+	if run != nil {
+		wire.CollectTrace = true
+		if wire.TraceID == "" {
+			wire.TraceID = newTraceID()
+		}
 	}
 	payload, err := json.Marshal(&wire)
 	if err != nil {
@@ -602,8 +748,14 @@ func (c *Client) Submit(ctx context.Context, req *Request) ([]byte, error) {
 
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		body, err := c.submitOnce(ctx, hc, payload)
+		attemptStart := time.Now()
+		sp := obs.StartPhase(run, "farm_submit")
+		body, tr, err := c.submitOnce(ctx, hc, payload)
+		sp.End()
 		if err == nil {
+			if run != nil && tr != nil {
+				run.GraftRemote(*tr, attemptStart, time.Since(attemptStart), attempt+1)
+			}
 			return body, nil
 		}
 		lastErr = err
@@ -625,17 +777,19 @@ func (c *Client) Submit(ctx context.Context, req *Request) ([]byte, error) {
 
 // submitOnce performs one POST /run attempt, always draining and closing
 // the response body so the underlying connection returns to the pool for
-// the next attempt instead of leaking.
-func (c *Client) submitOnce(ctx context.Context, hc *http.Client, payload []byte) ([]byte, error) {
+// the next attempt instead of leaking. A TraceHeader-marked response is
+// unwrapped: the rendered report and the worker's trace come back
+// separately.
+func (c *Client) submitOnce(ctx context.Context, hc *http.Client, payload []byte) ([]byte, *obs.Trace, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/run",
 		bytes.NewReader(payload))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := hc.Do(hreq)
 	if err != nil {
-		return nil, fmt.Errorf("farm: %w", err)
+		return nil, nil, fmt.Errorf("farm: %w", err)
 	}
 	body, readErr := io.ReadAll(resp.Body)
 	// Drain whatever ReadAll left behind (e.g. on a limited read error)
@@ -643,7 +797,7 @@ func (c *Client) submitOnce(ctx context.Context, hc *http.Client, payload []byte
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if readErr != nil {
-		return nil, fmt.Errorf("farm: reading response: %w", readErr)
+		return nil, nil, fmt.Errorf("farm: reading response: %w", readErr)
 	}
 	if resp.StatusCode != http.StatusOK {
 		se := &StatusError{StatusCode: resp.StatusCode, Message: string(bytes.TrimSpace(body))}
@@ -657,9 +811,23 @@ func (c *Client) submitOnce(ctx context.Context, hc *http.Client, payload []byte
 				se.RetryAfter = time.Duration(secs) * time.Second
 			}
 		}
-		return nil, se
+		return nil, nil, se
 	}
-	return body, nil
+	if resp.Header.Get(TraceHeader) != "" {
+		var env TracedResponse
+		if err := json.Unmarshal(body, &env); err != nil {
+			return nil, nil, fmt.Errorf("farm: bad traced-response envelope: %w", err)
+		}
+		return env.Body, env.Trace, nil
+	}
+	return body, nil, nil
+}
+
+// newTraceID returns a random 64-bit hex correlation ID.
+func newTraceID() string {
+	var b [8]byte
+	crand.Read(b[:])
+	return hex.EncodeToString(b[:])
 }
 
 // retryable reports whether an attempt failure is worth retrying:

@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// decodeChrome unmarshals and schema-checks a Trace Event Format document.
+func decodeChrome(t *testing.T, b []byte) []map[string]any {
+	t.Helper()
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if doc.TraceEvents == nil {
+		t.Fatal("missing traceEvents array")
+	}
+	for i, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph != "X" && ph != "M" {
+			t.Errorf("event %d: ph = %q, want X or M", i, ph)
+		}
+		if _, ok := ev["name"].(string); !ok {
+			t.Errorf("event %d: missing name", i)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Errorf("event %d: missing pid", i)
+		}
+		if _, ok := ev["tid"].(float64); !ok {
+			t.Errorf("event %d: missing tid", i)
+		}
+		if ph == "X" {
+			ts, ok := ev["ts"].(float64)
+			if !ok || ts < 0 {
+				t.Errorf("event %d: ts = %v", i, ev["ts"])
+			}
+			dur, ok := ev["dur"].(float64)
+			if !ok || dur < 0 {
+				t.Errorf("event %d: dur = %v", i, ev["dur"])
+			}
+		}
+	}
+	return doc.TraceEvents
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	r := StartRun("chrome-run")
+	sp := r.StartPhase("op")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	sp = r.StartPhase("sweep")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	r.Add("ac_solves", 7)
+	r.AddSlowPoints([]SlowPoint{{FreqHz: 1e6, WallNS: 100, Detail: "full"}})
+	r.GraftRemote(Trace{
+		DurationNS: time.Millisecond.Nanoseconds(),
+		Phases:     []PhaseSpan{{Phase: "stability", StartNS: 0, DurationNS: 5e5}},
+	}, time.Now(), 2*time.Millisecond, 3)
+	r.Finish()
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeChrome(t, buf.Bytes())
+
+	names := map[string]bool{}
+	pids := map[float64]bool{}
+	var remotePid float64
+	for _, ev := range events {
+		names[ev["name"].(string)] = true
+		pids[ev["pid"].(float64)] = true
+		if ev["name"] == "stability" {
+			remotePid = ev["pid"].(float64)
+			args, _ := ev["args"].(map[string]any)
+			if att, _ := args["attempt"].(float64); att != 3 {
+				t.Errorf("remote span attempt = %v, want 3", args["attempt"])
+			}
+		}
+	}
+	for _, want := range []string{"process_name", "chrome-run", "op", "sweep", "stability"} {
+		if !names[want] {
+			t.Errorf("missing event %q (got %v)", want, names)
+		}
+	}
+	if !pids[1] {
+		t.Error("local process pid 1 missing")
+	}
+	if remotePid != 4 {
+		t.Errorf("remote attempt-3 spans under pid %g, want 4 (1+attempt)", remotePid)
+	}
+}
+
+func TestWriteChromeTraceLanePacking(t *testing.T) {
+	// Two overlapping spans must land in different lanes; a third that
+	// starts after the first ends may reuse lane 1.
+	tr := Trace{
+		Name:       "lanes",
+		DurationNS: 100,
+		Phases: []PhaseSpan{
+			{Phase: "a", StartNS: 0, DurationNS: 50},
+			{Phase: "b", StartNS: 10, DurationNS: 50},
+			{Phase: "c", StartNS: 60, DurationNS: 10},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tid := map[string]float64{}
+	for _, ev := range decodeChrome(t, buf.Bytes()) {
+		if ev["ph"] == "X" {
+			tid[ev["name"].(string)] = ev["tid"].(float64)
+		}
+	}
+	if tid["a"] == tid["b"] {
+		t.Errorf("overlapping spans share lane %g", tid["a"])
+	}
+	if tid["c"] != tid["a"] {
+		t.Errorf("non-overlapping span should reuse lane: c=%g a=%g", tid["c"], tid["a"])
+	}
+}
+
+func TestWriteChromeTraceNilRun(t *testing.T) {
+	var r *Run
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decodeChrome(t, buf.Bytes())
+}

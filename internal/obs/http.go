@@ -39,13 +39,28 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// labelPath normalizes the metric path label: known single-segment routes
-// pass through, everything else collapses to "other" so hostile or random
-// URLs cannot grow the metric space without bound.
+// Flush forwards http.Flusher to the wrapped writer so a streaming handler
+// behind the middleware keeps flushing; it is a no-op when the underlying
+// writer does not support it. Without this the wrapper would hide the
+// Flusher interface and streaming endpoints would silently buffer.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		if w.status == 0 {
+			w.status = http.StatusOK
+		}
+		f.Flush()
+	}
+}
+
+// labelPath normalizes the metric path label: known routes pass through,
+// everything else collapses to "other" so hostile or random URLs cannot
+// grow the metric space without bound.
 func labelPath(p string) string {
 	switch {
 	case p == "/run", p == "/healthz", p == "/metrics", p == "/statusz":
 		return p
+	case p == "/debug/runs" || strings.HasPrefix(p, "/debug/runs/"):
+		return "/debug/runs"
 	case strings.HasPrefix(p, "/debug/pprof"):
 		return "/debug/pprof"
 	default:

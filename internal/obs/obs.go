@@ -114,12 +114,17 @@ func NewRegistry() *Registry {
 var Default = NewRegistry()
 
 // getOrCreate returns the metric registered under name, creating it with
-// mk on first use. A name registered as a different kind panics: that is
-// a programming error, not a runtime condition.
-func (r *Registry) getOrCreate(name string, mk func() metric) metric {
+// mk on first use. A name already registered as a different kind panics
+// with a message naming the existing kind: that is a programming error,
+// not a runtime condition, and the opaque alternative (a failed type
+// assertion at the call site) hides which registration collided.
+func (r *Registry) getOrCreate(name, kind string, mk func() metric) metric {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if m, ok := r.metrics[name]; ok {
+		if m.promType() != kind {
+			panic("obs: metric " + name + " already registered as " + m.promType())
+		}
 		return m
 	}
 	m := mk()
@@ -130,22 +135,12 @@ func (r *Registry) getOrCreate(name string, mk func() metric) metric {
 // Counter returns the counter registered under name, creating it on first
 // use.
 func (r *Registry) Counter(name string) *Counter {
-	m := r.getOrCreate(name, func() metric { return &Counter{} })
-	c, ok := m.(*Counter)
-	if !ok {
-		panic("obs: metric " + name + " is not a counter")
-	}
-	return c
+	return r.getOrCreate(name, "counter", func() metric { return &Counter{} }).(*Counter)
 }
 
 // Gauge returns the gauge registered under name, creating it on first use.
 func (r *Registry) Gauge(name string) *Gauge {
-	m := r.getOrCreate(name, func() metric { return &Gauge{} })
-	g, ok := m.(*Gauge)
-	if !ok {
-		panic("obs: metric " + name + " is not a gauge")
-	}
-	return g
+	return r.getOrCreate(name, "gauge", func() metric { return &Gauge{} }).(*Gauge)
 }
 
 // Histogram returns the histogram registered under name, creating it with
@@ -158,12 +153,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 // it with the given upper bounds (ascending) on first use; nil bounds
 // select the default duration buckets.
 func (r *Registry) HistogramBuckets(name string, bounds []float64) *Histogram {
-	m := r.getOrCreate(name, func() metric { return newHistogram(bounds) })
-	h, ok := m.(*Histogram)
-	if !ok {
-		panic("obs: metric " + name + " is not a histogram")
-	}
-	return h
+	return r.getOrCreate(name, "histogram", func() metric { return newHistogram(bounds) }).(*Histogram)
 }
 
 // GetCounter returns a counter from the Default registry.

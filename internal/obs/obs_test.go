@@ -227,3 +227,101 @@ func TestMetricsHandler(t *testing.T) {
 		t.Errorf("POST /metrics = %d, want 405", resp2.StatusCode)
 	}
 }
+
+func TestKindMismatchPanicMessage(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_metric")
+	defer func() {
+		got, _ := recover().(string)
+		const want = "obs: metric dup_metric already registered as counter"
+		if got != want {
+			t.Errorf("panic = %q, want %q", got, want)
+		}
+	}()
+	r.Gauge("dup_metric")
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	// Empty histogram: every quantile is 0.
+	h := newHistogram([]float64{1, 2, 4})
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	// Single observation inside a bucket: q=0 returns the bucket's lower
+	// bound, q=1 its upper bound.
+	h = newHistogram([]float64{1, 2, 4})
+	h.Observe(1.5)
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("single-obs Quantile(0) = %g, want 1", got)
+	}
+	if got := h.Quantile(1); got != 2 {
+		t.Errorf("single-obs Quantile(1) = %g, want 2", got)
+	}
+	// Values beyond the last bound land in the overflow bucket, which
+	// clamps to the last bound (the histogram cannot know how far above).
+	h = newHistogram([]float64{1, 2, 4})
+	h.Observe(100)
+	h.Observe(200)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 4 {
+			t.Errorf("overflow Quantile(%g) = %g, want 4", q, got)
+		}
+	}
+}
+
+func TestMiddlewareFlush(t *testing.T) {
+	logf := func(string, ...any) {}
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("middleware hides http.Flusher from the wrapped handler")
+		}
+		w.Write([]byte("chunk"))
+		f.Flush()
+	}), logf)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stream", nil))
+	if !rec.Flushed {
+		t.Error("Flush did not reach the underlying ResponseWriter")
+	}
+
+	// A non-flushing underlying writer must not panic.
+	h = Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.(http.Flusher).Flush() // no-op
+		w.WriteHeader(http.StatusNoContent)
+	}), logf)
+	h.ServeHTTP(noFlushWriter{httptest.NewRecorder()}, httptest.NewRequest(http.MethodGet, "/x", nil))
+}
+
+// noFlushWriter hides ResponseRecorder's Flush method.
+type noFlushWriter struct{ rec *httptest.ResponseRecorder }
+
+func (w noFlushWriter) Header() http.Header         { return w.rec.Header() }
+func (w noFlushWriter) Write(p []byte) (int, error) { return w.rec.Write(p) }
+func (w noFlushWriter) WriteHeader(code int)        { w.rec.WriteHeader(code) }
+
+func TestLabelPath(t *testing.T) {
+	cases := map[string]string{
+		"/run":                   "/run",
+		"/healthz":               "/healthz",
+		"/metrics":               "/metrics",
+		"/statusz":               "/statusz",
+		"/debug/runs":            "/debug/runs",
+		"/debug/runs/run-000042": "/debug/runs",
+		"/debug/pprof":           "/debug/pprof",
+		"/debug/pprof/profile":   "/debug/pprof",
+		"/debug/runsX":           "other",
+		"/debug":                 "other",
+		"/":                      "other",
+		"/run/extra":             "other",
+		"/%2e%2e/etc/passwd":     "other",
+		"/totally/made/up/route": "other",
+	}
+	for path, want := range cases {
+		if got := labelPath(path); got != want {
+			t.Errorf("labelPath(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

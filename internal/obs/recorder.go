@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Recorder is a worker's flight recorder: a bounded ring buffer of recent
+// run records (trace, outcome, wall time), oldest evicted first. It backs
+// the farm worker's GET /debug/runs endpoints so "what did this worker
+// just run" and "why is this run hung" are answerable without logs. A nil
+// *Recorder is valid everywhere — Begin returns a nil record whose methods
+// are no-ops — so recording can be threaded unconditionally.
+type Recorder struct {
+	mu   sync.Mutex
+	max  int
+	seq  int64
+	recs []*RunRecord // circular: head is the oldest of n live records
+	head int
+	n    int
+}
+
+// DefaultRecentRuns is the record capacity NewRecorder(0) selects.
+const DefaultRecentRuns = 64
+
+// NewRecorder returns a recorder keeping the last max runs (<=0 selects
+// DefaultRecentRuns).
+func NewRecorder(max int) *Recorder {
+	if max <= 0 {
+		max = DefaultRecentRuns
+	}
+	return &Recorder{max: max, recs: make([]*RunRecord, max)}
+}
+
+// RunRecord is one recorded run. It stays live while the run executes —
+// List and Get see in-flight records with a running marker — and is
+// finalized by Finish.
+type RunRecord struct {
+	mu      sync.Mutex
+	id      string
+	name    string
+	traceID string
+	start   time.Time
+	end     time.Time
+	outcome string
+	run     *Run
+}
+
+// Begin records the start of a run: name labels the kind of work, traceID
+// carries the client's correlation ID (may be empty), and run is the run's
+// trace (may be nil for work rejected before a trace exists, e.g. shed
+// jobs). The returned record must be finalized with Finish.
+func (rc *Recorder) Begin(name, traceID string, run *Run) *RunRecord {
+	if rc == nil {
+		return nil
+	}
+	rc.mu.Lock()
+	rc.seq++
+	rec := &RunRecord{
+		id:      fmt.Sprintf("run-%06d", rc.seq),
+		name:    name,
+		traceID: traceID,
+		start:   time.Now(),
+		run:     run,
+	}
+	if rc.n < rc.max {
+		rc.recs[(rc.head+rc.n)%rc.max] = rec
+		rc.n++
+	} else {
+		rc.recs[rc.head] = rec
+		rc.head = (rc.head + 1) % rc.max
+	}
+	rc.mu.Unlock()
+	return rec
+}
+
+// ID returns the record's process-unique ID (empty on a nil record).
+func (rec *RunRecord) ID() string {
+	if rec == nil {
+		return ""
+	}
+	return rec.id
+}
+
+// Finish stamps the record's end time and outcome: "ok", "canceled",
+// "deadline", "shed", or a machine-readable error code. Only the first
+// call takes effect.
+func (rec *RunRecord) Finish(outcome string) {
+	if rec == nil {
+		return
+	}
+	rec.mu.Lock()
+	if rec.end.IsZero() {
+		rec.end = time.Now()
+		rec.outcome = outcome
+	}
+	rec.mu.Unlock()
+}
+
+// RunSummary is one row of the GET /debug/runs listing.
+type RunSummary struct {
+	ID      string `json:"id"`
+	Name    string `json:"name"`
+	TraceID string `json:"trace_id,omitempty"`
+	// Outcome is "running" while the run is in flight, then the Finish
+	// outcome (ok / canceled / deadline / shed / error code).
+	Outcome string    `json:"outcome"`
+	Running bool      `json:"running,omitempty"`
+	Start   time.Time `json:"start"`
+	// DurationNS is the run's wall time; for an in-flight run, the time
+	// spent so far.
+	DurationNS int64 `json:"duration_ns"`
+	// Nodes and FreqPoints report the sweep volume (from the run trace's
+	// sweep_nodes / sweep_freq_points counters).
+	Nodes      int64 `json:"nodes,omitempty"`
+	FreqPoints int64 `json:"freq_points,omitempty"`
+}
+
+// RunDetail is the full GET /debug/runs/<id> document: the summary plus a
+// snapshot of the run's trace (live for in-flight runs, so a hung run can
+// be diagnosed from its partial trace).
+type RunDetail struct {
+	RunSummary
+	Trace Trace `json:"trace"`
+}
+
+// summary snapshots the record's listing row.
+func (rec *RunRecord) summary() RunSummary {
+	rec.mu.Lock()
+	s := RunSummary{
+		ID:      rec.id,
+		Name:    rec.name,
+		TraceID: rec.traceID,
+		Outcome: rec.outcome,
+		Start:   rec.start,
+	}
+	end := rec.end
+	rec.mu.Unlock()
+	if end.IsZero() {
+		s.Running = true
+		s.Outcome = "running"
+		s.DurationNS = time.Since(s.Start).Nanoseconds()
+	} else {
+		s.DurationNS = end.Sub(s.Start).Nanoseconds()
+	}
+	if c := rec.run.Trace().Counters; c != nil {
+		s.Nodes = c["sweep_nodes"]
+		s.FreqPoints = c["sweep_freq_points"]
+	}
+	return s
+}
+
+// snapshot returns the live records, newest first.
+func (rc *Recorder) snapshot() []*RunRecord {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := make([]*RunRecord, 0, rc.n)
+	for i := rc.n - 1; i >= 0; i-- {
+		out = append(out, rc.recs[(rc.head+i)%rc.max])
+	}
+	return out
+}
+
+// List returns summaries of the recorded runs, newest first. A nil
+// recorder lists nothing.
+func (rc *Recorder) List() []RunSummary {
+	if rc == nil {
+		return nil
+	}
+	recs := rc.snapshot()
+	out := make([]RunSummary, len(recs))
+	for i, rec := range recs {
+		out[i] = rec.summary()
+	}
+	return out
+}
+
+// Get returns the full record (summary + trace snapshot) by ID. Records
+// evicted from the ring are gone: ok is false.
+func (rc *Recorder) Get(id string) (RunDetail, bool) {
+	if rc == nil {
+		return RunDetail{}, false
+	}
+	for _, rec := range rc.snapshot() {
+		if rec.id == id {
+			return RunDetail{RunSummary: rec.summary(), Trace: rec.run.Trace()}, true
+		}
+	}
+	return RunDetail{}, false
+}

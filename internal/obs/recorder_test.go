@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	rc := NewRecorder(4)
+	run := StartRun("job")
+	run.Add("sweep_nodes", 9)
+	run.Add("sweep_freq_points", 241)
+	rec := rc.Begin("run", "trace-abc", run)
+	if rec.ID() == "" {
+		t.Fatal("record has no ID")
+	}
+
+	// In flight: visible with the running marker.
+	list := rc.List()
+	if len(list) != 1 || !list[0].Running || list[0].Outcome != "running" {
+		t.Fatalf("in-flight list = %+v", list)
+	}
+	if list[0].Nodes != 9 || list[0].FreqPoints != 241 {
+		t.Errorf("sweep volume = %d nodes / %d points", list[0].Nodes, list[0].FreqPoints)
+	}
+	if list[0].DurationNS <= 0 {
+		t.Error("in-flight duration should be the time so far")
+	}
+
+	run.Finish()
+	rec.Finish("ok")
+	rec.Finish("error") // second Finish is a no-op
+	list = rc.List()
+	if list[0].Running || list[0].Outcome != "ok" {
+		t.Errorf("finished list = %+v", list[0])
+	}
+
+	det, ok := rc.Get(rec.ID())
+	if !ok {
+		t.Fatal("Get lost the record")
+	}
+	if det.Outcome != "ok" || det.Trace.Counters["sweep_nodes"] != 9 {
+		t.Errorf("detail = %+v", det)
+	}
+	if _, ok := rc.Get("run-999999"); ok {
+		t.Error("unknown ID should miss")
+	}
+}
+
+func TestRecorderRingBound(t *testing.T) {
+	const capacity = 8
+	rc := NewRecorder(capacity)
+	var ids []string
+	for i := 0; i < 3*capacity; i++ {
+		rec := rc.Begin("run", "", nil)
+		rec.Finish("ok")
+		ids = append(ids, rec.ID())
+	}
+	list := rc.List()
+	if len(list) != capacity {
+		t.Fatalf("list length = %d, want %d (bounded)", len(list), capacity)
+	}
+	// Newest first, oldest evicted.
+	if list[0].ID != ids[len(ids)-1] {
+		t.Errorf("newest = %s, want %s", list[0].ID, ids[len(ids)-1])
+	}
+	if _, ok := rc.Get(ids[0]); ok {
+		t.Error("evicted record still retrievable")
+	}
+	if _, ok := rc.Get(ids[len(ids)-1]); !ok {
+		t.Error("latest record missing")
+	}
+}
+
+func TestRecorderNilSafety(t *testing.T) {
+	var rc *Recorder
+	rec := rc.Begin("run", "", nil)
+	if rec != nil {
+		t.Error("nil recorder should hand out nil records")
+	}
+	rec.Finish("ok")
+	if rec.ID() != "" {
+		t.Error("nil record ID should be empty")
+	}
+	if got := rc.List(); got != nil {
+		t.Errorf("nil recorder list = %v", got)
+	}
+	if _, ok := rc.Get("x"); ok {
+		t.Error("nil recorder Get should miss")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	rc := NewRecorder(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				run := StartRun("job")
+				rec := rc.Begin("run", "", run)
+				run.StartPhase("sweep").End()
+				rc.List()
+				rc.Get(rec.ID())
+				run.Finish()
+				rec.Finish("ok")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(rc.List()); got != 16 {
+		t.Errorf("list length = %d, want 16", got)
+	}
+}

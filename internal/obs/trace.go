@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -13,6 +14,10 @@ import (
 // corners) cannot grow a trace without limit; once hit, further spans are
 // counted in DroppedSpans but still feed the registry histograms.
 const maxSpans = 4096
+
+// MaxSlowPoints bounds the slow_points section of a trace: the run keeps
+// only the worst K frequency points by solve wall time.
+const MaxSlowPoints = 8
 
 // Run is one traced stability run: an ordered list of phase spans plus
 // named solver counters. A nil *Run is valid everywhere — every method is
@@ -26,6 +31,7 @@ type Run struct {
 	spans    []PhaseSpan
 	counters map[string]int64
 	dropped  int64
+	slow     []SlowPoint
 }
 
 // PhaseSpan is one timed phase inside a run.
@@ -37,6 +43,23 @@ type PhaseSpan struct {
 	StartNS int64 `json:"start_ns"`
 	// DurationNS is the span length in nanoseconds.
 	DurationNS int64 `json:"duration_ns"`
+	// Attempt marks spans grafted from a remote worker's trace with the
+	// 1-based submission attempt that produced them; 0 means a local span.
+	// Retried farm jobs stay distinguishable in the merged trace.
+	Attempt int `json:"attempt,omitempty"`
+}
+
+// SlowPoint is one slow frequency point of a sweep: the wall time its
+// factor+solve step took plus the solver-path context (pivot-free
+// refactorization, full factorization, fallback after a collapsed pivot).
+type SlowPoint struct {
+	// FreqHz is the sweep frequency of the point.
+	FreqHz float64 `json:"freq_hz"`
+	// WallNS is the wall time of the point's factor+solve step.
+	WallNS int64 `json:"wall_ns"`
+	// Detail names the solver path the point took (e.g. "refactor",
+	// "refactor_fallback": this point fell back to a full factorization).
+	Detail string `json:"detail,omitempty"`
 }
 
 // Trace is the machine-readable snapshot of a finished (or in-flight) run,
@@ -47,6 +70,9 @@ type Trace struct {
 	Phases       []PhaseSpan      `json:"phases"`
 	Counters     map[string]int64 `json:"counters,omitempty"`
 	DroppedSpans int64            `json:"dropped_spans,omitempty"`
+	// SlowPoints lists the worst MaxSlowPoints frequency points of the
+	// run's sweeps by linear-solve wall time, worst first.
+	SlowPoints []SlowPoint `json:"slow_points,omitempty"`
 }
 
 // StartRun begins a trace.
@@ -77,11 +103,12 @@ func (r *Run) Add(name string, n int64) {
 }
 
 // Span is an open phase; End closes it. A nil *Span is valid and End is a
-// no-op.
+// no-op; so is a second End on the same span.
 type Span struct {
 	run   *Run
 	phase string
 	start time.Time
+	done  atomic.Bool
 }
 
 // StartPhase opens a phase span attached to r. The span always records its
@@ -97,9 +124,12 @@ func StartPhase(r *Run, phase string) *Span {
 func (r *Run) StartPhase(phase string) *Span { return StartPhase(r, phase) }
 
 // End closes the span: the duration feeds the registry phase histogram
-// and, if the span belongs to a run, the run's trace.
+// and, if the span belongs to a run, the run's trace. End is idempotent —
+// only the first call observes the histogram and appends to the trace, so
+// a defensive double-End (e.g. a deferred End after an explicit one on an
+// error path) does not double-count.
 func (s *Span) End() {
-	if s == nil {
+	if s == nil || !s.done.CompareAndSwap(false, true) {
 		return
 	}
 	dur := time.Since(s.start)
@@ -138,6 +168,7 @@ func (r *Run) Trace() Trace {
 		DurationNS:   end.Sub(r.start).Nanoseconds(),
 		Phases:       append([]PhaseSpan(nil), r.spans...),
 		DroppedSpans: r.dropped,
+		SlowPoints:   append([]SlowPoint(nil), r.slow...),
 	}
 	if len(r.counters) > 0 {
 		t.Counters = make(map[string]int64, len(r.counters))
@@ -146,6 +177,68 @@ func (r *Run) Trace() Trace {
 		}
 	}
 	return t
+}
+
+// AddSlowPoints merges candidate slow points into the run, keeping only
+// the worst MaxSlowPoints by wall time (worst first). Sweep workers each
+// track a local worst-K and flush it here, so the run holds the global
+// worst-K across workers.
+func (r *Run) AddSlowPoints(pts []SlowPoint) {
+	if r == nil || len(pts) == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.mergeSlowPointsLocked(pts)
+	r.mu.Unlock()
+}
+
+func (r *Run) mergeSlowPointsLocked(pts []SlowPoint) {
+	r.slow = append(r.slow, pts...)
+	sort.SliceStable(r.slow, func(i, j int) bool { return r.slow[i].WallNS > r.slow[j].WallNS })
+	if len(r.slow) > MaxSlowPoints {
+		r.slow = r.slow[:MaxSlowPoints]
+	}
+}
+
+// GraftRemote merges a remote worker's trace into the run as a subtree of
+// the request that fetched it: every remote span is annotated with the
+// 1-based submission attempt and re-anchored inside the local request
+// window [reqStart, reqStart+reqDur). Remote span offsets are relative to
+// the remote run's own start, so absolute clocks never mix — the remote
+// timeline is placed at reqStart plus half the window slack (splitting the
+// network round-trip symmetrically), which keeps grafted spans inside the
+// request span even under arbitrary clock skew. Remote counters, dropped
+// spans, and slow points merge into the run's own.
+func (r *Run) GraftRemote(t Trace, reqStart time.Time, reqDur time.Duration, attempt int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	anchor := reqStart.Sub(r.start).Nanoseconds()
+	if slack := reqDur.Nanoseconds() - t.DurationNS; slack > 0 {
+		anchor += slack / 2
+	}
+	if anchor < 0 {
+		anchor = 0
+	}
+	for _, sp := range t.Phases {
+		if len(r.spans) >= maxSpans {
+			r.dropped++
+			continue
+		}
+		r.spans = append(r.spans, PhaseSpan{
+			Phase:      sp.Phase,
+			StartNS:    anchor + sp.StartNS,
+			DurationNS: sp.DurationNS,
+			Attempt:    attempt,
+		})
+	}
+	for k, v := range t.Counters {
+		r.counters[k] += v
+	}
+	r.dropped += t.DroppedSpans
+	r.mergeSlowPointsLocked(t.SlowPoints)
 }
 
 // WriteJSON writes the trace as indented JSON (the -trace-json payload).
@@ -213,6 +306,17 @@ func (r *Run) WriteSummary(w io.Writer) error {
 		}
 		for _, k := range names {
 			if _, err := fmt.Fprintf(w, "  %-24s %d\n", k, t.Counters[k]); err != nil {
+				return err
+			}
+		}
+	}
+	if len(t.SlowPoints) > 0 {
+		if _, err := fmt.Fprintln(w, "slowest frequency points:"); err != nil {
+			return err
+		}
+		for _, p := range t.SlowPoints {
+			if _, err := fmt.Fprintf(w, "  %12.4g Hz  %12s  %s\n",
+				p.FreqHz, time.Duration(p.WallNS).Round(time.Microsecond), p.Detail); err != nil {
 				return err
 			}
 		}

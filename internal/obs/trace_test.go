@@ -153,3 +153,106 @@ func TestRunConcurrentSpans(t *testing.T) {
 		t.Errorf("items = %d", tr.Counters["items"])
 	}
 }
+
+func TestSpanEndIdempotent(t *testing.T) {
+	r := StartRun("idem")
+	h := GetHistogram(`acstab_phase_duration_seconds{phase="idem_phase"}`)
+	before := h.Count()
+	sp := r.StartPhase("idem_phase")
+	sp.End()
+	sp.End() // defensive double-End must not double-count
+	if got := h.Count() - before; got != 1 {
+		t.Errorf("histogram observed %d times, want 1", got)
+	}
+	if tr := r.Trace(); len(tr.Phases) != 1 {
+		t.Errorf("trace has %d spans, want 1", len(tr.Phases))
+	}
+}
+
+func TestAddSlowPointsWorstK(t *testing.T) {
+	r := StartRun("slow")
+	for i := 0; i < 3*MaxSlowPoints; i++ {
+		r.AddSlowPoints([]SlowPoint{{FreqHz: float64(i), WallNS: int64(i + 1), Detail: "full"}})
+	}
+	tr := r.Trace()
+	if len(tr.SlowPoints) != MaxSlowPoints {
+		t.Fatalf("slow points = %d, want %d", len(tr.SlowPoints), MaxSlowPoints)
+	}
+	// Worst first, and only the globally worst K survive.
+	for i, p := range tr.SlowPoints {
+		want := int64(3*MaxSlowPoints - i)
+		if p.WallNS != want {
+			t.Errorf("slow[%d].WallNS = %d, want %d", i, p.WallNS, want)
+		}
+	}
+	var nilRun *Run
+	nilRun.AddSlowPoints([]SlowPoint{{WallNS: 1}}) // must not panic
+}
+
+func TestGraftRemote(t *testing.T) {
+	r := StartRun("client")
+	time.Sleep(time.Millisecond)
+	reqStart := time.Now()
+	reqDur := 100 * time.Millisecond
+
+	remote := Trace{
+		Name:       "farm/run",
+		DurationNS: (40 * time.Millisecond).Nanoseconds(),
+		Phases: []PhaseSpan{
+			{Phase: "op", StartNS: 0, DurationNS: 1e6},
+			{Phase: "sweep", StartNS: 2e6, DurationNS: 30e6},
+		},
+		Counters:     map[string]int64{"ac_solves": 12},
+		DroppedSpans: 3,
+		SlowPoints:   []SlowPoint{{FreqHz: 1e6, WallNS: 5e6, Detail: "refactor_fallback"}},
+	}
+	r.GraftRemote(remote, reqStart, reqDur, 2)
+	r.Finish()
+
+	tr := r.Trace()
+	if len(tr.Phases) != 2 {
+		t.Fatalf("phases = %+v", tr.Phases)
+	}
+	for _, sp := range tr.Phases {
+		if sp.Attempt != 2 {
+			t.Errorf("span %s attempt = %d, want 2", sp.Phase, sp.Attempt)
+		}
+		if sp.StartNS < 0 || sp.StartNS+sp.DurationNS > tr.DurationNS+reqDur.Nanoseconds() {
+			t.Errorf("span %s [%d, +%d] escapes the plausible window", sp.Phase, sp.StartNS, sp.DurationNS)
+		}
+	}
+	// The remote timeline is anchored inside the request window: the first
+	// remote span starts at or after the request start, and the whole
+	// remote duration fits before the request end.
+	minStart := tr.Phases[0].StartNS
+	if minStart < time.Millisecond.Nanoseconds() {
+		t.Errorf("grafted span starts at %dns, before the request began", minStart)
+	}
+	if tr.Counters["ac_solves"] != 12 {
+		t.Errorf("counters not merged: %v", tr.Counters)
+	}
+	if tr.DroppedSpans != 3 {
+		t.Errorf("dropped = %d, want 3", tr.DroppedSpans)
+	}
+	if len(tr.SlowPoints) != 1 || tr.SlowPoints[0].Detail != "refactor_fallback" {
+		t.Errorf("slow points not merged: %+v", tr.SlowPoints)
+	}
+
+	var nilRun *Run
+	nilRun.GraftRemote(remote, reqStart, reqDur, 1) // must not panic
+}
+
+func TestGraftRemoteClockSkew(t *testing.T) {
+	// A remote trace claiming to be LONGER than the request window (gross
+	// clock skew or drift) must still anchor without negative offsets.
+	r := StartRun("skew")
+	remote := Trace{
+		DurationNS: (10 * time.Second).Nanoseconds(),
+		Phases:     []PhaseSpan{{Phase: "sweep", StartNS: 0, DurationNS: 9e9}},
+	}
+	r.GraftRemote(remote, time.Now(), time.Millisecond, 1)
+	tr := r.Trace()
+	if len(tr.Phases) != 1 || tr.Phases[0].StartNS < 0 {
+		t.Errorf("skewed graft = %+v", tr.Phases)
+	}
+}
