@@ -397,6 +397,94 @@ func TestEmitSparseBenchSummary(t *testing.T) {
 	t.Logf("wrote %d benchmark rows to %s", len(rows), path)
 }
 
+// TestEmitDiagBenchSummary writes a BENCH_diag.json summary of the
+// reach-restricted diagonal-extraction kernel when ACSTAB_BENCH_JSON names
+// an output file: the all-nodes wall time on the 32-loop resonator field
+// (auto and forced-sparse) plus the kernel counter deltas and the derived
+// rows-visited ratio — rows the batched diag solves actually touched over
+// the rows the same sweeps would have touched with full per-node
+// substitutions. The ratio is also asserted (< 0.7) so a reach-set
+// regression fails CI instead of silently emitting a worse artifact.
+func TestEmitDiagBenchSummary(t *testing.T) {
+	path := os.Getenv("ACSTAB_BENCH_JSON")
+	if path == "" {
+		t.Skip("set ACSTAB_BENCH_JSON=FILE to emit the diag kernel summary")
+	}
+	counterNames := []string{
+		"acstab_ac_diag_solves_total",
+		"acstab_ac_diag_rows_visited_total",
+		"acstab_ac_diag_fallbacks_total",
+		"acstab_ac_refactorizations_total",
+		"acstab_ac_factorizations_total",
+	}
+	before := make(map[string]int64, len(counterNames))
+	for _, n := range counterNames {
+		before[n] = obs.GetCounter(n).Value()
+	}
+	ops := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"AllNodesScaling32Auto", func(b *testing.B) { benchAllNodesScaling(b, 32, analysis.MatrixAuto) }},
+		{"AllNodesScaling32Sparse", func(b *testing.B) { benchAllNodesScaling(b, 32, analysis.MatrixSparse) }},
+	}
+	var rows []benchSummaryRow
+	for _, op := range ops {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			op.fn(b)
+		})
+		rows = append(rows, benchSummaryRow{
+			Op:          op.name,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		})
+	}
+	counters := make(map[string]int64, len(counterNames))
+	for _, n := range counterNames {
+		counters[n] = obs.GetCounter(n).Value() - before[n]
+	}
+	// Rows a full-substitution sweep would visit per batched solve: every
+	// injection node costs one forward plus one backward pass over all n
+	// unknowns of the benchmark circuit.
+	tl, err := tool.New(circuits.ResonatorField(32, 1e5, 0.35), tool.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nUnknowns := tl.Sys.NumUnknowns()
+	nNodes := len(tl.Sys.NodeNames)
+	rowsFullPerSolve := int64(nNodes) * 2 * int64(nUnknowns)
+	solves, visited := counters["acstab_ac_diag_solves_total"], counters["acstab_ac_diag_rows_visited_total"]
+	if solves == 0 {
+		t.Fatal("diag kernel never ran during the benchmark")
+	}
+	ratio := float64(visited) / (float64(solves) * float64(rowsFullPerSolve))
+	if !(ratio > 0 && ratio < 0.7) {
+		t.Errorf("rows-visited ratio = %g, want (0, 0.7): reach restriction regressed", ratio)
+	}
+	out := struct {
+		Rows             []benchSummaryRow `json:"rows"`
+		Counters         map[string]int64  `json:"counters"`
+		RowsFullPerSolve int64             `json:"rows_full_per_solve"`
+		RowsVisitedRatio float64           `json:"rows_visited_ratio"`
+	}{rows, counters, rowsFullPerSolve, ratio}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d benchmark rows to %s (rows-visited ratio %.3f)", len(rows), path, ratio)
+}
+
 // benchACLadder measures a bare AC sweep on an RC ladder in the given
 // matrix mode (the inner loop the refactor path accelerates, without the
 // stability-analysis overhead of the all-nodes flow).

@@ -13,6 +13,8 @@
 //	acstab -i circuit.cir -stats               # phase timings + solver counters
 //	acstab -i circuit.cir -trace-json t.json   # machine-readable run trace
 //	acstab -i circuit.cir -trace-chrome t.json # Chrome trace-event timeline (Perfetto)
+//	acstab -i circuit.cir -cpuprofile cpu.pb   # pprof CPU profile of the run
+//	acstab -i circuit.cir -memprofile mem.pb   # heap profile at run end
 package main
 
 import (
@@ -23,6 +25,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -77,11 +81,43 @@ func runWith(args []string, out, errOut io.Writer) error {
 		traceOut  = fs.String("trace-json", "", "write the machine-readable run trace to this file")
 		chromeOut = fs.String("trace-chrome", "", "write the run trace in Chrome trace-event format (open in Perfetto)")
 		timeout   = fs.Duration("timeout", 0, "abort the run after this long (e.g. 30s; 0 = no limit)")
+		cpuProf   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = fs.String("memprofile", "", "write a pprof heap profile at run end to this file")
 	)
 	fs.Var(&sets, "set", "design-variable override name=value (repeatable)")
 	fs.Var(&sigmas, "sigma", "Monte Carlo relative sigma name=value (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Profiling: the CPU profile brackets everything after flag parsing
+	// (parse, OP, sweep, report); the heap profile snapshots live objects
+	// at run end, after a GC so dead sweep scratch does not pollute it.
+	// Both work without the daemon's -pprof HTTP surface.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %v", err)
+		}
+		defer func() {
+			runtime.GC()
+			pprof.WriteHeapProfile(f)
+			f.Close()
+		}()
 	}
 
 	// Interrupt (Ctrl-C) cancels the run mid-sweep; -timeout bounds it.

@@ -454,3 +454,29 @@ func TestRemoteTraceChrome(t *testing.T) {
 		t.Errorf("worker sweep span under pid %g, want 2 (attempt 1)", workerPid)
 	}
 }
+
+// TestProfileFlags: -cpuprofile and -memprofile write valid (gzip magic)
+// pprof files covering the run, with no daemon required.
+func TestProfileFlags(t *testing.T) {
+	path := writeNetlist(t, tankNetlist)
+	dir := t.TempDir()
+	cpuFile := filepath.Join(dir, "cpu.pb")
+	memFile := filepath.Join(dir, "mem.pb")
+	var out bytes.Buffer
+	if err := run([]string{"-i", path, "-cpuprofile", cpuFile, "-memprofile", memFile}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{cpuFile, memFile} {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) < 2 || b[0] != 0x1f || b[1] != 0x8b {
+			t.Errorf("%s: not a gzip-compressed pprof profile (got % x...)", f, b[:min(4, len(b))])
+		}
+	}
+	// A bad path must surface as a flag error, not a silent no-profile run.
+	if err := run([]string{"-i", path, "-cpuprofile", filepath.Join(dir, "no/such/dir/cpu.pb")}, &out); err == nil {
+		t.Error("expected -cpuprofile error for unwritable path")
+	}
+}

@@ -39,6 +39,14 @@ var (
 	mACSymbolicReuses    = obs.GetCounter("acstab_ac_symbolic_reuses_total")
 	mACRefactorFallbacks = obs.GetCounter("acstab_ac_refactor_fallbacks_total")
 	mACPatternDrift      = obs.GetCounter("acstab_ac_pattern_drift_total")
+	// Diagonal-extraction kernel telemetry: batched reach-restricted
+	// Z_kk solves taken, rows those solves actually visited (compare
+	// against 2·n·nodes·solves for the reach-restriction win), and
+	// frequencies that had to fall back to full per-node substitutions
+	// (dense mode is not a fallback — it never enters the kernel path).
+	mACDiagSolves    = obs.GetCounter("acstab_ac_diag_solves_total")
+	mACDiagRows      = obs.GetCounter("acstab_ac_diag_rows_visited_total")
+	mACDiagFallbacks = obs.GetCounter("acstab_ac_diag_fallbacks_total")
 )
 
 // Options tunes the solvers.
@@ -130,6 +138,15 @@ type acShared struct {
 	mu  sync.Mutex
 	pat *sparse.Pattern
 	sym *sparse.Symbolic
+
+	// Cached diagonal-extraction plan: the reach sets depend only on the
+	// symbolic analysis and the injection node list, so one build serves
+	// every worker and every frequency of an all-nodes sweep. diagSym
+	// records which symbolic the plan was derived from (a drift-triggered
+	// rebuild must not reuse a stale plan).
+	diag      *sparse.DiagPlan
+	diagSym   *sparse.Symbolic
+	diagNodes []int
 }
 
 // invalidate drops the cached analysis after pattern drift so the next
@@ -137,7 +154,39 @@ type acShared struct {
 func (sh *acShared) invalidate() {
 	sh.mu.Lock()
 	sh.pat, sh.sym = nil, nil
+	sh.diag, sh.diagSym, sh.diagNodes = nil, nil, nil
 	sh.mu.Unlock()
+}
+
+// ensureDiagPlan returns the shared reach-set plan for the given symbolic
+// analysis and injection nodes, building it on first use. Workers forked
+// from one Sim hit the cache; a different node list or a rebuilt symbolic
+// replaces it.
+func (sh *acShared) ensureDiagPlan(sym *sparse.Symbolic, nodes []int) (*sparse.DiagPlan, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.diag != nil && sh.diagSym == sym && equalInts(sh.diagNodes, nodes) {
+		return sh.diag, nil
+	}
+	plan, err := sym.DiagPlan(nodes)
+	if err != nil {
+		return nil, err
+	}
+	sh.diag, sh.diagSym = plan, sym
+	sh.diagNodes = append([]int(nil), nodes...)
+	return plan, nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // ensureSymbolic returns the shared pattern and symbolic analysis,
@@ -432,6 +481,13 @@ type acFactorizer struct {
 	fulls     int64
 	solves    int64
 
+	// Diagonal-kernel tallies (ImpedanceDiagSweep only): batched
+	// SolveDiagInto calls, rows those calls visited, and frequencies
+	// bounced to full per-node substitutions.
+	diagSolves    int64
+	diagRows      int64
+	diagFallbacks int64
+
 	// kind names the solver path the most recent at() call took, the
 	// slow-point context tag: "dense", "refactor" (pivot-free numeric
 	// refill), "full" (map-based factorization), "refactor_fallback" (the
@@ -448,6 +504,10 @@ const (
 	solveKindFull             = "full"
 	solveKindRefactorFallback = "refactor_fallback"
 	solveKindPatternDrift     = "pattern_drift"
+	// solveKindDiag tags frequency points whose Z_kk values came from the
+	// reach-restricted batched diagonal kernel rather than full
+	// substitutions.
+	solveKindDiag = "diag"
 )
 
 // newACFactorizer prepares the per-sweep solver state. A failed symbolic
@@ -598,7 +658,16 @@ func (fz *acFactorizer) flush() {
 	fz.s.Trace.Add("ac_factorizations", fz.fulls)
 	fz.s.Trace.Add("ac_refactorizations", fz.refactors)
 	fz.s.Trace.Add("ac_solves", fz.solves)
+	if fz.diagSolves != 0 || fz.diagRows != 0 || fz.diagFallbacks != 0 {
+		mACDiagSolves.Add(fz.diagSolves)
+		mACDiagRows.Add(fz.diagRows)
+		mACDiagFallbacks.Add(fz.diagFallbacks)
+		fz.s.Trace.Add("ac_diag_solves", fz.diagSolves)
+		fz.s.Trace.Add("ac_diag_rows_visited", fz.diagRows)
+		fz.s.Trace.Add("ac_diag_fallbacks", fz.diagFallbacks)
+	}
 	fz.fulls, fz.refactors, fz.solves = 0, 0, 0
+	fz.diagSolves, fz.diagRows, fz.diagFallbacks = 0, 0, 0
 }
 
 // AC runs a small-signal sweep over the given frequencies (Hz) with the
@@ -696,6 +765,102 @@ func (s *Sim) ImpedanceMatrixColumns(ctx context.Context, freqs []float64, op *m
 		fz.solves += int64(len(nodeIdx))
 		if slow != nil {
 			slow.note(f, time.Since(t0), fz.kind)
+		}
+	}
+	return out, nil
+}
+
+// ImpedanceDiagSweep computes only the driving-point diagonal
+// Z_kk(ω) = (A⁻¹)_{kk} for the requested nodes, returning
+// Z[nodeIdxInList][freq] with the same shape ImpedanceMatrixColumns
+// produces. On the sparse refactor path it uses the reach-restricted
+// batched diagonal kernel: the per-node forward solve only walks the
+// injection step's reach set in the L elimination DAG and the backward
+// solve terminates as soon as component k is determined, so each
+// frequency costs O(Σ|reach(k)|) rows instead of N full substitutions.
+// The reach sets are computed once per sweep (cached on the Sim-shared
+// symbolic state, so forked workers build them once) and the steady-state
+// loop body is allocation-free. Frequencies that leave the refactor path
+// — a collapsed pivot falling back to a full factorization, or pattern
+// drift invalidating the symbolic analysis mid-sweep — fall back to full
+// per-node SolveInto for that point and count against
+// acstab_ac_diag_fallbacks_total. Dense mode has no elimination DAG to
+// exploit and delegates wholesale to ImpedanceMatrixColumns. Callers that
+// need off-diagonal entries (loop-gain extraction) must keep using
+// ImpedanceMatrixColumns.
+func (s *Sim) ImpedanceDiagSweep(ctx context.Context, freqs []float64, op *mna.OpPoint, nodeIdx []int) ([][]complex128, error) {
+	if !s.useSparse() {
+		return s.ImpedanceMatrixColumns(ctx, freqs, op, nodeIdx)
+	}
+	n := s.Sys.NumUnknowns()
+	out := make([][]complex128, len(nodeIdx))
+	for i := range out {
+		out[i] = make([]complex128, len(freqs))
+	}
+	if len(freqs) == 0 {
+		return out, nil
+	}
+	sp := obs.StartPhase(s.Trace, "diag_solve")
+	defer sp.End()
+	fz := s.newACFactorizer(2*math.Pi*freqs[0], op)
+	defer fz.flush()
+	slow := newSlowTracker(s.Trace)
+	defer slow.flush(s.Trace)
+	var plan *sparse.DiagPlan
+	if fz.sym != nil {
+		p, err := s.acShared().ensureDiagPlan(fz.sym, nodeIdx)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: diag sweep plan: %w", err)
+		}
+		plan = p
+	}
+	diag := make([]complex128, len(nodeIdx))
+	b := make([]complex128, n)
+	x := make([]complex128, n)
+	for k, f := range freqs {
+		if err := acerr.Ctx(ctx); err != nil {
+			return nil, err
+		}
+		omega := 2 * math.Pi * f
+		var t0 time.Time
+		if slow != nil {
+			t0 = time.Now()
+		}
+		slv, err := fz.at(omega, nil)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: impedance at %g Hz: %w", f, err)
+		}
+		kind := fz.kind
+		if num, ok := slv.(*sparse.Numeric); ok && plan != nil {
+			// Refactor succeeded under the frozen pivot order, so the plan's
+			// reach sets describe exactly this factorization.
+			if err := num.SolveDiagInto(diag, plan); err != nil {
+				return nil, fmt.Errorf("analysis: impedance at %g Hz: %w", f, err)
+			}
+			for i := range nodeIdx {
+				out[i][k] = diag[i]
+			}
+			fz.diagSolves++
+			fz.diagRows += plan.RowsPerSolve()
+			kind = solveKindDiag
+		} else {
+			// Fallback factorization (collapsed pivot, drift, or a failed
+			// symbolic build): its pivot order is its own, so the frozen
+			// reach sets do not apply — run the full per-node substitutions.
+			fz.diagFallbacks++
+			for i, idx := range nodeIdx {
+				b[idx] = 1 // 1 A injection into the node
+				err := slv.SolveInto(x, b)
+				b[idx] = 0 // b stays all-zero between solves
+				if err != nil {
+					return nil, fmt.Errorf("analysis: impedance at %g Hz: %w", f, err)
+				}
+				out[i][k] = x[idx]
+			}
+		}
+		fz.solves += int64(len(nodeIdx))
+		if slow != nil {
+			slow.note(f, time.Since(t0), kind)
 		}
 	}
 	return out, nil

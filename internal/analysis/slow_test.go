@@ -31,7 +31,7 @@ func TestACSlowPointCapture(t *testing.T) {
 	}
 	valid := map[string]bool{
 		"dense": true, "full": true, "refactor": true,
-		"refactor_fallback": true, "pattern_drift": true,
+		"refactor_fallback": true, "pattern_drift": true, "diag": true,
 	}
 	for i, p := range tr.SlowPoints {
 		if p.WallNS <= 0 {

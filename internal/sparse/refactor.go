@@ -56,6 +56,22 @@ func (p *Pattern) N() int { return p.n }
 // NNZ returns the number of distinct structural positions.
 func (p *Pattern) NNZ() int { return len(p.col) }
 
+// SlotOf returns the value-array slot of structural position (i, j), or -1
+// when the pattern has no entry there. It lets tests and diagnostics
+// address individual entries of a Vals array without replaying a stamp
+// pass.
+func (p *Pattern) SlotOf(i, j int) int {
+	if i < 0 || i >= p.n {
+		return -1
+	}
+	for s := p.rowPtr[i]; s < p.rowPtr[i+1]; s++ {
+		if p.col[s] == int32(j) {
+			return int(s)
+		}
+	}
+	return -1
+}
+
 // Recorder captures the structure of one stamping pass. It implements the
 // same Add interface the stamping code targets; values are ignored, only
 // the (i,j) stream matters. Record exactly one pass, then Compile.

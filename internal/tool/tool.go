@@ -377,7 +377,7 @@ func (t *Tool) parallelColumns(ctx context.Context, freqs []float64, op *mna.OpP
 	}
 	if workers <= 1 {
 		mWorkersBusy.Inc()
-		got, err := t.Sim.ImpedanceMatrixColumns(ctx, freqs, op, idx)
+		got, err := t.Sim.ImpedanceDiagSweep(ctx, freqs, op, idx)
 		mWorkersBusy.Dec()
 		if err != nil {
 			return nil, err
@@ -403,14 +403,16 @@ func (t *Tool) parallelColumns(ctx context.Context, freqs []float64, op *mna.OpP
 			defer wg.Done()
 			mWorkersBusy.Inc()
 			defer mWorkersBusy.Dec()
-			// Each worker needs its own Sim wrapper: ImpedanceMatrixColumns
+			// Each worker needs its own Sim wrapper: the impedance sweep
 			// owns per-sweep numeric workspaces, and the shared System is
 			// read-only during AC stamping. Fork shares the symbolic
-			// analysis cache, so the pivot order and fill pattern are
-			// computed once and reused read-only by every worker. The trace
-			// is shared: obs.Run is concurrency-safe.
+			// analysis cache — and with it the diag-kernel reach sets — so
+			// the pivot order, fill pattern, and plan are computed once and
+			// reused read-only by every worker. The trace is shared:
+			// obs.Run is concurrency-safe. Only driving-point entries are
+			// consumed here, so the diagonal sweep applies.
 			sim := t.Sim.Fork()
-			sub, err := sim.ImpedanceMatrixColumns(ctx, freqs[lo:hi], op, idx)
+			sub, err := sim.ImpedanceDiagSweep(ctx, freqs[lo:hi], op, idx)
 			if err != nil {
 				errCh <- err
 				cancel()
@@ -438,11 +440,15 @@ func (t *Tool) parallelColumns(ctx context.Context, freqs []float64, op *mna.OpP
 }
 
 // naiveColumns mimics the paper's original flow: one complete AC sweep per
-// node, each refactoring the matrix at every frequency.
+// node, each refactoring the matrix at every frequency. The single worker
+// toggles the busy gauge just like the parallel path, so -naive runs
+// report their activity in /statusz instead of a constant zero.
 func (t *Tool) naiveColumns(ctx context.Context, freqs []float64, op *mna.OpPoint, idx []int) ([][]complex128, error) {
+	mWorkersBusy.Inc()
+	defer mWorkersBusy.Dec()
 	cols := make([][]complex128, len(idx))
 	for i, nodeIdx := range idx {
-		got, err := t.Sim.ImpedanceMatrixColumns(ctx, freqs, op, []int{nodeIdx})
+		got, err := t.Sim.ImpedanceDiagSweep(ctx, freqs, op, []int{nodeIdx})
 		if err != nil {
 			return nil, err
 		}
