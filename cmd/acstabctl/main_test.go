@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"acstab/internal/farm"
+	"acstab/internal/fleet"
+	"acstab/internal/obs"
+)
+
+const tankNetlist = `ctl tank
+.param rq=318
+R1 t 0 {rq}
+L1 t 0 25.33u
+C1 t 0 1n
+`
+
+func twoWorkers(t *testing.T) (*httptest.Server, *httptest.Server, *fleet.Fleet) {
+	t.Helper()
+	a := httptest.NewServer(farm.NewHandler(farm.Config{Log: obs.NewEventLogger(nil)}))
+	b := httptest.NewServer(farm.NewHandler(farm.Config{Log: obs.NewEventLogger(nil)}))
+	t.Cleanup(a.Close)
+	t.Cleanup(b.Close)
+	return a, b, fleet.New(fleet.Config{Workers: []string{a.URL, b.URL}})
+}
+
+func postRun(t *testing.T, srv *httptest.Server) {
+	t.Helper()
+	body := `{"netlist":"` + strings.ReplaceAll(tankNetlist, "\n", `\n`) + `","trace_id":"tr-ctl"}`
+	resp, err := srv.Client().Post(srv.URL+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("run: status %d", resp.StatusCode)
+	}
+}
+
+func TestStatusSmoke(t *testing.T) {
+	a, b, fl := twoWorkers(t)
+	postRun(t, a)
+	postRun(t, b)
+
+	var out bytes.Buffer
+	if err := runStatus(context.Background(), &out, fl); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"WORKER", a.URL, b.URL, "up", "fleet: 2/2 up", "slo health"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("status output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "down") {
+		t.Errorf("no worker should be down:\n%s", text)
+	}
+
+	// One worker dies: status still renders, with the dead worker marked.
+	b.Close()
+	out.Reset()
+	if err := runStatus(context.Background(), &out, fl); err != nil {
+		t.Fatal(err)
+	}
+	text = out.String()
+	if !strings.Contains(text, "down") || !strings.Contains(text, "fleet: 1/2 up") {
+		t.Errorf("dead worker not reported:\n%s", text)
+	}
+}
+
+func TestTopSmoke(t *testing.T) {
+	a, _, fl := twoWorkers(t)
+	postRun(t, a)
+
+	var out bytes.Buffer
+	if err := runTop(context.Background(), &out, fl, 10); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "merged counters (2 workers up)") {
+		t.Errorf("top output missing merged header:\n%s", text)
+	}
+	if !strings.Contains(text, "acstab_farm_runs_total") {
+		t.Errorf("top output missing runs counter:\n%s", text)
+	}
+	if !strings.Contains(text, "P50") || !strings.Contains(text, "acstab_phase_duration_seconds") {
+		t.Errorf("top output missing merged histograms:\n%s", text)
+	}
+}
+
+func TestTopNoWorkers(t *testing.T) {
+	fl := fleet.New(fleet.Config{Workers: []string{"http://127.0.0.1:1"}})
+	var out bytes.Buffer
+	if err := runTop(context.Background(), &out, fl, 10); err == nil {
+		t.Error("top with nobody reachable should fail")
+	}
+}
+
+func TestTailSmoke(t *testing.T) {
+	a, _, fl := twoWorkers(t)
+	postRun(t, a)
+
+	var out bytes.Buffer
+	if err := runTail(context.Background(), &out, fl, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, a.URL+" ") || !strings.Contains(text, `"event":"run"`) {
+		t.Errorf("tail output missing the run event:\n%s", text)
+	}
+	if !strings.Contains(text, `"trace_id":"tr-ctl"`) {
+		t.Errorf("tail output missing trace correlation:\n%s", text)
+	}
+}
+
+func TestSplitWorkers(t *testing.T) {
+	got := splitWorkers(" http://a:1 , ,http://b:2,")
+	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Errorf("splitWorkers = %v", got)
+	}
+}

@@ -1,30 +1,37 @@
 // Command acstabd is a stability-analysis farm worker: the remote
 // simulation capability the paper lists under future development. It
 // serves POST /run (netlist + options JSON in, rendered report out),
-// GET /healthz, GET /metrics (Prometheus text exposition), GET /statusz
-// (JSON status snapshot), and GET /debug/runs (flight recorder: the last
-// -recent-runs run records with their traces and outcomes). With -pprof
-// it additionally exposes the net/http/pprof handlers under
+// GET /healthz, GET /metrics (Prometheus text exposition; ?format=json
+// for the full-fidelity export fleet federation merges), GET /statusz
+// (JSON status snapshot with build identity and SLO scores), GET
+// /debug/runs (flight recorder: the last -recent-runs run records with
+// their traces and outcomes, filterable with ?outcome= and ?n=), and
+// GET /debug/events (the wide-event ring acstabctl tail follows). With
+// -pprof it additionally exposes the net/http/pprof handlers under
 // /debug/pprof/. Point any number of acstab clients — or a load
-// balancer — at a fleet of workers.
+// balancer, or acstabctl — at a fleet of workers.
+//
+// All logging is wide events: one canonical JSON object per /run request
+// on stderr, and structured lifecycle events (listening, drain_start,
+// drain_end, final_metrics) instead of free-form log lines.
 //
 // On SIGINT/SIGTERM the worker stops accepting connections, drains
-// in-flight /run jobs for up to -drain-timeout, and logs a final metrics
-// snapshot before exiting.
+// in-flight /run jobs for up to -drain-timeout, and emits a final
+// metrics snapshot event before exiting.
 //
 // Usage:
 //
 //	acstabd -listen :8080 -pprof -drain-timeout 30s
 //	acstab -i circuit.cir -remote http://worker:8080
+//	acstabctl -workers http://worker:8080 status
 //	curl http://worker:8080/metrics
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -48,9 +55,18 @@ func main() {
 		"per-job deadline ceiling; a request's timeout_ms is capped at this")
 	recentRuns := flag.Int("recent-runs", obs.DefaultRecentRuns,
 		"flight-recorder depth: how many recent runs GET /debug/runs keeps")
+	sloLatency := flag.Duration("slo-latency", 30*time.Second,
+		"latency objective: a /run answered within this counts as fast for the SLO")
+	sloSuccess := flag.Float64("slo-success-target", 0.99,
+		"availability objective: the fraction of /run requests that must succeed")
 	flag.Parse()
-	cfg := farm.Config{MaxConcurrent: *maxConc, MaxTimeout: *reqTimeout, RecentRuns: *recentRuns}
-	if err := serve(*listen, *pprofOn, *drain, cfg, nil); err != nil {
+	cfg := farm.Config{
+		MaxConcurrent: *maxConc,
+		MaxTimeout:    *reqTimeout,
+		RecentRuns:    *recentRuns,
+		SLO:           obs.SLOConfig{LatencyObjective: *sloLatency, SuccessTarget: *sloSuccess},
+	}
+	if err := serve(*listen, *pprofOn, *drain, cfg, obs.StderrEvents, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "acstabd: %v\n", err)
 		os.Exit(1)
 	}
@@ -76,10 +92,14 @@ func handler(pprofOn bool, cfg farm.Config) http.Handler {
 }
 
 // serve runs the worker until a fatal listener error or a termination
-// signal, then drains gracefully. When ready is non-nil it receives the
-// bound address once the listener is up (used by tests and by operators
-// running with -listen :0).
-func serve(listen string, pprofOn bool, drain time.Duration, cfg farm.Config, ready chan<- string) error {
+// signal, then drains gracefully, narrating its lifecycle as structured
+// events on log. When ready is non-nil it receives the bound address once
+// the listener is up (used by tests and by operators running with
+// -listen :0).
+func serve(listen string, pprofOn bool, drain time.Duration, cfg farm.Config, log *obs.EventLogger, ready chan<- string) error {
+	if cfg.Log == nil {
+		cfg.Log = log
+	}
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
@@ -90,7 +110,10 @@ func serve(listen string, pprofOn bool, drain time.Duration, cfg farm.Config, re
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigCh)
 
-	log.Printf("acstabd listening on %s (pprof=%v, drain-timeout=%s)", ln.Addr(), pprofOn, drain)
+	log.Event("listening",
+		slog.String("addr", ln.Addr().String()),
+		slog.Bool("pprof", pprofOn),
+		slog.String("drain_timeout", drain.String()))
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -104,24 +127,25 @@ func serve(listen string, pprofOn bool, drain time.Duration, cfg farm.Config, re
 		}
 		return err
 	case sig := <-sigCh:
-		log.Printf("acstabd: received %s, draining in-flight jobs (timeout %s)", sig, drain)
+		log.Event("drain_start",
+			slog.String("signal", sig.String()),
+			slog.String("drain_timeout", drain.String()))
+		start := time.Now()
 		ctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("acstabd: drain incomplete: %v", err)
+		shutdownErr := srv.Shutdown(ctx)
+		attrs := []slog.Attr{
+			slog.Bool("complete", shutdownErr == nil),
+			slog.Float64("duration_ms", float64(time.Since(start))/float64(time.Millisecond)),
 		}
-		logFinalSnapshot()
+		if shutdownErr != nil {
+			attrs = append(attrs, slog.String("error", shutdownErr.Error()))
+		}
+		log.Event("drain_end", attrs...)
+		// The final metrics snapshot rides out as one wide event so a
+		// scraped-on-interval worker does not lose the tail of its run
+		// history on shutdown.
+		log.Event("final_metrics", slog.Any("metrics", obs.Default.Snapshot()))
 		return nil
 	}
-}
-
-// logFinalSnapshot writes the closing metrics snapshot so a scraped-on-
-// interval worker does not lose the tail of its run history on shutdown.
-func logFinalSnapshot() {
-	b, err := json.Marshal(obs.Default.Snapshot())
-	if err != nil {
-		log.Printf("acstabd: final metrics snapshot failed: %v", err)
-		return
-	}
-	log.Printf("acstabd: final metrics snapshot: %s", b)
 }

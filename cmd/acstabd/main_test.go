@@ -2,12 +2,11 @@ package main
 
 import (
 	"acstab/internal/farm"
+	"acstab/internal/obs"
 	"bytes"
 	"io"
-	"log"
 	"net/http"
 	"net/http/httptest"
-	"os"
 	"strings"
 	"syscall"
 	"testing"
@@ -48,12 +47,11 @@ func TestHandlerPprofGate(t *testing.T) {
 
 func TestGracefulShutdown(t *testing.T) {
 	var logBuf bytes.Buffer
-	log.SetOutput(&logBuf)
-	defer log.SetOutput(os.Stderr)
+	events := obs.NewEventLogger(&logBuf)
 
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
-	go func() { done <- serve("127.0.0.1:0", false, 5*time.Second, farm.Config{}, ready) }()
+	go func() { done <- serve("127.0.0.1:0", false, 5*time.Second, farm.Config{}, events, ready) }()
 
 	var addr string
 	select {
@@ -79,11 +77,21 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Fatal("server did not shut down after SIGTERM")
 	}
 	logs := logBuf.String()
-	if !strings.Contains(logs, "draining in-flight jobs") {
-		t.Errorf("missing drain log:\n%s", logs)
+	for _, event := range []string{
+		`"event":"listening"`,
+		`"event":"drain_start"`,
+		`"event":"drain_end"`,
+		`"event":"final_metrics"`,
+	} {
+		if !strings.Contains(logs, event) {
+			t.Errorf("missing structured %s event:\n%s", event, logs)
+		}
 	}
-	if !strings.Contains(logs, "final metrics snapshot") {
-		t.Errorf("missing final snapshot log:\n%s", logs)
+	if !strings.Contains(logs, `"complete":true`) {
+		t.Errorf("drain_end should report complete:true:\n%s", logs)
+	}
+	if !strings.Contains(logs, `"metrics":{`) {
+		t.Errorf("final_metrics should embed the registry snapshot:\n%s", logs)
 	}
 	// The listener is closed: new connections must fail.
 	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {

@@ -1,0 +1,163 @@
+// Command benchcheck is the CI bench-regression gate: it compares fresh
+// BENCH_*.json perf-trajectory files (written by the TestEmit*BenchSummary
+// emitters) against the committed baselines in bench/baseline/ and fails
+// when any operation's ns/op regressed beyond the threshold.
+//
+// Usage:
+//
+//	benchcheck [-baseline-dir bench/baseline] [-threshold 0.30] BENCH_obs.json ...
+//	benchcheck -update BENCH_obs.json ...   # refresh the committed baselines
+//
+// A fresh file without a committed baseline is reported and passes — the
+// gate only bites once a baseline is being tracked — and operations that
+// appear or disappear are reported without failing, so adding a benchmark
+// does not require touching the gate. Improvements beyond the threshold
+// are called out too (a suspicious speedup is worth a look: the benchmark
+// may have stopped measuring the work).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// row is one benchmark operation's summary, the shared shape of every
+// BENCH_*.json emitter.
+type row struct {
+	Op          string `json:"op"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	N           int    `json:"n"`
+}
+
+// loadRows reads a BENCH_*.json file in either emitted schema: a bare row
+// array (BENCH_obs.json) or an object with a "rows" field plus counters
+// (BENCH_sparse.json, BENCH_diag.json).
+func loadRows(path string) ([]row, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []row
+	if err := json.Unmarshal(data, &rows); err == nil {
+		return rows, nil
+	}
+	var wrapped struct {
+		Rows []row `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &wrapped); err != nil {
+		return nil, fmt.Errorf("%s: neither a row array nor a {rows: ...} object: %w", path, err)
+	}
+	if wrapped.Rows == nil {
+		return nil, fmt.Errorf("%s: no rows found", path)
+	}
+	return wrapped.Rows, nil
+}
+
+// compare reports this file's regressions to w and returns how many ops
+// exceeded the threshold.
+func compare(w io.Writer, name string, baseline, fresh []row, threshold float64) int {
+	base := make(map[string]row, len(baseline))
+	for _, r := range baseline {
+		base[r.Op] = r
+	}
+	regressions := 0
+	for _, f := range fresh {
+		b, ok := base[f.Op]
+		if !ok {
+			fmt.Fprintf(w, "%s: %s: new operation (no baseline), %d ns/op\n", name, f.Op, f.NsPerOp)
+			continue
+		}
+		delete(base, f.Op)
+		if b.NsPerOp <= 0 {
+			fmt.Fprintf(w, "%s: %s: unusable baseline (%d ns/op), skipping\n", name, f.Op, b.NsPerOp)
+			continue
+		}
+		change := float64(f.NsPerOp-b.NsPerOp) / float64(b.NsPerOp)
+		switch {
+		case change > threshold:
+			regressions++
+			fmt.Fprintf(w, "%s: %s: REGRESSION %+.1f%% (%d -> %d ns/op, threshold %.0f%%)\n",
+				name, f.Op, 100*change, b.NsPerOp, f.NsPerOp, 100*threshold)
+		case change < -threshold:
+			fmt.Fprintf(w, "%s: %s: improved %+.1f%% (%d -> %d ns/op) — verify the benchmark still measures the work\n",
+				name, f.Op, 100*change, b.NsPerOp, f.NsPerOp)
+		default:
+			fmt.Fprintf(w, "%s: %s: ok %+.1f%% (%d -> %d ns/op)\n",
+				name, f.Op, 100*change, b.NsPerOp, f.NsPerOp)
+		}
+	}
+	for op := range base {
+		fmt.Fprintf(w, "%s: %s: present in baseline but not in fresh run\n", name, op)
+	}
+	return regressions
+}
+
+func run(w io.Writer, baselineDir string, threshold float64, update bool, files []string) (int, error) {
+	if len(files) == 0 {
+		return 0, fmt.Errorf("no BENCH_*.json files given")
+	}
+	totalRegressions := 0
+	for _, path := range files {
+		name := filepath.Base(path)
+		fresh, err := loadRows(path)
+		if err != nil {
+			return 0, err
+		}
+		basePath := filepath.Join(baselineDir, name)
+		if update {
+			if err := copyFile(path, basePath); err != nil {
+				return 0, err
+			}
+			fmt.Fprintf(w, "%s: baseline updated (%d ops)\n", name, len(fresh))
+			continue
+		}
+		baseline, err := loadRows(basePath)
+		if os.IsNotExist(err) {
+			fmt.Fprintf(w, "%s: no committed baseline at %s — run `benchcheck -update` to start tracking\n",
+				name, basePath)
+			continue
+		}
+		if err != nil {
+			return 0, err
+		}
+		totalRegressions += compare(w, name, baseline, fresh, threshold)
+	}
+	return totalRegressions, nil
+}
+
+func copyFile(src, dst string) error {
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(dst, data, 0o644)
+}
+
+func main() {
+	baselineDir := flag.String("baseline-dir", "bench/baseline",
+		"directory holding the committed baseline BENCH_*.json files")
+	threshold := flag.Float64("threshold", 0.30,
+		"fail when ns/op regresses beyond this fraction of the baseline")
+	update := flag.Bool("update", false,
+		"write the given files into the baseline directory instead of comparing")
+	flag.Parse()
+
+	regressions, err := run(os.Stdout, *baselineDir, *threshold, *update, flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d operation(s) regressed beyond the threshold\n", regressions)
+		os.Exit(1)
+	}
+}

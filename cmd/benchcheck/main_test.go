@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const baselineJSON = `[
+  {"op": "AllNodes", "ns_per_op": 1000000, "allocs_per_op": 10, "bytes_per_op": 100, "n": 5},
+  {"op": "SingleNode", "ns_per_op": 200000, "allocs_per_op": 5, "bytes_per_op": 50, "n": 10}
+]`
+
+func TestLoadRowsBothSchemas(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "BENCH_obs.json")
+	writeFile(t, plain, baselineJSON)
+	rows, err := loadRows(plain)
+	if err != nil || len(rows) != 2 || rows[0].Op != "AllNodes" {
+		t.Fatalf("array schema: %v %+v", err, rows)
+	}
+
+	wrapped := filepath.Join(dir, "BENCH_sparse.json")
+	writeFile(t, wrapped, `{"rows": `+baselineJSON+`, "counters": {"x": 1}}`)
+	rows, err = loadRows(wrapped)
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("wrapped schema: %v %+v", err, rows)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	writeFile(t, bad, `{"counters": {"x": 1}}`)
+	if _, err := loadRows(bad); err == nil {
+		t.Error("rows-less object should fail to load")
+	}
+}
+
+func TestRegressionGate(t *testing.T) {
+	dir := t.TempDir()
+	baseDir := filepath.Join(dir, "baseline")
+	writeFile(t, filepath.Join(baseDir, "BENCH_obs.json"), baselineJSON)
+
+	// 20% slower: within the 30% threshold.
+	fresh := filepath.Join(dir, "BENCH_obs.json")
+	writeFile(t, fresh, `[
+	  {"op": "AllNodes", "ns_per_op": 1200000, "n": 5},
+	  {"op": "SingleNode", "ns_per_op": 200000, "n": 10}
+	]`)
+	var out bytes.Buffer
+	n, err := run(&out, baseDir, 0.30, false, []string{fresh})
+	if err != nil || n != 0 {
+		t.Fatalf("20%% slowdown should pass: n=%d err=%v\n%s", n, err, out.String())
+	}
+
+	// 50% slower: fails.
+	writeFile(t, fresh, `[{"op": "AllNodes", "ns_per_op": 1500000, "n": 5}]`)
+	out.Reset()
+	n, err = run(&out, baseDir, 0.30, false, []string{fresh})
+	if err != nil || n != 1 {
+		t.Fatalf("50%% slowdown should regress: n=%d err=%v", n, err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("output should name the regression:\n%s", out.String())
+	}
+	// The op missing from the fresh run is reported, not failed.
+	if !strings.Contains(out.String(), "SingleNode") {
+		t.Errorf("missing op should be reported:\n%s", out.String())
+	}
+}
+
+func TestMissingBaselinePassesWithWarning(t *testing.T) {
+	dir := t.TempDir()
+	fresh := filepath.Join(dir, "BENCH_new.json")
+	writeFile(t, fresh, `[{"op": "X", "ns_per_op": 100, "n": 1}]`)
+	var out bytes.Buffer
+	n, err := run(&out, filepath.Join(dir, "baseline"), 0.30, false, []string{fresh})
+	if err != nil || n != 0 {
+		t.Fatalf("missing baseline must pass: n=%d err=%v", n, err)
+	}
+	if !strings.Contains(out.String(), "no committed baseline") {
+		t.Errorf("should warn about the missing baseline:\n%s", out.String())
+	}
+}
+
+func TestUpdateWritesBaseline(t *testing.T) {
+	dir := t.TempDir()
+	baseDir := filepath.Join(dir, "baseline")
+	fresh := filepath.Join(dir, "BENCH_obs.json")
+	writeFile(t, fresh, baselineJSON)
+	var out bytes.Buffer
+	if _, err := run(&out, baseDir, 0.30, true, []string{fresh}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := loadRows(filepath.Join(baseDir, "BENCH_obs.json"))
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("baseline not written: %v %+v", err, rows)
+	}
+	// A rerun against the just-written baseline is a clean pass.
+	out.Reset()
+	n, err := run(&out, baseDir, 0.30, false, []string{fresh})
+	if err != nil || n != 0 {
+		t.Fatalf("identical run vs its own baseline: n=%d err=%v", n, err)
+	}
+}
+
+func TestNewOperationPasses(t *testing.T) {
+	dir := t.TempDir()
+	baseDir := filepath.Join(dir, "baseline")
+	writeFile(t, filepath.Join(baseDir, "BENCH_obs.json"), baselineJSON)
+	fresh := filepath.Join(dir, "BENCH_obs.json")
+	writeFile(t, fresh, `[
+	  {"op": "AllNodes", "ns_per_op": 1000000, "n": 5},
+	  {"op": "SingleNode", "ns_per_op": 200000, "n": 10},
+	  {"op": "BrandNew", "ns_per_op": 999999999, "n": 1}
+	]`)
+	var out bytes.Buffer
+	n, err := run(&out, baseDir, 0.30, false, []string{fresh})
+	if err != nil || n != 0 {
+		t.Fatalf("new op must not fail the gate: n=%d err=%v", n, err)
+	}
+	if !strings.Contains(out.String(), "new operation") {
+		t.Errorf("new op should be reported:\n%s", out.String())
+	}
+}

@@ -553,6 +553,7 @@ func (fz *acFactorizer) at(omega float64, b []complex128) (cSolver, error) {
 			// the cache for future sweeps and run out this one on full
 			// factorizations.
 			mACPatternDrift.Inc()
+			s.Trace.Add("ac_pattern_drift", 1)
 			s.acShared().invalidate()
 			fz.sym = nil
 			fz.kind = solveKindPatternDrift

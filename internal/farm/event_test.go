@@ -1,0 +1,261 @@
+package farm
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"acstab/internal/obs"
+)
+
+// decodeEvents unmarshals every retained wide event of the logger, keeping
+// only events with the given name ("" keeps all).
+func decodeEvents(t *testing.T, log *obs.EventLogger, name string) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, se := range log.Events(0, 0) {
+		var ev map[string]any
+		if err := json.Unmarshal(se.Event, &ev); err != nil {
+			t.Fatalf("stored event is not JSON: %v\n%s", err, se.Event)
+		}
+		if name == "" || ev["event"] == name {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestRunEmitsExactlyOneWideEvent is the canonical-event contract: one
+// /run request produces exactly one "run" event — no separate middleware
+// line — carrying the outcome, wall time, sweep volume, and solver-counter
+// deltas, correlated with the flight recorder by trace_id.
+func TestRunEmitsExactlyOneWideEvent(t *testing.T) {
+	log := obs.NewEventLogger(nil)
+	srv := httptest.NewServer(NewHandler(Config{Log: log}))
+	defer srv.Close()
+
+	code, _ := postJSON(t, srv,
+		`{"netlist":"`+strings.ReplaceAll(tankNetlist, "\n", `\n`)+`","trace_id":"tr-wide-1"}`)
+	if code != 200 {
+		t.Fatalf("run failed with %d", code)
+	}
+
+	all := decodeEvents(t, log, "")
+	if len(all) != 1 {
+		t.Fatalf("one /run request must produce exactly one event, got %d: %v", len(all), all)
+	}
+	ev := all[0]
+	if ev["event"] != "run" {
+		t.Fatalf("event name %v, want run", ev["event"])
+	}
+	if ev["outcome"] != "ok" || ev["status"] != float64(200) {
+		t.Errorf("outcome/status = %v/%v", ev["outcome"], ev["status"])
+	}
+	if ev["trace_id"] != "tr-wide-1" {
+		t.Errorf("trace_id = %v", ev["trace_id"])
+	}
+	if dur, ok := ev["duration_ms"].(float64); !ok || dur <= 0 {
+		t.Errorf("duration_ms = %v", ev["duration_ms"])
+	}
+	// Sweep volume and result shape ride on the event.
+	if n, ok := ev["nodes"].(float64); !ok || n < 1 {
+		t.Errorf("nodes = %v, want >= 1", ev["nodes"])
+	}
+	if fp, ok := ev["freq_points"].(float64); !ok || fp <= 0 {
+		t.Errorf("freq_points = %v", ev["freq_points"])
+	}
+	if _, ok := ev["peaks"].(float64); !ok {
+		t.Errorf("peaks missing: %v", ev)
+	}
+	// Solver-counter deltas for this run, nested under "solver".
+	solver, ok := ev["solver"].(map[string]any)
+	if !ok {
+		t.Fatalf("solver deltas missing: %v", ev)
+	}
+	if v, ok := solver["ac_solves"].(float64); !ok || v <= 0 {
+		t.Errorf("solver.ac_solves = %v, want > 0", solver["ac_solves"])
+	}
+
+	// Correlation: the event's request_id and trace_id match the flight
+	// recorder's entry for the same run.
+	resp, err := srv.Client().Get(srv.URL + "/debug/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Runs []obs.RunSummary `json:"runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listing.Runs) != 1 {
+		t.Fatalf("flight recorder has %d runs, want 1", len(listing.Runs))
+	}
+	rec := listing.Runs[0]
+	if rec.TraceID != "tr-wide-1" || ev["request_id"] != rec.ID {
+		t.Errorf("event (request_id=%v trace_id=%v) does not correlate with recorder (%s, %s)",
+			ev["request_id"], ev["trace_id"], rec.ID, rec.TraceID)
+	}
+}
+
+func TestRunWideEventOnErrorPaths(t *testing.T) {
+	log := obs.NewEventLogger(nil)
+	srv := httptest.NewServer(NewHandler(Config{Log: log}))
+	defer srv.Close()
+
+	// Malformed body: still exactly one canonical event, outcome bad_json.
+	if code, _ := postJSON(t, srv, "{not json"); code != 400 {
+		t.Fatalf("bad JSON should 400, got %d", code)
+	}
+	// Broken netlist: a run-level failure.
+	if code, _ := postJSON(t, srv, `{"netlist":"broken\nZZ\n"}`); code != 422 {
+		t.Fatalf("broken netlist should 422, got %d", code)
+	}
+
+	runs := decodeEvents(t, log, "run")
+	if len(runs) != 2 {
+		t.Fatalf("2 requests must produce 2 run events, got %d", len(runs))
+	}
+	if runs[0]["outcome"] != CodeBadJSON {
+		t.Errorf("first outcome = %v, want %s", runs[0]["outcome"], CodeBadJSON)
+	}
+	if runs[1]["outcome"] == "ok" || runs[1]["error"] == nil {
+		t.Errorf("failed run event lacks outcome/error: %v", runs[1])
+	}
+	for _, ev := range runs {
+		if ev["request_id"] == nil || ev["request_id"] == "" {
+			t.Errorf("error event lacks request_id: %v", ev)
+		}
+	}
+}
+
+func TestMiddlewareEventsForNonRunRoutes(t *testing.T) {
+	log := obs.NewEventLogger(nil)
+	srv := httptest.NewServer(NewHandler(Config{Log: log}))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	https := decodeEvents(t, log, "http")
+	if len(https) != 1 {
+		t.Fatalf("got %d http events, want 1", len(https))
+	}
+	if https[0]["path"] != "/healthz" || https[0]["status"] != float64(200) {
+		t.Errorf("http event = %v", https[0])
+	}
+}
+
+func TestDebugRunsFilters(t *testing.T) {
+	log := obs.NewEventLogger(nil)
+	srv := httptest.NewServer(NewHandler(Config{Log: log}))
+	defer srv.Close()
+
+	good := `{"netlist":"` + strings.ReplaceAll(tankNetlist, "\n", `\n`) + `"}`
+	for i := 0; i < 2; i++ {
+		if code, body := postJSON(t, srv, good); code != 200 {
+			t.Fatalf("run %d failed: %d %s", i, code, body)
+		}
+	}
+	if code, _ := postJSON(t, srv, `{"netlist":"broken\nZZ\n"}`); code != 422 {
+		t.Fatal("broken netlist should 422")
+	}
+
+	list := func(query string) []obs.RunSummary {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + "/debug/runs" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var listing struct {
+			Runs []obs.RunSummary `json:"runs"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+			t.Fatal(err)
+		}
+		return listing.Runs
+	}
+
+	if runs := list(""); len(runs) != 3 {
+		t.Fatalf("unfiltered listing has %d runs, want 3", len(runs))
+	}
+	oks := list("?outcome=ok")
+	if len(oks) != 2 {
+		t.Fatalf("outcome=ok returned %d runs, want 2", len(oks))
+	}
+	for _, r := range oks {
+		if r.Outcome != "ok" {
+			t.Errorf("outcome=ok returned %q", r.Outcome)
+		}
+	}
+	errs := list("?outcome=error")
+	if len(errs) != 1 || errs[0].Outcome == "ok" {
+		t.Fatalf("outcome=error = %+v, want the one failed run", errs)
+	}
+	if runs := list("?n=1"); len(runs) != 1 {
+		t.Fatalf("n=1 returned %d runs", len(runs))
+	}
+	if runs := list("?outcome=ok&n=1"); len(runs) != 1 || runs[0].Outcome != "ok" {
+		t.Fatalf("combined filter = %+v", runs)
+	}
+	if runs := list("?outcome=shed"); len(runs) != 0 {
+		t.Fatalf("outcome=shed should match nothing here, got %d", len(runs))
+	}
+}
+
+func TestDebugEventsPaging(t *testing.T) {
+	log := obs.NewEventLogger(nil)
+	srv := httptest.NewServer(NewHandler(Config{Log: log}))
+	defer srv.Close()
+
+	good := `{"netlist":"` + strings.ReplaceAll(tankNetlist, "\n", `\n`) + `"}`
+	for i := 0; i < 3; i++ {
+		if code, _ := postJSON(t, srv, good); code != 200 {
+			t.Fatal("run failed")
+		}
+	}
+
+	get := func(query string) EventsPage {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + "/debug/events" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var page EventsPage
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			t.Fatal(err)
+		}
+		return page
+	}
+
+	first := get("")
+	if len(first.Events) < 3 {
+		t.Fatalf("retained %d events, want >= 3 run events", len(first.Events))
+	}
+	if first.Next != first.Events[len(first.Events)-1].Seq {
+		t.Errorf("next cursor %d != newest seq %d", first.Next, first.Events[len(first.Events)-1].Seq)
+	}
+	// Resuming from the cursor sees only what happened since (the GET
+	// /debug/events above itself logged one http event).
+	second := get("?since=" + jsonNum(first.Next))
+	for _, se := range second.Events {
+		if se.Seq <= first.Next {
+			t.Errorf("cursor leak: seq %d <= since %d", se.Seq, first.Next)
+		}
+	}
+	if limited := get("?n=2"); len(limited.Events) != 2 {
+		t.Errorf("n=2 returned %d events", len(limited.Events))
+	}
+}
+
+// jsonNum renders an int64 for a query string.
+func jsonNum(v int64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"runtime"
@@ -138,8 +139,15 @@ type Config struct {
 	// worker keeps the last RecentRuns run records (trace, outcome, wall
 	// time). 0 selects obs.DefaultRecentRuns.
 	RecentRuns int
-	// Logf is the request-log sink (nil selects log.Printf).
-	Logf obs.Logf
+	// Log is the wide-event sink: one canonical JSON event per /run
+	// request (plus "http" events for the other routes), also served at
+	// GET /debug/events for fleet tailing. Nil selects obs.StderrEvents.
+	Log *obs.EventLogger
+	// SLO sets the worker's objective scoring (zero values select the
+	// obs.SLOConfig defaults: 30s latency objective, 99% success target,
+	// 95% latency target, 5m/1h windows). Scores are served in /statusz
+	// and as acstab_slo_* gauges.
+	SLO obs.SLOConfig
 }
 
 // withDefaults fills zero fields with the documented defaults.
@@ -156,15 +164,21 @@ func (c Config) withDefaults() Config {
 	if c.RecentRuns <= 0 {
 		c.RecentRuns = obs.DefaultRecentRuns
 	}
+	if c.Log == nil {
+		c.Log = obs.StderrEvents
+	}
 	return c
 }
 
-// server is one worker's HTTP state: its config, admission semaphore, and
-// flight recorder.
+// server is one worker's HTTP state: its config, admission semaphore,
+// flight recorder, wide-event log, and SLO tracker.
 type server struct {
 	cfg   Config
 	sem   chan struct{}
 	rec   *obs.Recorder
+	log   *obs.EventLogger
+	slo   *obs.SLOTracker
+	build obs.BuildInfo
 	start time.Time
 }
 
@@ -187,14 +201,28 @@ func NewHandler(cfg Config) http.Handler {
 	}
 	s.sem = make(chan struct{}, s.cfg.MaxConcurrent)
 	s.rec = obs.NewRecorder(s.cfg.RecentRuns)
+	s.log = s.cfg.Log
+	s.slo = obs.NewSLOTracker(s.cfg.SLO)
+	s.build = obs.RegisterBuildInfo()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", handleHealthz)
 	mux.HandleFunc("/run", s.handleRun)
-	mux.Handle("/metrics", obs.MetricsHandler())
+	// SLO gauges are recomputed at scrape time so a quiet worker's scores
+	// age out instead of freezing at the last request's values.
+	mux.Handle("/metrics", s.refreshSLO(obs.MetricsHandler()))
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/debug/runs", s.handleDebugRuns)
 	mux.HandleFunc("/debug/runs/", s.handleDebugRuns)
-	return obs.Middleware(mux, s.cfg.Logf)
+	mux.HandleFunc("/debug/events", s.handleDebugEvents)
+	return obs.Middleware(mux, s.log)
+}
+
+// refreshSLO republishes the acstab_slo_* gauges before serving next.
+func (s *server) refreshSLO(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.slo.Snapshot().PublishGauges()
+		next.ServeHTTP(w, r)
+	})
 }
 
 func handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -257,8 +285,39 @@ func decodeRequest(body []byte) (*Request, int, string, error) {
 	return &req, 0, "", nil
 }
 
+// runEvent accumulates the fields of the one canonical wide event a /run
+// request emits: whatever path the request takes — served, shed, rejected,
+// aborted — exactly one "run" event with the full context leaves the
+// worker, correlated with the flight recorder by request_id and with the
+// caller by trace_id.
+type runEvent struct {
+	requestID  string
+	traceID    string
+	outcome    string
+	status     int
+	errMsg     string
+	run        *obs.Run
+	req        *Request
+	retryAfter time.Duration
+}
+
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ev := &runEvent{}
+	defer func() {
+		dur := time.Since(start)
+		s.emitRunEvent(ev, dur)
+		// SLO scoring: a client that hung up (499) is excluded; client
+		// errors (4xx: bad JSON, unknown node, non-convergent circuit)
+		// count as served — the worker answered definitively — while
+		// sheds (429), deadlines (504), and 5xx burn the error budget.
+		if ev.status != 499 {
+			good := ev.status < 500 && ev.status != http.StatusTooManyRequests
+			s.slo.Record(good, dur)
+		}
+	}()
 	if r.Method != http.MethodPost {
+		ev.outcome, ev.status = CodeMethodNotAllowed, http.StatusMethodNotAllowed
 		writeErr(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
 		return
 	}
@@ -269,7 +328,10 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		defer func() { <-s.sem }()
 	default:
 		mShed.Inc()
-		s.rec.Begin("run", "", nil).Finish("shed")
+		rec := s.rec.Begin("run", "", nil)
+		rec.Finish("shed")
+		ev.requestID, ev.outcome, ev.status = rec.ID(), "shed", http.StatusTooManyRequests
+		ev.retryAfter = s.cfg.RetryAfter
 		w.Header().Set("Retry-After",
 			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 		writeErr(w, http.StatusTooManyRequests, CodeOverloaded,
@@ -280,16 +342,21 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	defer mJobsInflight.Dec()
 	body, err := io.ReadAll(io.LimitReader(r.Body, MaxNetlistBytes+4096))
 	if err != nil {
-		s.rec.Begin("run", "", nil).Finish(CodeBadJSON)
+		rec := s.rec.Begin("run", "", nil)
+		rec.Finish(CodeBadJSON)
+		ev.requestID, ev.outcome, ev.status, ev.errMsg = rec.ID(), CodeBadJSON, http.StatusBadRequest, err.Error()
 		writeErr(w, http.StatusBadRequest, CodeBadJSON, err.Error())
 		return
 	}
 	req, status, code, err := decodeRequest(body)
 	if err != nil {
-		s.rec.Begin("run", "", nil).Finish(code)
+		rec := s.rec.Begin("run", "", nil)
+		rec.Finish(code)
+		ev.requestID, ev.outcome, ev.status, ev.errMsg = rec.ID(), code, status, err.Error()
 		writeErr(w, status, code, err.Error())
 		return
 	}
+	ev.req, ev.traceID = req, req.TraceID
 
 	// Per-request deadline: client ask capped by the server maximum;
 	// the context also dies when the client disconnects, so an
@@ -308,15 +375,18 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// partial trace at GET /debug/runs/<id>.
 	run := obs.StartRun("farm/run")
 	rec := s.rec.Begin("run", req.TraceID, run)
+	ev.requestID, ev.run = rec.ID(), run
 	out, contentType, err := runTraced(ctx, req, run)
 	run.Finish()
 	if err != nil {
 		status, code := classifyRunError(r, err)
 		rec.Finish(runOutcome(code))
+		ev.outcome, ev.status, ev.errMsg = runOutcome(code), status, err.Error()
 		writeErr(w, status, code, err.Error())
 		return
 	}
 	rec.Finish("ok")
+	ev.outcome, ev.status = "ok", http.StatusOK
 	if req.CollectTrace {
 		tr := run.Trace()
 		w.Header().Set(TraceHeader, "1")
@@ -334,6 +404,62 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	w.Write(out)
 }
 
+// emitRunEvent writes the request's canonical wide event: identity
+// (request_id, trace_id), outcome and HTTP status, wall time, the sweep
+// volume and result shape (nodes, frequency points, peaks, loops), and
+// the per-run solver-counter deltas from the run trace (factorizations,
+// refactorizations, fallbacks, pattern drift, diag rows visited, ...) so
+// fleet-level log queries like "which runs fell off the refactor fast
+// path" need no metric join.
+func (s *server) emitRunEvent(ev *runEvent, dur time.Duration) {
+	attrs := []slog.Attr{
+		slog.String("request_id", ev.requestID),
+		slog.String("outcome", ev.outcome),
+		slog.Int("status", ev.status),
+		slog.Float64("duration_ms", float64(dur)/float64(time.Millisecond)),
+	}
+	if ev.traceID != "" {
+		attrs = append(attrs, slog.String("trace_id", ev.traceID))
+	}
+	if ev.req != nil {
+		attrs = append(attrs, slog.Int("netlist_bytes", len(ev.req.Netlist)))
+		if ev.req.Node != "" {
+			attrs = append(attrs, slog.String("node", ev.req.Node))
+		}
+		if ev.req.Format != "" {
+			attrs = append(attrs, slog.String("format", ev.req.Format))
+		}
+	}
+	if ev.retryAfter > 0 {
+		attrs = append(attrs,
+			slog.Float64("retry_after_s", ev.retryAfter.Seconds()),
+			slog.Int("max_concurrent", s.cfg.MaxConcurrent))
+	}
+	if ev.errMsg != "" {
+		attrs = append(attrs, slog.String("error", ev.errMsg))
+	}
+	if ev.run != nil {
+		tc := ev.run.Trace().Counters
+		attrs = append(attrs,
+			slog.Int64("nodes", tc["sweep_nodes"]),
+			slog.Int64("freq_points", tc["sweep_freq_points"]),
+			slog.Int64("peaks", tc["peaks"]),
+			slog.Int64("loops", tc["loops"]))
+		solver := map[string]int64{}
+		for k, v := range tc {
+			switch k {
+			case "sweep_nodes", "sweep_freq_points", "peaks", "loops":
+			default:
+				solver[k] = v
+			}
+		}
+		if len(solver) > 0 {
+			attrs = append(attrs, slog.Any("solver", solver))
+		}
+	}
+	s.log.Event("run", attrs...)
+}
+
 // runOutcome maps an error code to the flight-recorder outcome word.
 func runOutcome(code string) string {
 	switch code {
@@ -348,6 +474,8 @@ func runOutcome(code string) string {
 // handleDebugRuns serves the flight recorder: GET /debug/runs lists
 // recent runs (newest first, in-flight runs marked running) and GET
 // /debug/runs/<id> returns one run's full record including its trace.
+// The listing accepts ?outcome=<ok|error|canceled|deadline|shed> (error
+// matches any error-code outcome) and ?n=<limit>.
 func (s *server) handleDebugRuns(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
@@ -356,6 +484,21 @@ func (s *server) handleDebugRuns(w http.ResponseWriter, r *http.Request) {
 	id := strings.TrimPrefix(strings.TrimPrefix(r.URL.Path, "/debug/runs"), "/")
 	if id == "" {
 		runs := s.rec.List()
+		q := r.URL.Query()
+		if outcome := q.Get("outcome"); outcome != "" {
+			kept := runs[:0]
+			for _, rs := range runs {
+				if outcomeMatches(rs.Outcome, outcome) {
+					kept = append(kept, rs)
+				}
+			}
+			runs = kept
+		}
+		if nStr := q.Get("n"); nStr != "" {
+			if n, err := strconv.Atoi(nStr); err == nil && n >= 0 && n < len(runs) {
+				runs = runs[:n]
+			}
+		}
 		if runs == nil {
 			runs = []obs.RunSummary{}
 		}
@@ -377,6 +520,58 @@ func (s *server) handleDebugRuns(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(det)
+}
+
+// outcomeMatches implements the ?outcome= filter vocabulary: the literal
+// outcomes pass through, and "error" matches any machine error code (a
+// run that failed for a reason other than cancelation, deadline, or
+// shedding). In-flight runs only match an explicit "running" filter.
+func outcomeMatches(outcome, filter string) bool {
+	if filter == "error" {
+		switch outcome {
+		case "ok", "canceled", "deadline", "shed", "running":
+			return false
+		}
+		return true
+	}
+	return outcome == filter
+}
+
+// EventsPage is the GET /debug/events response: the retained wide events
+// after the caller's cursor plus the cursor to resume from. acstabctl
+// tail polls this per worker to follow a fleet's events.
+type EventsPage struct {
+	// Next is the sequence cursor for the follow-up request's ?since=.
+	Next int64 `json:"next"`
+	// Events are the stored events, oldest first.
+	Events []obs.StoredEvent `json:"events"`
+}
+
+// handleDebugEvents serves the wide-event ring: GET /debug/events
+// returns events with sequence numbers above ?since= (0 = everything
+// retained), at most ?n= of them.
+func (s *server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	since, _ := strconv.ParseInt(q.Get("since"), 10, 64)
+	limit, _ := strconv.Atoi(q.Get("n"))
+	evs := s.log.Events(since, limit)
+	page := EventsPage{Events: evs}
+	if len(evs) > 0 {
+		page.Next = evs[len(evs)-1].Seq
+	} else {
+		// Nothing after the cursor: advance past evictions (and clamp a
+		// stale cursor from a restarted worker) to the newest sequence.
+		page.Next = s.log.Seq()
+	}
+	if page.Events == nil {
+		page.Events = []obs.StoredEvent{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(page)
 }
 
 // classifyRunError maps a job failure to its HTTP status and error code,
@@ -522,9 +717,18 @@ type Statusz struct {
 	// solves, Newton iterations, operating-point solves, MNA compiles).
 	Solver  map[string]int64 `json:"solver,omitempty"`
 	Workers StatuszWorkers   `json:"workers"`
+	// Build identifies the binary (version, toolchain, VCS revision) so a
+	// fleet poller can tell mixed-version fleets apart.
+	Build obs.BuildInfo `json:"build"`
+	// SLO scores the worker against its availability and latency
+	// objectives over the configured rolling windows, with the
+	// multi-window burn-rate health verdict.
+	SLO obs.SLOSnapshot `json:"slo"`
 	// DebugRunsURL points at the worker's flight recorder (GET lists
 	// recent runs; append /<id> for one run's full trace).
 	DebugRunsURL string `json:"debug_runs_url,omitempty"`
+	// DebugEventsURL points at the worker's wide-event ring.
+	DebugEventsURL string `json:"debug_events_url,omitempty"`
 }
 
 // StatuszOverload reports the request-shedding state of the worker.
@@ -614,6 +818,10 @@ func (s *server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	enc.SetIndent("", "  ")
 	st := statuszFrom(obs.Default.Snapshot(), time.Since(s.start), s.cfg)
 	st.DebugRunsURL = "/debug/runs"
+	st.DebugEventsURL = "/debug/events"
+	st.Build = s.build
+	st.SLO = s.slo.Snapshot()
+	st.SLO.PublishGauges()
 	enc.Encode(st)
 }
 

@@ -1,0 +1,364 @@
+// Package fleet federates the observability surfaces of N acstabd
+// workers into one view: it polls each worker's full-fidelity metrics
+// export (GET /metrics?format=json) and status snapshot (GET /statusz),
+// merges counters and log-scale histograms exactly (bucket vectors are
+// summed, so fleet quantiles come from merged buckets rather than
+// averaged estimates), tracks per-worker up/down/stale state, and scores
+// fleet-wide SLOs by summing the per-worker window tallies. It is the
+// fleet map a shard coordinator schedules on and the data source of the
+// acstabctl status/top/tail subcommands.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"acstab/internal/farm"
+	"acstab/internal/obs"
+)
+
+// Config tunes a fleet poller.
+type Config struct {
+	// Workers are the worker base URLs, e.g. "http://farm-3:8080".
+	Workers []string
+	// HTTPClient overrides the transport (nil selects a client with
+	// Timeout as its per-request limit).
+	HTTPClient *http.Client
+	// Timeout bounds each poll request when HTTPClient is nil. 0 selects 5s.
+	Timeout time.Duration
+	// StaleAfter marks a worker stale when its last successful poll is
+	// older than this. 0 selects 30s.
+	StaleAfter time.Duration
+	// Interval is the Run loop's poll period. 0 selects 5s.
+	Interval time.Duration
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout <= 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = 30 * time.Second
+	}
+	if c.Interval <= 0 {
+		c.Interval = 5 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// workerState is the poller's record of one worker.
+type workerState struct {
+	url      string
+	up       bool
+	lastOK   time.Time
+	lastErr  string
+	failures int
+	export   obs.Export
+	statusz  farm.Statusz
+	// eventCursor is the /debug/events sequence the next PollEvents
+	// resumes from.
+	eventCursor int64
+}
+
+// Fleet polls a set of workers and serves the merged view. Safe for
+// concurrent use: Poll/PollEvents mutate under the lock, Snapshot reads.
+type Fleet struct {
+	cfg Config
+	hc  *http.Client
+
+	mu      sync.Mutex
+	workers []*workerState
+}
+
+// New returns a fleet poller over the configured workers. No polling has
+// happened yet: every worker starts down until the first Poll.
+func New(cfg Config) *Fleet {
+	cfg = cfg.withDefaults()
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: cfg.Timeout}
+	}
+	f := &Fleet{cfg: cfg, hc: hc}
+	for _, u := range cfg.Workers {
+		f.workers = append(f.workers, &workerState{url: strings.TrimRight(u, "/")})
+	}
+	return f
+}
+
+// getJSON fetches url and decodes the JSON body into out.
+func (f *Fleet) getJSON(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s returned %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Poll runs one federation round: every worker's /metrics?format=json and
+// /statusz are fetched concurrently and the per-worker states updated. A
+// worker that fails either fetch is marked down with the error retained;
+// its last good data is kept so a transient blip does not blank the view.
+func (f *Fleet) Poll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, w := range f.workers {
+		wg.Add(1)
+		go func(w *workerState) {
+			defer wg.Done()
+			var ex obs.Export
+			var st farm.Statusz
+			err := f.getJSON(ctx, w.url+"/metrics?format=json", &ex)
+			if err == nil {
+				err = f.getJSON(ctx, w.url+"/statusz", &st)
+			}
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			if err != nil {
+				w.up = false
+				w.failures++
+				w.lastErr = err.Error()
+				return
+			}
+			w.up = true
+			w.failures = 0
+			w.lastErr = ""
+			w.lastOK = f.cfg.now()
+			w.export = ex
+			w.statusz = st
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Run polls at the configured interval until ctx is done.
+func (f *Fleet) Run(ctx context.Context) {
+	t := time.NewTicker(f.cfg.Interval)
+	defer t.Stop()
+	for {
+		f.Poll(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// WorkerView is one worker's row in the fleet view.
+type WorkerView struct {
+	URL string `json:"url"`
+	// Up reports whether the last poll succeeded.
+	Up bool `json:"up"`
+	// Stale marks an up-worker whose last successful poll is older than
+	// the configured staleness bound (the poller itself fell behind, or
+	// the worker stopped answering between rounds).
+	Stale bool `json:"stale,omitempty"`
+	// LastSeenAgoSeconds is the age of the last successful poll (-1 if
+	// never seen).
+	LastSeenAgoSeconds float64 `json:"last_seen_ago_seconds"`
+	// Err is the last poll error (empty when up).
+	Err string `json:"err,omitempty"`
+	// UptimeSeconds / JobsInflight / RunsTotal / RunErrors / SweepBusy
+	// mirror the worker's /statusz.
+	UptimeSeconds float64 `json:"uptime_seconds,omitempty"`
+	JobsInflight  float64 `json:"jobs_inflight,omitempty"`
+	RunsTotal     int64   `json:"runs_total,omitempty"`
+	RunErrors     int64   `json:"run_errors_total,omitempty"`
+	Shed          int64   `json:"shed_total,omitempty"`
+	// Build identifies the worker's binary; a fleet of mixed revisions is
+	// visible here.
+	Build obs.BuildInfo `json:"build"`
+	// SLOHealth is the worker's own multi-window verdict.
+	SLOHealth string `json:"slo_health,omitempty"`
+}
+
+// View is the merged fleet snapshot.
+type View struct {
+	// Workers lists every configured worker's state, in configuration
+	// order.
+	Workers []WorkerView `json:"workers"`
+	// UpCount counts workers whose last poll succeeded.
+	UpCount int `json:"up_count"`
+	// Merged holds the fleet-wide metric totals: counters and gauges
+	// summed, histograms bucket-merged, across the workers currently up.
+	Merged obs.Export `json:"merged"`
+	// UnmergeableHistograms names histograms whose bucket layouts differ
+	// across workers; their merged entries hold only the first-seen
+	// layout's data.
+	UnmergeableHistograms []string `json:"unmergeable_histograms,omitempty"`
+	// SLO is the fleet-wide score: per-window tallies summed across
+	// workers, ratios and burn rates recomputed from the sums, health
+	// from the merged windows.
+	SLO obs.SLOSnapshot `json:"slo"`
+}
+
+// Snapshot assembles the merged fleet view from the latest polled state.
+func (f *Fleet) Snapshot() View {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	now := f.cfg.now()
+	view := View{
+		Merged: obs.Export{
+			Counters:   map[string]int64{},
+			Gauges:     map[string]float64{},
+			Histograms: map[string]obs.HistogramData{},
+		},
+	}
+	unmergeable := map[string]bool{}
+	sloWindows := map[float64]*obs.SLOWindow{}
+	var sloOrder []float64
+	var successTarget, latencyTarget float64
+
+	for _, w := range f.workers {
+		wv := WorkerView{URL: w.url, Up: w.up, Err: w.lastErr, LastSeenAgoSeconds: -1}
+		if !w.lastOK.IsZero() {
+			age := now.Sub(w.lastOK)
+			wv.LastSeenAgoSeconds = age.Seconds()
+			wv.Stale = age > f.cfg.StaleAfter
+		}
+		if w.up {
+			view.UpCount++
+			st := w.statusz
+			wv.UptimeSeconds = st.UptimeSeconds
+			wv.JobsInflight = st.JobsInflight
+			wv.RunsTotal = st.RunsTotal
+			wv.RunErrors = st.RunErrors
+			wv.Shed = st.Overload.Shed
+			wv.Build = st.Build
+			wv.SLOHealth = st.SLO.Health
+
+			for name, v := range w.export.Counters {
+				view.Merged.Counters[name] += v
+			}
+			for name, v := range w.export.Gauges {
+				view.Merged.Gauges[name] += v
+			}
+			for name, h := range w.export.Histograms {
+				have, ok := view.Merged.Histograms[name]
+				if !ok {
+					cp := h
+					cp.Counts = append([]int64(nil), h.Counts...)
+					view.Merged.Histograms[name] = cp
+					continue
+				}
+				if !have.Merge(h) {
+					unmergeable[name] = true
+				} else {
+					view.Merged.Histograms[name] = have
+				}
+			}
+
+			if successTarget == 0 && st.SLO.SuccessTarget > 0 {
+				successTarget, latencyTarget = st.SLO.SuccessTarget, st.SLO.LatencyTarget
+				view.SLO.LatencyObjectiveSeconds = st.SLO.LatencyObjectiveSeconds
+			}
+			for _, win := range st.SLO.Windows {
+				agg, ok := sloWindows[win.Window]
+				if !ok {
+					agg = &obs.SLOWindow{Window: win.Window}
+					sloWindows[win.Window] = agg
+					sloOrder = append(sloOrder, win.Window)
+				}
+				agg.Total += win.Total
+				agg.Good += win.Good
+				agg.Fast += win.Fast
+			}
+		}
+		view.Workers = append(view.Workers, wv)
+	}
+
+	sort.Float64s(sloOrder)
+	view.SLO.SuccessTarget, view.SLO.LatencyTarget = successTarget, latencyTarget
+	for _, key := range sloOrder {
+		win := *sloWindows[key]
+		obs.ScoreWindow(&win, successTarget, latencyTarget)
+		view.SLO.Windows = append(view.SLO.Windows, win)
+	}
+	view.SLO.Health = obs.HealthFromWindows(view.SLO.Windows)
+	if view.UpCount == 0 {
+		view.SLO.Health = "down"
+	}
+	for name := range unmergeable {
+		view.UnmergeableHistograms = append(view.UnmergeableHistograms, name)
+	}
+	sort.Strings(view.UnmergeableHistograms)
+	return view
+}
+
+// WorkerEvent is one wide event attributed to the worker that emitted it.
+type WorkerEvent struct {
+	Worker string          `json:"worker"`
+	Seq    int64           `json:"seq"`
+	Event  json.RawMessage `json:"event"`
+}
+
+// PollEvents fetches each worker's wide events since the fleet's
+// per-worker cursors (GET /debug/events?since=...), advances the cursors,
+// and returns the new events grouped by worker in configuration order.
+// The first call returns each worker's whole retained ring; subsequent
+// calls return only what is new — tail -f over the fleet.
+func (f *Fleet) PollEvents(ctx context.Context) []WorkerEvent {
+	type result struct {
+		idx  int
+		page farm.EventsPage
+		err  error
+	}
+	f.mu.Lock()
+	cursors := make([]int64, len(f.workers))
+	urls := make([]string, len(f.workers))
+	for i, w := range f.workers {
+		cursors[i], urls[i] = w.eventCursor, w.url
+	}
+	f.mu.Unlock()
+
+	results := make([]result, len(urls))
+	var wg sync.WaitGroup
+	for i := range urls {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var page farm.EventsPage
+			err := f.getJSON(ctx, fmt.Sprintf("%s/debug/events?since=%d", urls[i], cursors[i]), &page)
+			results[i] = result{idx: i, page: page, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	var out []WorkerEvent
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, res := range results {
+		if res.err != nil {
+			continue
+		}
+		w := f.workers[res.idx]
+		w.eventCursor = res.page.Next
+		for _, se := range res.page.Events {
+			out = append(out, WorkerEvent{Worker: w.url, Seq: se.Seq, Event: se.Event})
+		}
+	}
+	return out
+}

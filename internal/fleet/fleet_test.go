@@ -1,0 +1,308 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"acstab/internal/farm"
+	"acstab/internal/obs"
+)
+
+const tankNetlist = `fleet tank
+.param rq=318
+R1 t 0 {rq}
+L1 t 0 25.33u
+C1 t 0 1n
+`
+
+// worker spins up one httptest-backed farm worker with its own wide-event
+// log. NOTE: obs metrics live in the process-global Default registry, so
+// two in-process workers serve the same counters — federation assertions
+// therefore compare the merged view against the sum of the actual
+// per-worker scrapes, which is exactly the contract.
+func worker(t *testing.T) (*httptest.Server, *obs.EventLogger) {
+	t.Helper()
+	log := obs.NewEventLogger(nil)
+	srv := httptest.NewServer(farm.NewHandler(farm.Config{Log: log}))
+	t.Cleanup(srv.Close)
+	return srv, log
+}
+
+func runOn(t *testing.T, srv *httptest.Server, traceID string) {
+	t.Helper()
+	body := `{"netlist":"` + strings.ReplaceAll(tankNetlist, "\n", `\n`) + `","trace_id":"` + traceID + `"}`
+	resp, err := srv.Client().Post(srv.URL+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run on %s: status %d", srv.URL, resp.StatusCode)
+	}
+}
+
+func scrape(t *testing.T, srv *httptest.Server) obs.Export {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + "/metrics?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ex obs.Export
+	if err := json.NewDecoder(resp.Body).Decode(&ex); err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+// TestFederationEndToEnd is the acceptance e2e: two httptest-backed
+// workers, each serving /run jobs, federated by a Fleet — merged counters
+// equal the sum of the per-worker scrapes, merged histogram count/sum are
+// exact, per-worker up/stale state is reported, and each /run produced
+// exactly one wide event whose trace_id matches that worker's /debug/runs.
+func TestFederationEndToEnd(t *testing.T) {
+	srvA, logA := worker(t)
+	srvB, logB := worker(t)
+
+	runOn(t, srvA, "tr-fleet-a1")
+	runOn(t, srvA, "tr-fleet-a2")
+	runOn(t, srvB, "tr-fleet-b1")
+
+	clk := time.Unix(2_000_000, 0)
+	fl := New(Config{
+		Workers: []string{srvA.URL, srvB.URL},
+		now:     func() time.Time { return clk },
+	})
+	fl.Poll(context.Background())
+	view := fl.Snapshot()
+
+	if view.UpCount != 2 {
+		t.Fatalf("up count %d, want 2", view.UpCount)
+	}
+	for _, wk := range view.Workers {
+		if !wk.Up || wk.Stale || wk.Err != "" {
+			t.Errorf("worker %s should be up and fresh: %+v", wk.URL, wk)
+		}
+		if wk.Build.GoVersion == "" {
+			t.Errorf("worker %s is missing build identity", wk.URL)
+		}
+		if wk.SLOHealth == "" {
+			t.Errorf("worker %s is missing an SLO verdict", wk.URL)
+		}
+	}
+
+	// Merged counters = sum of per-worker scrapes, checked on counters that
+	// do not move while scraping (runs, not http request totals).
+	exA, exB := scrape(t, srvA), scrape(t, srvB)
+	for _, name := range []string{"acstab_farm_runs_total", "acstab_op_solves_total"} {
+		want := exA.Counters[name] + exB.Counters[name]
+		if got := view.Merged.Counters[name]; got != want {
+			t.Errorf("merged %s = %d, want %d (sum of scrapes)", name, got, want)
+		}
+	}
+	if view.Merged.Counters["acstab_farm_runs_total"] < 2*3 {
+		t.Errorf("runs counter too small: %d (3 runs seen by both in-process workers)",
+			view.Merged.Counters["acstab_farm_runs_total"])
+	}
+
+	// Merged histogram count and sum are exact bucket sums.
+	const phase = `acstab_phase_duration_seconds{phase="sweep"}`
+	hA, okA := exA.Histograms[phase]
+	hB, okB := exB.Histograms[phase]
+	if !okA || !okB {
+		t.Fatalf("phase histogram %s missing from scrape", phase)
+	}
+	merged, ok := view.Merged.Histograms[phase]
+	if !ok {
+		t.Fatalf("phase histogram missing from merged view")
+	}
+	if merged.Count != hA.Count+hB.Count {
+		t.Errorf("merged count %d, want %d", merged.Count, hA.Count+hB.Count)
+	}
+	if want := hA.Sum + hB.Sum; merged.Sum < want*0.999 || merged.Sum > want*1.001 {
+		t.Errorf("merged sum %g, want %g", merged.Sum, want)
+	}
+	var bucketTotal int64
+	for _, c := range merged.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != merged.Count {
+		t.Errorf("merged buckets sum to %d, count says %d", bucketTotal, merged.Count)
+	}
+	if len(view.UnmergeableHistograms) != 0 {
+		t.Errorf("same-binary workers reported unmergeable: %v", view.UnmergeableHistograms)
+	}
+
+	// Fleet SLO: per-window totals are the sum of worker totals.
+	if len(view.SLO.Windows) == 0 {
+		t.Fatal("fleet SLO has no windows")
+	}
+	// Unlike the shared metric registry, each handler has its own SLO
+	// tracker: A scored 2 requests, B scored 1, so the fleet sum is 3.
+	if view.SLO.Windows[0].Total != 3 {
+		t.Errorf("fleet SLO window total %d, want 3 (2 from A + 1 from B)", view.SLO.Windows[0].Total)
+	}
+	if view.SLO.Windows[0].Good != 3 {
+		t.Errorf("fleet SLO window good %d, want 3", view.SLO.Windows[0].Good)
+	}
+	if view.SLO.Health == "" || view.SLO.Health == "down" {
+		t.Errorf("fleet SLO health = %q", view.SLO.Health)
+	}
+
+	// Exactly one wide event per /run, trace-correlated with the worker's
+	// own flight recorder.
+	for _, wc := range []struct {
+		srv    *httptest.Server
+		log    *obs.EventLogger
+		traces []string
+	}{
+		{srvA, logA, []string{"tr-fleet-a1", "tr-fleet-a2"}},
+		{srvB, logB, []string{"tr-fleet-b1"}},
+	} {
+		var runEvents []map[string]any
+		for _, se := range wc.log.Events(0, 0) {
+			var ev map[string]any
+			if err := json.Unmarshal(se.Event, &ev); err != nil {
+				t.Fatal(err)
+			}
+			if ev["event"] == "run" {
+				runEvents = append(runEvents, ev)
+			}
+		}
+		if len(runEvents) != len(wc.traces) {
+			t.Fatalf("worker %s: %d run events for %d runs", wc.srv.URL, len(runEvents), len(wc.traces))
+		}
+		resp, err := wc.srv.Client().Get(wc.srv.URL + "/debug/runs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var listing struct {
+			Runs []obs.RunSummary `json:"runs"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		recorded := map[string]bool{}
+		for _, r := range listing.Runs {
+			recorded[r.TraceID] = true
+		}
+		for i, want := range wc.traces {
+			got, _ := runEvents[i]["trace_id"].(string)
+			if got != want {
+				t.Errorf("worker %s event %d: trace_id %q, want %q", wc.srv.URL, i, got, want)
+			}
+			if !recorded[want] {
+				t.Errorf("worker %s: trace %q not in /debug/runs", wc.srv.URL, want)
+			}
+		}
+	}
+}
+
+func TestFleetDownAndStaleWorkers(t *testing.T) {
+	srvA, _ := worker(t)
+	srvB, _ := worker(t)
+
+	clk := time.Unix(3_000_000, 0)
+	fl := New(Config{
+		Workers:    []string{srvA.URL, srvB.URL},
+		StaleAfter: 10 * time.Second,
+		now:        func() time.Time { return clk },
+	})
+	fl.Poll(context.Background())
+	if view := fl.Snapshot(); view.UpCount != 2 {
+		t.Fatalf("up count %d, want 2", view.UpCount)
+	}
+
+	// Worker B dies: next poll marks it down with the error retained,
+	// and the merged view covers only A.
+	srvB.Close()
+	fl.Poll(context.Background())
+	view := fl.Snapshot()
+	if view.UpCount != 1 {
+		t.Fatalf("up count after death %d, want 1", view.UpCount)
+	}
+	if wb := view.Workers[1]; wb.Up || wb.Err == "" {
+		t.Errorf("dead worker should be down with an error: %+v", wb)
+	}
+	if wa := view.Workers[0]; !wa.Up || wa.Stale {
+		t.Errorf("live worker misreported: %+v", wa)
+	}
+
+	// Time passes with no successful poll of A either: A turns stale.
+	clk = clk.Add(time.Minute)
+	view = fl.Snapshot()
+	if wa := view.Workers[0]; !wa.Stale {
+		t.Errorf("worker unpolled for 1m should be stale (StaleAfter=10s): %+v", wa)
+	}
+	if view.Workers[0].LastSeenAgoSeconds < 59 {
+		t.Errorf("last seen age = %g, want ~60s", view.Workers[0].LastSeenAgoSeconds)
+	}
+}
+
+func TestFleetAllDown(t *testing.T) {
+	fl := New(Config{Workers: []string{"http://127.0.0.1:1"}, Timeout: 200 * time.Millisecond})
+	fl.Poll(context.Background())
+	view := fl.Snapshot()
+	if view.UpCount != 0 {
+		t.Fatalf("up count %d, want 0", view.UpCount)
+	}
+	if view.SLO.Health != "down" {
+		t.Errorf("fleet health with nobody up = %q, want down", view.SLO.Health)
+	}
+	if view.Workers[0].LastSeenAgoSeconds != -1 {
+		t.Errorf("never-seen worker age = %g, want -1", view.Workers[0].LastSeenAgoSeconds)
+	}
+}
+
+func TestPollEventsCursors(t *testing.T) {
+	srvA, _ := worker(t)
+	srvB, _ := worker(t)
+	fl := New(Config{Workers: []string{srvA.URL, srvB.URL}})
+
+	runOn(t, srvA, "tr-tail-1")
+	runOn(t, srvB, "tr-tail-2")
+
+	first := fl.PollEvents(context.Background())
+	var runs int
+	for _, ev := range first {
+		var m map[string]any
+		if err := json.Unmarshal(ev.Event, &m); err != nil {
+			t.Fatalf("fleet event is not JSON: %v", err)
+		}
+		if m["event"] == "run" {
+			runs++
+		}
+		if ev.Worker != srvA.URL && ev.Worker != srvB.URL {
+			t.Errorf("event attributed to unknown worker %q", ev.Worker)
+		}
+	}
+	if runs != 2 {
+		t.Fatalf("first poll saw %d run events, want 2", runs)
+	}
+
+	// Nothing new (beyond the /debug/events http events the previous poll
+	// itself caused): a fresh run shows up exactly once.
+	fl.PollEvents(context.Background())
+	runOn(t, srvA, "tr-tail-3")
+	third := fl.PollEvents(context.Background())
+	runs = 0
+	for _, ev := range third {
+		var m map[string]any
+		json.Unmarshal(ev.Event, &m)
+		if m["event"] == "run" {
+			runs++
+			if m["trace_id"] != "tr-tail-3" {
+				t.Errorf("stale run event replayed: %v", m["trace_id"])
+			}
+		}
+	}
+	if runs != 1 {
+		t.Errorf("incremental poll saw %d run events, want exactly 1", runs)
+	}
+}

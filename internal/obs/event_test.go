@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventLoggerRendersWideEvents(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLogger(&buf)
+	l.Event("run",
+		slog.String("request_id", "r-1"),
+		slog.Int64("nodes", 42),
+		slog.Any("solver", map[string]int64{"ac_solves": 7}),
+	)
+
+	line := strings.TrimSpace(buf.String())
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(line), &ev); err != nil {
+		t.Fatalf("event is not one JSON object: %v\n%s", err, line)
+	}
+	if ev["event"] != "run" {
+		t.Errorf("message key should be renamed to event=run, got %v", ev["event"])
+	}
+	if _, hasLevel := ev["level"]; hasLevel {
+		t.Error("level key should be dropped from wide events")
+	}
+	if _, hasMsg := ev["msg"]; hasMsg {
+		t.Error("msg key should be renamed, not duplicated")
+	}
+	if ev["request_id"] != "r-1" || ev["nodes"] != float64(42) {
+		t.Errorf("attrs not preserved: %v", ev)
+	}
+	if solver, ok := ev["solver"].(map[string]any); !ok || solver["ac_solves"] != float64(7) {
+		t.Errorf("nested attr not preserved: %v", ev["solver"])
+	}
+	if _, hasTime := ev["time"]; !hasTime {
+		t.Error("events should be timestamped")
+	}
+}
+
+func TestEventLoggerRingAndCursor(t *testing.T) {
+	l := NewEventLogger(nil) // nil sink: the ring still records
+	for i := 0; i < 5; i++ {
+		l.Event("e", slog.Int("i", i))
+	}
+	if got := l.Seq(); got != 5 {
+		t.Fatalf("Seq = %d, want 5", got)
+	}
+
+	all := l.Events(0, 0)
+	if len(all) != 5 {
+		t.Fatalf("Events(0,0) returned %d events, want 5", len(all))
+	}
+	for i, se := range all {
+		if se.Seq != int64(i+1) {
+			t.Errorf("event %d has seq %d, want %d (oldest first)", i, se.Seq, i+1)
+		}
+		if !json.Valid(se.Event) {
+			t.Errorf("stored event %d is not valid JSON: %s", i, se.Event)
+		}
+	}
+
+	// Cursor semantics: seq > since only.
+	tail := l.Events(3, 0)
+	if len(tail) != 2 || tail[0].Seq != 4 || tail[1].Seq != 5 {
+		t.Errorf("Events(3,0) = %+v, want seqs 4,5", tail)
+	}
+	if got := l.Events(5, 0); len(got) != 0 {
+		t.Errorf("Events(at head) should be empty, got %d", len(got))
+	}
+	if got := l.Events(0, 2); len(got) != 2 || got[0].Seq != 1 {
+		t.Errorf("limit should cap from the oldest side: %+v", got)
+	}
+}
+
+func TestEventLoggerRingEviction(t *testing.T) {
+	l := NewEventLogger(nil)
+	total := DefaultRecentEvents + 10
+	for i := 0; i < total; i++ {
+		l.Event("e", slog.Int("i", i))
+	}
+	got := l.Events(0, 0)
+	if len(got) != DefaultRecentEvents {
+		t.Fatalf("ring retained %d events, want %d", len(got), DefaultRecentEvents)
+	}
+	if got[0].Seq != int64(total-DefaultRecentEvents+1) {
+		t.Errorf("oldest retained seq = %d, want %d (oldest evicted first)",
+			got[0].Seq, total-DefaultRecentEvents+1)
+	}
+	if got[len(got)-1].Seq != int64(total) {
+		t.Errorf("newest retained seq = %d, want %d", got[len(got)-1].Seq, total)
+	}
+}
+
+func TestEventLoggerConcurrentLinesDoNotInterleave(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLogger(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Event("e", slog.String("who", fmt.Sprintf("g%d-%d", g, i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 8*50 {
+		t.Fatalf("got %d lines, want %d", len(lines), 8*50)
+	}
+	for _, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("interleaved/corrupt line: %q", line)
+		}
+	}
+}
+
+func TestEventLoggerNilReceiver(t *testing.T) {
+	var l *EventLogger
+	l.Event("e") // must not panic
+	if l.Seq() != 0 || l.Events(0, 0) != nil {
+		t.Error("nil logger should report no events")
+	}
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestHistogramMergeProperty is the federation correctness property: for K
+// workers each recording its own observations, merging the K exported
+// bucket vectors must preserve the exact total count and sum, and the
+// merged quantile must lie within [min, max] of the per-worker quantiles
+// (a merged population cannot be more extreme than its most extreme part,
+// up to one bucket of interpolation slack).
+func TestHistogramMergeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		k := 2 + rng.Intn(4)
+		workers := make([]*Histogram, k)
+		var wantCount int64
+		var wantSum float64
+		for i := range workers {
+			workers[i] = newHistogram(nil)
+			n := 1 + rng.Intn(500)
+			for j := 0; j < n; j++ {
+				// Log-uniform over the bucket range, like real phase latencies.
+				v := math.Pow(10, -6+8*rng.Float64())
+				workers[i].Observe(v)
+				wantCount++
+				wantSum += v
+			}
+		}
+
+		merged := workers[0].Data()
+		merged.Counts = append([]int64(nil), merged.Counts...)
+		for _, w := range workers[1:] {
+			if !merged.Merge(w.Data()) {
+				t.Fatalf("trial %d: identical layouts reported unmergeable", trial)
+			}
+		}
+		if merged.Count != wantCount {
+			t.Fatalf("trial %d: merged count %d, want %d", trial, merged.Count, wantCount)
+		}
+		if math.Abs(merged.Sum-wantSum) > 1e-9*math.Abs(wantSum) {
+			t.Fatalf("trial %d: merged sum %g, want %g", trial, merged.Sum, wantSum)
+		}
+		var bucketTotal int64
+		for _, c := range merged.Counts {
+			bucketTotal += c
+		}
+		if bucketTotal != wantCount {
+			t.Fatalf("trial %d: bucket vector sums to %d, want %d", trial, bucketTotal, wantCount)
+		}
+
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, w := range workers {
+				v := w.Quantile(q)
+				lo, hi = math.Min(lo, v), math.Max(hi, v)
+			}
+			got := merged.Quantile(q)
+			// Interpolation positions within a bucket differ between the
+			// merged and per-worker estimates, so allow one bucket of slack
+			// on each side (buckets are 2.5x apart on the log grid).
+			if got < lo/2.5-1e-12 || got > hi*2.5+1e-12 {
+				t.Errorf("trial %d: merged q%g = %g outside per-worker range [%g, %g]",
+					trial, q, got, lo, hi)
+			}
+		}
+	}
+}
+
+func TestHistogramMergeRejectsLayoutMismatch(t *testing.T) {
+	a := newHistogram([]float64{1, 2, 4}).Data()
+	a.Counts = append([]int64(nil), a.Counts...)
+	before := a
+
+	if a.Merge(newHistogram([]float64{1, 2, 8}).Data()) {
+		t.Error("different bounds should be unmergeable")
+	}
+	if a.Merge(newHistogram([]float64{1, 2}).Data()) {
+		t.Error("different bucket counts should be unmergeable")
+	}
+	if a.Count != before.Count || a.Sum != before.Sum {
+		t.Error("failed merge must leave the target untouched")
+	}
+}
+
+// TestHistogramDataDuringRecord exercises Data() while observations are in
+// flight, under -race: the snapshot must be internally coherent enough to
+// merge (every bucket count individually valid, no torn reads) and
+// monotone between snapshots.
+func TestHistogramDataDuringRecord(t *testing.T) {
+	h := newHistogram(nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(math.Pow(10, -6+8*rng.Float64()))
+				}
+			}
+		}(g)
+	}
+
+	var prevBucketTotal int64
+	for i := 0; i < 200; i++ {
+		if i == 100 {
+			// Guarantee the observers have actually run before the later
+			// snapshots, so the quiescent checks see real traffic.
+			for h.Count() < 1000 {
+				runtime.Gosched()
+			}
+		}
+		d := h.Data()
+		var bucketTotal int64
+		for _, c := range d.Counts {
+			if c < 0 {
+				t.Fatalf("negative bucket count: %v", d.Counts)
+			}
+			bucketTotal += c
+		}
+		if bucketTotal < prevBucketTotal {
+			t.Fatalf("bucket totals went backwards: %d after %d", bucketTotal, prevBucketTotal)
+		}
+		prevBucketTotal = bucketTotal
+		if d.Sum < 0 {
+			t.Fatalf("negative sum %g", d.Sum)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiescent: the final snapshot is exact.
+	d := h.Data()
+	var bucketTotal int64
+	for _, c := range d.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal != d.Count || d.Count != h.Count() {
+		t.Errorf("final snapshot inconsistent: buckets %d, count %d, live %d",
+			bucketTotal, d.Count, h.Count())
+	}
+	if d.Quantile(0.5) <= 0 {
+		t.Errorf("median of recorded data should be positive, got %g", d.Quantile(0.5))
+	}
+}

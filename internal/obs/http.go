@@ -1,17 +1,20 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"strings"
 	"sync/atomic"
 	"time"
 )
 
-// Logf is the structured-log sink of the HTTP middleware; nil selects
-// log.Printf.
-type Logf func(format string, args ...any)
+// StderrEvents is the fallback wide-event sink: JSON events on standard
+// error, the conventional destination for daemon logs. Middleware and the
+// farm worker use it when no logger is configured.
+var StderrEvents = NewEventLogger(os.Stderr)
 
 // reqSeq numbers requests process-wide for the request-ID log field.
 var reqSeq atomic.Int64
@@ -61,6 +64,8 @@ func labelPath(p string) string {
 		return p
 	case p == "/debug/runs" || strings.HasPrefix(p, "/debug/runs/"):
 		return "/debug/runs"
+	case p == "/debug/events":
+		return "/debug/events"
 	case strings.HasPrefix(p, "/debug/pprof"):
 		return "/debug/pprof"
 	default:
@@ -70,11 +75,14 @@ func labelPath(p string) string {
 
 // Middleware wraps an HTTP handler with request observability: a request
 // counter and latency histogram per (path, status), request/response byte
-// counters, an in-flight gauge, and one structured log line per request
-// carrying a process-unique request ID.
-func Middleware(next http.Handler, logf Logf) http.Handler {
-	if logf == nil {
-		logf = log.Printf
+// counters, an in-flight gauge, and one "http" wide event per request
+// carrying a process-unique request ID. Requests to /run are metered but
+// not logged here — the run handler emits the single canonical "run" wide
+// event for them, and one request must produce exactly one event. A nil
+// log selects StderrEvents.
+func Middleware(next http.Handler, log *EventLogger) http.Handler {
+	if log == nil {
+		log = StderrEvents
 	}
 	inflight := GetGauge("acstab_http_requests_inflight")
 	bytesIn := GetCounter("acstab_http_request_bytes_total")
@@ -97,18 +105,33 @@ func Middleware(next http.Handler, logf Logf) http.Handler {
 			bytesIn.Add(r.ContentLength)
 		}
 		bytesOut.Add(sw.bytes)
-		logf("http req_id=%s method=%s path=%s status=%d bytes_in=%d bytes_out=%d dur=%s remote=%s",
-			id, r.Method, r.URL.Path, sw.status, max(r.ContentLength, 0), sw.bytes,
-			dur.Round(time.Microsecond), r.RemoteAddr)
+		if path == "/run" {
+			return
+		}
+		log.Event("http",
+			slog.String("req_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Int64("bytes_in", max(r.ContentLength, 0)),
+			slog.Int64("bytes_out", sw.bytes),
+			slog.Float64("duration_ms", float64(dur)/float64(time.Millisecond)),
+			slog.String("remote", r.RemoteAddr))
 	})
 }
 
-// MetricsHandler serves the Default registry in Prometheus text format
-// (GET only).
+// MetricsHandler serves the Default registry (GET only): Prometheus text
+// format by default, the full-fidelity JSON Export (raw histogram
+// buckets, the form fleet federation merges) with ?format=json.
 func MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(Default.Export())
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -156,20 +156,14 @@ func TestConcurrentUse(t *testing.T) {
 }
 
 func TestMiddleware(t *testing.T) {
-	var logs []string
-	var mu sync.Mutex
-	logf := func(format string, args ...any) {
-		mu.Lock()
-		defer mu.Unlock()
-		logs = append(logs, format)
-	}
+	log := NewEventLogger(nil)
 	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/boom" {
 			http.Error(w, "no", http.StatusTeapot)
 			return
 		}
 		w.Write([]byte("hello"))
-	}), logf)
+	}), log)
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 
@@ -193,10 +187,14 @@ func TestMiddleware(t *testing.T) {
 	if GetHistogram(`acstab_http_request_duration_seconds{path="other"}`).Count() < 2 {
 		t.Error("latency histogram should have observations")
 	}
-	mu.Lock()
-	defer mu.Unlock()
-	if len(logs) != 2 {
-		t.Errorf("expected 2 log lines, got %d", len(logs))
+	events := log.Events(0, 0)
+	if len(events) != 2 {
+		t.Errorf("expected 2 http events, got %d", len(events))
+	}
+	for _, se := range events {
+		if !strings.Contains(string(se.Event), `"event":"http"`) {
+			t.Errorf("http event missing event name: %s", se.Event)
+		}
 	}
 }
 
@@ -272,7 +270,7 @@ func TestHistogramQuantileEdges(t *testing.T) {
 }
 
 func TestMiddlewareFlush(t *testing.T) {
-	logf := func(string, ...any) {}
+	log := NewEventLogger(nil)
 	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		f, ok := w.(http.Flusher)
 		if !ok {
@@ -280,7 +278,7 @@ func TestMiddlewareFlush(t *testing.T) {
 		}
 		w.Write([]byte("chunk"))
 		f.Flush()
-	}), logf)
+	}), log)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stream", nil))
 	if !rec.Flushed {
@@ -291,7 +289,7 @@ func TestMiddlewareFlush(t *testing.T) {
 	h = Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.(http.Flusher).Flush() // no-op
 		w.WriteHeader(http.StatusNoContent)
-	}), logf)
+	}), log)
 	h.ServeHTTP(noFlushWriter{httptest.NewRecorder()}, httptest.NewRequest(http.MethodGet, "/x", nil))
 }
 

@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SLO tracking: multi-window rolling success-rate and latency objectives
+// in the burn-rate style. Each served request is recorded as good or bad
+// for the availability objective and fast or slow for the latency
+// objective; the tracker keeps per-bucket tallies in a ring covering the
+// longest window and answers "what fraction of the last 5 minutes / hour
+// met the objective, and how fast is the error budget burning" — the
+// signal a scheduler sheds a worker on and an operator pages on.
+//
+// Burn rate is (1 - observed ratio) / (1 - target): 1.0 means the budget
+// is being spent exactly at the sustainable rate, N means N times too
+// fast. The multi-window health rule follows SRE practice: a fast burn
+// on the short window is critical (budget gone in hours), a sustained
+// moderate burn on the long window is a warning.
+
+// sloBucketDur is the tally granularity. 10s buckets give 30 points on a
+// 5-minute window — fine-grained enough for burn detection, coarse
+// enough that a 1h window is only 360 buckets.
+const sloBucketDur = 10 * time.Second
+
+// SLOConfig sets the objectives an SLOTracker scores against.
+type SLOConfig struct {
+	// LatencyObjective is the per-request latency target: a request
+	// completing within it counts as fast. 0 selects 30s.
+	LatencyObjective time.Duration
+	// SuccessTarget is the availability objective (fraction of requests
+	// that must succeed). 0 selects 0.99.
+	SuccessTarget float64
+	// LatencyTarget is the fraction of requests that must meet the
+	// latency objective. 0 selects 0.95.
+	LatencyTarget float64
+	// Windows are the rolling evaluation windows, ascending. Empty
+	// selects {5m, 1h}.
+	Windows []time.Duration
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.LatencyObjective <= 0 {
+		c.LatencyObjective = 30 * time.Second
+	}
+	if c.SuccessTarget <= 0 || c.SuccessTarget >= 1 {
+		c.SuccessTarget = 0.99
+	}
+	if c.LatencyTarget <= 0 || c.LatencyTarget >= 1 {
+		c.LatencyTarget = 0.95
+	}
+	if len(c.Windows) == 0 {
+		c.Windows = []time.Duration{5 * time.Minute, time.Hour}
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// sloBucket tallies one bucket-duration slice of traffic.
+type sloBucket struct {
+	idx               int64 // absolute bucket index since the epoch
+	total, good, fast int64
+}
+
+// SLOTracker scores requests against availability and latency objectives
+// over multiple rolling windows. Safe for concurrent use. A nil tracker
+// is valid: Record is a no-op and Snapshot returns a zero snapshot.
+type SLOTracker struct {
+	cfg SLOConfig
+	mu  sync.Mutex
+	// ring holds per-bucket tallies covering the longest window plus one
+	// bucket of slack; stale entries are recognized by their absolute
+	// index, so no background sweeper is needed.
+	ring []sloBucket
+}
+
+// NewSLOTracker returns a tracker with the given objectives.
+func NewSLOTracker(cfg SLOConfig) *SLOTracker {
+	cfg = cfg.withDefaults()
+	longest := cfg.Windows[len(cfg.Windows)-1]
+	n := int(longest/sloBucketDur) + 2
+	return &SLOTracker{cfg: cfg, ring: make([]sloBucket, n)}
+}
+
+// Record scores one request: good marks the availability outcome and dur
+// is the request latency (scored against the latency objective only when
+// the request was good — a fast failure is not a latency win).
+func (t *SLOTracker) Record(good bool, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	idx := t.cfg.now().UnixNano() / int64(sloBucketDur)
+	t.mu.Lock()
+	b := &t.ring[int(idx)%len(t.ring)]
+	if b.idx != idx {
+		*b = sloBucket{idx: idx}
+	}
+	b.total++
+	if good {
+		b.good++
+		if dur <= t.cfg.LatencyObjective {
+			b.fast++
+		}
+	}
+	t.mu.Unlock()
+}
+
+// SLOWindow is one rolling window's score. Raw counts are included so a
+// fleet view can merge N workers' windows exactly (sum the counts,
+// recompute the ratios) instead of averaging ratios.
+type SLOWindow struct {
+	// Window is the window length in seconds.
+	Window float64 `json:"window_seconds"`
+	// Total / Good / Fast are the raw request tallies in the window.
+	Total int64 `json:"total"`
+	Good  int64 `json:"good"`
+	Fast  int64 `json:"fast"`
+	// SuccessRatio is Good/Total (1 when idle: no traffic burns nothing).
+	SuccessRatio float64 `json:"success_ratio"`
+	// LatencyOKRatio is Fast/Total.
+	LatencyOKRatio float64 `json:"latency_ok_ratio"`
+	// ErrorBurnRate is (1-SuccessRatio)/(1-SuccessTarget).
+	ErrorBurnRate float64 `json:"error_burn_rate"`
+	// LatencyBurnRate is (1-LatencyOKRatio)/(1-LatencyTarget).
+	LatencyBurnRate float64 `json:"latency_burn_rate"`
+}
+
+// SLOSnapshot is the JSON form of the tracker's current scores, served in
+// /statusz and merged by fleet federation.
+type SLOSnapshot struct {
+	LatencyObjectiveSeconds float64     `json:"latency_objective_seconds"`
+	SuccessTarget           float64     `json:"success_target"`
+	LatencyTarget           float64     `json:"latency_target"`
+	Windows                 []SLOWindow `json:"windows"`
+	// Health is the multi-window verdict: "ok", "warn", "critical", or
+	// "idle" (no traffic in any window).
+	Health string `json:"health"`
+}
+
+// Health thresholds: burning the budget >10x too fast on the shortest
+// window pages (the monthly budget would be gone within hours); >2x on
+// any window warns.
+const (
+	criticalBurn = 10.0
+	warnBurn     = 2.0
+)
+
+// Snapshot scores every configured window as of now.
+func (t *SLOTracker) Snapshot() SLOSnapshot {
+	if t == nil {
+		return SLOSnapshot{Health: "idle"}
+	}
+	now := t.cfg.now()
+	nowIdx := now.UnixNano() / int64(sloBucketDur)
+	t.mu.Lock()
+	buckets := make([]sloBucket, len(t.ring))
+	copy(buckets, t.ring)
+	t.mu.Unlock()
+
+	snap := SLOSnapshot{
+		LatencyObjectiveSeconds: t.cfg.LatencyObjective.Seconds(),
+		SuccessTarget:           t.cfg.SuccessTarget,
+		LatencyTarget:           t.cfg.LatencyTarget,
+	}
+	for _, w := range t.cfg.Windows {
+		nBuckets := int64(w / sloBucketDur)
+		win := SLOWindow{Window: w.Seconds()}
+		for _, b := range buckets {
+			if b.idx > nowIdx-nBuckets && b.idx <= nowIdx {
+				win.Total += b.total
+				win.Good += b.good
+				win.Fast += b.fast
+			}
+		}
+		scoreWindow(&win, t.cfg.SuccessTarget, t.cfg.LatencyTarget)
+		snap.Windows = append(snap.Windows, win)
+	}
+	snap.Health = HealthFromWindows(snap.Windows)
+	return snap
+}
+
+// scoreWindow fills a window's derived ratios and burn rates from its raw
+// counts. Exported via ScoreWindow for the fleet merger.
+func scoreWindow(w *SLOWindow, successTarget, latencyTarget float64) {
+	if w.Total == 0 {
+		w.SuccessRatio, w.LatencyOKRatio = 1, 1
+		return
+	}
+	w.SuccessRatio = float64(w.Good) / float64(w.Total)
+	w.LatencyOKRatio = float64(w.Fast) / float64(w.Total)
+	w.ErrorBurnRate = (1 - w.SuccessRatio) / (1 - successTarget)
+	w.LatencyBurnRate = (1 - w.LatencyOKRatio) / (1 - latencyTarget)
+}
+
+// ScoreWindow recomputes a window's ratios and burn rates from its raw
+// counts against the given targets — the fleet merger sums per-worker
+// counts and calls this, so fleet ratios are exact, not ratio averages.
+func ScoreWindow(w *SLOWindow, successTarget, latencyTarget float64) {
+	scoreWindow(w, successTarget, latencyTarget)
+}
+
+// HealthFromWindows applies the multi-window burn-rate rule: critical
+// when the shortest window burns >criticalBurn (error or latency), warn
+// when any window burns >warnBurn, idle with no traffic anywhere.
+func HealthFromWindows(ws []SLOWindow) string {
+	idle := true
+	health := "ok"
+	for i, w := range ws {
+		if w.Total > 0 {
+			idle = false
+		}
+		burn := max(w.ErrorBurnRate, w.LatencyBurnRate)
+		if i == 0 && burn > criticalBurn {
+			return "critical"
+		}
+		if burn > warnBurn {
+			health = "warn"
+		}
+	}
+	if idle {
+		return "idle"
+	}
+	return health
+}
+
+// PublishGauges refreshes the `acstab_slo_*` gauges in the Default
+// registry from the snapshot, so scrapers see the same scores /statusz
+// reports: per-window success/latency ratios and burn rates plus a
+// numeric health score (1 ok, 0.5 warn, 0 critical, -1 idle).
+func (s SLOSnapshot) PublishGauges() {
+	for _, w := range s.Windows {
+		win := formatWindow(time.Duration(w.Window * float64(time.Second)))
+		GetGauge(fmt.Sprintf("acstab_slo_success_ratio{window=%q}", win)).Set(w.SuccessRatio)
+		GetGauge(fmt.Sprintf("acstab_slo_latency_ok_ratio{window=%q}", win)).Set(w.LatencyOKRatio)
+		GetGauge(fmt.Sprintf("acstab_slo_error_burn_rate{window=%q}", win)).Set(w.ErrorBurnRate)
+		GetGauge(fmt.Sprintf("acstab_slo_latency_burn_rate{window=%q}", win)).Set(w.LatencyBurnRate)
+	}
+	score := map[string]float64{"ok": 1, "warn": 0.5, "critical": 0, "idle": -1}[s.Health]
+	GetGauge("acstab_slo_health_score").Set(score)
+}
+
+// formatWindow renders a window length the way operators say it ("5m",
+// "1h", "90s").
+func formatWindow(d time.Duration) string {
+	switch {
+	case d%time.Hour == 0:
+		return fmt.Sprintf("%dh", d/time.Hour)
+	case d%time.Minute == 0:
+		return fmt.Sprintf("%dm", d/time.Minute)
+	default:
+		return fmt.Sprintf("%ds", d/time.Second)
+	}
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// sloClock is a settable fake clock for driving window arithmetic.
+type sloClock struct{ t time.Time }
+
+func (c *sloClock) now() time.Time { return c.t }
+
+func newTestTracker(windows ...time.Duration) (*SLOTracker, *sloClock) {
+	clk := &sloClock{t: time.Unix(1_000_000, 0)}
+	cfg := SLOConfig{
+		LatencyObjective: time.Second,
+		SuccessTarget:    0.99,
+		LatencyTarget:    0.95,
+		Windows:          windows,
+		now:              clk.now,
+	}
+	return NewSLOTracker(cfg), clk
+}
+
+func TestSLOWindowCountsAndRatios(t *testing.T) {
+	tr, clk := newTestTracker(time.Minute, 10*time.Minute)
+	// 90 good-and-fast, 5 good-but-slow, 5 bad.
+	for i := 0; i < 90; i++ {
+		tr.Record(true, 10*time.Millisecond)
+	}
+	for i := 0; i < 5; i++ {
+		tr.Record(true, 2*time.Second)
+	}
+	for i := 0; i < 5; i++ {
+		tr.Record(false, 10*time.Millisecond)
+	}
+	snap := tr.Snapshot()
+	if len(snap.Windows) != 2 {
+		t.Fatalf("want 2 windows, got %d", len(snap.Windows))
+	}
+	for _, w := range snap.Windows {
+		if w.Total != 100 || w.Good != 95 || w.Fast != 90 {
+			t.Errorf("window %gs counts = %d/%d/%d, want 100/95/90",
+				w.Window, w.Total, w.Good, w.Fast)
+		}
+		if w.SuccessRatio != 0.95 || w.LatencyOKRatio != 0.90 {
+			t.Errorf("window %gs ratios = %g/%g, want 0.95/0.90",
+				w.Window, w.SuccessRatio, w.LatencyOKRatio)
+		}
+		// burn = (1-0.95)/(1-0.99) = 5; latency burn = (1-0.90)/(1-0.95) = 2.
+		if diff := w.ErrorBurnRate - 5; diff < -1e-9 || diff > 1e-9 {
+			t.Errorf("error burn = %g, want 5", w.ErrorBurnRate)
+		}
+		if diff := w.LatencyBurnRate - 2; diff < -1e-9 || diff > 1e-9 {
+			t.Errorf("latency burn = %g, want 2", w.LatencyBurnRate)
+		}
+	}
+	// 5x error burn: above warn (2x), below critical (10x).
+	if snap.Health != "warn" {
+		t.Errorf("health = %q, want warn", snap.Health)
+	}
+	_ = clk
+}
+
+func TestSLOWindowExpiry(t *testing.T) {
+	tr, clk := newTestTracker(time.Minute, 10*time.Minute)
+	for i := 0; i < 10; i++ {
+		tr.Record(false, time.Millisecond)
+	}
+	// Two minutes later the failures have left the 1m window but remain in
+	// the 10m window.
+	clk.t = clk.t.Add(2 * time.Minute)
+	snap := tr.Snapshot()
+	short, long := snap.Windows[0], snap.Windows[1]
+	if short.Total != 0 {
+		t.Errorf("short window should have expired the burst, has total %d", short.Total)
+	}
+	if short.SuccessRatio != 1 {
+		t.Errorf("idle window ratio = %g, want 1 (no traffic burns nothing)", short.SuccessRatio)
+	}
+	if long.Total != 10 || long.Good != 0 {
+		t.Errorf("long window = %d/%d, want 10/0", long.Total, long.Good)
+	}
+	// Past the long window everything is forgotten, including ring reuse:
+	// the bucket indices are absolute, so revisiting a slot detects staleness.
+	clk.t = clk.t.Add(15 * time.Minute)
+	snap = tr.Snapshot()
+	if snap.Windows[1].Total != 0 {
+		t.Errorf("stale buckets leaked into the long window: %+v", snap.Windows[1])
+	}
+	if snap.Health != "idle" {
+		t.Errorf("health with no traffic = %q, want idle", snap.Health)
+	}
+}
+
+func TestSLOHealthThresholds(t *testing.T) {
+	cases := []struct {
+		name        string
+		good, bad   int
+		wantHealth  string
+		shortWindow bool
+	}{
+		{"all good", 100, 0, "ok", true},
+		{"full outage", 0, 50, "critical", true},
+		{"moderate burn", 96, 4, "warn", true}, // burn = 4 => warn
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, _ := newTestTracker(time.Minute, 10*time.Minute)
+			for i := 0; i < tc.good; i++ {
+				tr.Record(true, time.Millisecond)
+			}
+			for i := 0; i < tc.bad; i++ {
+				tr.Record(false, time.Millisecond)
+			}
+			if got := tr.Snapshot().Health; got != tc.wantHealth {
+				t.Errorf("health = %q, want %q", got, tc.wantHealth)
+			}
+		})
+	}
+}
+
+func TestSLOLatencyScoredOnlyOnGoodRequests(t *testing.T) {
+	tr, _ := newTestTracker(time.Minute)
+	tr.Record(false, time.Microsecond) // fast failure is not a latency win
+	tr.Record(true, 10*time.Millisecond)
+	w := tr.Snapshot().Windows[0]
+	if w.Fast != 1 {
+		t.Errorf("fast = %d, want 1 (failures must not count as fast)", w.Fast)
+	}
+}
+
+func TestScoreWindowAndHealthFromWindows(t *testing.T) {
+	// The fleet merger sums counts and recomputes: verify the exported
+	// helpers give exact merged ratios.
+	w := SLOWindow{Window: 300, Total: 200, Good: 198, Fast: 190}
+	ScoreWindow(&w, 0.99, 0.95)
+	if w.SuccessRatio != 0.99 || w.LatencyOKRatio != 0.95 {
+		t.Errorf("merged ratios = %g/%g, want 0.99/0.95", w.SuccessRatio, w.LatencyOKRatio)
+	}
+	if got := HealthFromWindows([]SLOWindow{w}); got != "ok" {
+		t.Errorf("health = %q, want ok", got)
+	}
+	if got := HealthFromWindows(nil); got != "idle" {
+		t.Errorf("health of no windows = %q, want idle", got)
+	}
+	crit := SLOWindow{Window: 300, Total: 100, Good: 50}
+	ScoreWindow(&crit, 0.99, 0.95)
+	if got := HealthFromWindows([]SLOWindow{crit, w}); got != "critical" {
+		t.Errorf("shortest-window fast burn should be critical, got %q", got)
+	}
+}
+
+func TestNilSLOTracker(t *testing.T) {
+	var tr *SLOTracker
+	tr.Record(true, time.Second) // must not panic
+	if got := tr.Snapshot().Health; got != "idle" {
+		t.Errorf("nil tracker health = %q, want idle", got)
+	}
+}
+
+func TestSLOPublishGauges(t *testing.T) {
+	snap := SLOSnapshot{
+		Windows: []SLOWindow{{Window: 300, Total: 10, Good: 10, Fast: 10, SuccessRatio: 1, LatencyOKRatio: 1}},
+		Health:  "ok",
+	}
+	snap.PublishGauges()
+	if got := GetGauge(`acstab_slo_success_ratio{window="5m"}`).Value(); got != 1 {
+		t.Errorf("published success ratio = %g, want 1", got)
+	}
+	if got := GetGauge("acstab_slo_health_score").Value(); got != 1 {
+		t.Errorf("health score = %g, want 1", got)
+	}
+}

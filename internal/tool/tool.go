@@ -356,6 +356,8 @@ func (t *Tool) AllNodes(ctx context.Context) (*Report, error) {
 	sp = obs.StartPhase(t.Opts.Trace, "loop_clustering")
 	rep.Loops = stab.ClusterLoops(peaks, t.Opts.LoopTol)
 	sp.End()
+	t.Opts.Trace.Add("peaks", int64(len(peaks)))
+	t.Opts.Trace.Add("loops", int64(len(rep.Loops)))
 	return rep, nil
 }
 
