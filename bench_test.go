@@ -11,8 +11,12 @@ import (
 	"os"
 	"testing"
 
+	"fmt"
+	"net/http/httptest"
+
 	"acstab/internal/analysis"
 	"acstab/internal/circuits"
+	"acstab/internal/farm"
 	"acstab/internal/mna"
 	"acstab/internal/netlist"
 	"acstab/internal/num"
@@ -629,4 +633,125 @@ func BenchmarkAblationPulsingVsAC(b *testing.B) {
 			}
 		}
 	})
+}
+
+// TestEmitCacheBenchSummary writes a BENCH_cache.json summary of the
+// farm's content-addressed compile cache + wire-v2 batch path when
+// ACSTAB_BENCH_JSON names an output file. Two rows, both measuring one
+// 16-variant corner round over HTTP against a live worker:
+//
+//   - SequentialSubmit16: sixteen wire-v1 POST /run submissions against a
+//     cacheless worker — the pre-cache way to run a corner sweep, paying
+//     flatten/compile/symbolic per corner plus a round trip per corner.
+//   - BatchSubmit16: one wire-v2 POST /batch against a cache-enabled
+//     worker whose cache is pre-warmed — the amortized path.
+//
+// The batch row must beat the sequential row (that is the tentpole's
+// acceptance bar), and the cache hit/miss deltas of the measured rounds
+// ride along as counters so the artifact shows the cache actually served
+// the batch.
+func TestEmitCacheBenchSummary(t *testing.T) {
+	path := os.Getenv("ACSTAB_BENCH_JSON")
+	if path == "" {
+		t.Skip("set ACSTAB_BENCH_JSON=FILE to emit the cache/batch summary")
+	}
+	const benchTank = `bench tank
+.param rq=318
+R1 t 0 {rq}
+L1 t 0 25.33u
+C1 t 0 1n
+`
+	variants := make([]farm.Variant, 16)
+	for i := range variants {
+		variants[i] = farm.Variant{
+			Label:     fmt.Sprintf("corner%02d", i),
+			Variables: map[string]float64{"rq": 200 + 25*float64(i)},
+		}
+	}
+
+	cold := httptest.NewServer(farm.NewHandler(farm.Config{CacheEntries: -1}))
+	defer cold.Close()
+	warm := httptest.NewServer(farm.Handler())
+	defer warm.Close()
+
+	seq := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		c := &farm.Client{BaseURL: cold.URL}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, v := range variants {
+				if _, err := c.Submit(context.Background(), &farm.Request{
+					Netlist: benchTank, Node: "t", Variables: v.Variables,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	batchReq := &farm.BatchRequest{Netlist: benchTank, Node: "t", Variants: variants}
+	hits0 := obs.GetCounter("acstab_cache_hits_total").Value()
+	miss0 := obs.GetCounter("acstab_cache_misses_total").Value()
+	var sawHit bool
+	batch := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		c := &farm.Client{BaseURL: warm.URL}
+		// Warm pass outside the timer: populate the worker's cache so the
+		// measured rounds are the steady-state resubmission path.
+		if _, err := c.SubmitBatch(context.Background(), batchReq); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			results, err := c.SubmitBatch(context.Background(), batchReq)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, res := range results {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+				if res.CacheHit {
+					sawHit = true
+				}
+			}
+		}
+	})
+	if !sawHit {
+		t.Error("no measured batch item was served from the cache")
+	}
+	if batch.NsPerOp() >= seq.NsPerOp() {
+		t.Errorf("warm 16-variant batch (%d ns/op) is not faster than 16 sequential v1 submissions (%d ns/op)",
+			batch.NsPerOp(), seq.NsPerOp())
+	}
+
+	out := struct {
+		Rows     []benchSummaryRow `json:"rows"`
+		Counters map[string]int64  `json:"counters"`
+	}{
+		Rows: []benchSummaryRow{
+			{Op: "SequentialSubmit16", NsPerOp: seq.NsPerOp(), AllocsPerOp: seq.AllocsPerOp(),
+				BytesPerOp: seq.AllocedBytesPerOp(), N: seq.N},
+			{Op: "BatchSubmit16", NsPerOp: batch.NsPerOp(), AllocsPerOp: batch.AllocsPerOp(),
+				BytesPerOp: batch.AllocedBytesPerOp(), N: batch.N},
+		},
+		Counters: map[string]int64{
+			"acstab_cache_hits_total":   obs.GetCounter("acstab_cache_hits_total").Value() - hits0,
+			"acstab_cache_misses_total": obs.GetCounter("acstab_cache_misses_total").Value() - miss0,
+		},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("sequential %d ns/op, batch %d ns/op (%.2fx) -> %s",
+		seq.NsPerOp(), batch.NsPerOp(), float64(seq.NsPerOp())/float64(batch.NsPerOp()), path)
 }

@@ -10,6 +10,7 @@
 //	acstab -i circuit.cir -annotate            # annotated netlist (Fig. 5)
 //	acstab -i circuit.cir -temps 27,85,125     # temperature sweep
 //	acstab -i circuit.cir -set rload=2k        # design-variable override
+//	acstab -i circuit.cir -corners pvt.corners # corner batch (one report per line of the file)
 //	acstab -i circuit.cir -stats               # phase timings + solver counters
 //	acstab -i circuit.cir -trace-json t.json   # machine-readable run trace
 //	acstab -i circuit.cir -trace-chrome t.json # Chrome trace-event timeline (Perfetto)
@@ -69,6 +70,7 @@ func runWith(args []string, out, errOut io.Writer) error {
 		subckt    = fs.String("subckt", "", "restrict all-nodes mode to one subcircuit instance (e.g. x1)")
 		temps     = fs.String("temps", "", "comma-separated temperatures (C) for a sweep")
 		sweep     = fs.String("sweep", "", "design-variable sweep: name=v1,v2,v3")
+		corners   = fs.String("corners", "", "corners file: one corner per line, 'label name=value ...'; runs the whole batch (local, or one wire-v2 submission with -remote)")
 		mcRuns    = fs.Int("mc", 0, "Monte Carlo runs (with -sigma)")
 		mcSeed    = fs.Int64("mc-seed", 1, "Monte Carlo seed")
 		sigmas    multiFlag
@@ -204,6 +206,8 @@ func runWith(args []string, out, errOut io.Writer) error {
 
 	var runErr error
 	switch {
+	case *corners != "":
+		runErr = runCorners(ctx, out, *remote, src, opts, *node, *format, *timeout, trace, *corners)
 	case *remote != "":
 		runErr = runRemote(ctx, out, *remote, src, opts, *node, *format, *timeout, trace)
 	case *mcRuns > 0:
@@ -447,6 +451,121 @@ func runRemote(ctx context.Context, out io.Writer, url, src string, opts tool.Op
 	}
 	_, err = out.Write(body)
 	return err
+}
+
+// runCorners drives a corner batch from a corners file: every corner is
+// the same circuit under different design-variable overrides, exactly
+// the workload the farm's compiled-system cache amortizes. With -remote
+// the whole batch ships as one wire-v2 submission (per-item errors and
+// retries handled by SubmitBatch); locally the corners run through the
+// same batch executor against a process-local cache, so corner 2 of an
+// unchanged variable set skips flatten/compile entirely.
+func runCorners(ctx context.Context, out io.Writer, remote, src string, opts tool.Options,
+	node, format string, timeout time.Duration, trace *obs.Run, path string) error {
+	variants, err := parseCorners(path)
+	if err != nil {
+		return err
+	}
+	if remote != "" {
+		c := &farm.Client{BaseURL: strings.TrimRight(remote, "/")}
+		results, err := c.SubmitBatch(ctx, &farm.BatchRequest{
+			V:         farm.WireV2,
+			Netlist:   src,
+			Format:    format,
+			Node:      node,
+			TimeoutMS: timeout.Milliseconds(),
+			Options: farm.RequestOptions{
+				FStartHz:        opts.FStart,
+				FStopHz:         opts.FStop,
+				PointsPerDecade: opts.PointsPerDecade,
+				LoopTol:         opts.LoopTol,
+				Workers:         opts.Workers,
+				Naive:           opts.Naive,
+				SkipNodes:       opts.SkipNodes,
+			},
+			Variants: variants,
+		})
+		for _, r := range results {
+			printCorner(out, r.Label, r.CacheHit, r.DurationMS, r.Body, r.Err)
+		}
+		return err
+	}
+	cache := farm.NewCache(0)
+	req := &farm.BatchRequest{Netlist: src, Format: format, Node: node, Variants: variants}
+	return farm.RunBatch(ctx, cache, req, opts, timeout, trace, func(it farm.BatchItem) {
+		var err error
+		if it.Error != nil {
+			err = fmt.Errorf("%s: %s", it.Error.Code, it.Error.Message)
+		}
+		printCorner(out, it.Label, it.CacheHit, it.DurationMS, it.Body, err)
+	})
+}
+
+// printCorner renders one corner's banner and report, mirroring the
+// temperature sweep's === section === style.
+func printCorner(out io.Writer, label string, hit bool, durMS float64, body []byte, err error) {
+	how := "compiled"
+	if hit {
+		how = "cache hit"
+	}
+	fmt.Fprintf(out, "=== CORNER %s (%s, %.1f ms) ===\n", label, how, durMS)
+	if err != nil {
+		fmt.Fprintf(out, "failed: %v\n\n", err)
+		return
+	}
+	out.Write(body)
+	fmt.Fprintln(out)
+}
+
+// parseCorners reads a corners file: one corner per line; blank lines and
+// lines starting with '#' or '*' are skipped. A line is
+//
+//	label name=value name=value ...
+//
+// where the leading label (any first token without '=') names the corner
+// and each name=value pair overrides a design variable (SI suffixes
+// accepted). A line of bare name=value pairs gets a positional label.
+func parseCorners(path string) ([]farm.Variant, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("-corners: %v", err)
+	}
+	var out []farm.Variant
+	for ln, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "*") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v := farm.Variant{}
+		rest := fields
+		if !strings.Contains(fields[0], "=") {
+			v.Label = fields[0]
+			rest = fields[1:]
+		} else {
+			v.Label = fmt.Sprintf("corner%d", len(out)+1)
+		}
+		vars := map[string]float64{}
+		for _, f := range rest {
+			name, vs, ok := strings.Cut(f, "=")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("-corners %s:%d: want name=value, got %q", path, ln+1, f)
+			}
+			val, err := num.ParseValue(vs)
+			if err != nil {
+				return nil, fmt.Errorf("-corners %s:%d: %s: %v", path, ln+1, f, err)
+			}
+			vars[strings.ToLower(name)] = val
+		}
+		if len(vars) > 0 {
+			v.Variables = vars
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-corners %s: no corners in file", path)
+	}
+	return out, nil
 }
 
 // loadCircuit reads the netlist from a file (resolving .include relative

@@ -480,3 +480,88 @@ func TestProfileFlags(t *testing.T) {
 		t.Error("expected -cpuprofile error for unwritable path")
 	}
 }
+
+// writeCorners drops a corners file next to the test's netlist.
+func writeCorners(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "corners.txt")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCornersLocal(t *testing.T) {
+	path := writeNetlist(t, tankNetlist)
+	corners := writeCorners(t, `# PVT corners for the tank
+* alt comment style
+nom
+hi_r rq=2k
+nom_again
+`)
+	var out bytes.Buffer
+	if err := run([]string{"-i", path, "-node", "t", "-corners", corners}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, banner := range []string{"=== CORNER nom (", "=== CORNER hi_r (", "=== CORNER nom_again (cache hit"} {
+		if !strings.Contains(s, banner) {
+			t.Errorf("missing %q in:\n%s", banner, s)
+		}
+	}
+	// The hi_r corner really ran with a different rq: its zeta differs.
+	sections := strings.Split(s, "=== CORNER ")
+	if len(sections) != 4 {
+		t.Fatalf("got %d sections, want 3 corners:\n%s", len(sections)-1, s)
+	}
+	if sections[1] == sections[2] {
+		t.Error("corner override had no effect on the report")
+	}
+}
+
+func TestCornersRemote(t *testing.T) {
+	srv := httptest.NewServer(farm.Handler())
+	defer srv.Close()
+	path := writeNetlist(t, tankNetlist)
+	corners := writeCorners(t, "nom\nnom2\n")
+	var out bytes.Buffer
+	if err := run([]string{"-i", path, "-node", "t", "-remote", srv.URL, "-corners", corners}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "=== CORNER nom (") || !strings.Contains(s, "=== CORNER nom2 (cache hit") {
+		t.Errorf("remote corner batch output:\n%s", s)
+	}
+	// One bad corner reports inline and does not sink the others.
+	corners = writeCorners(t, "bad nosuch=1\ngood\n")
+	out.Reset()
+	if err := run([]string{"-i", path, "-node", "t", "-remote", srv.URL, "-corners", corners}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s = out.String()
+	if !strings.Contains(s, "=== CORNER bad (") || !strings.Contains(s, "failed:") ||
+		!strings.Contains(s, "unknown design variable") {
+		t.Errorf("bad corner not reported inline:\n%s", s)
+	}
+	if !strings.Contains(s, "=== CORNER good (") {
+		t.Errorf("good corner missing after a failed one:\n%s", s)
+	}
+}
+
+func TestCornersFileErrors(t *testing.T) {
+	path := writeNetlist(t, tankNetlist)
+	var out bytes.Buffer
+	if err := run([]string{"-i", path, "-corners", filepath.Join(t.TempDir(), "nope.txt")}, &out); err == nil {
+		t.Error("missing corners file should fail")
+	}
+	empty := writeCorners(t, "# only comments\n")
+	if err := run([]string{"-i", path, "-corners", empty}, &out); err == nil ||
+		!strings.Contains(err.Error(), "no corners") {
+		t.Errorf("empty corners file: %v", err)
+	}
+	malformed := writeCorners(t, "nom rq=notanumber\n")
+	if err := run([]string{"-i", path, "-corners", malformed}, &out); err == nil ||
+		!strings.Contains(err.Error(), ":1:") {
+		t.Errorf("malformed pair should fail with line attribution, got: %v", err)
+	}
+}

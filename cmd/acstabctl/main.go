@@ -99,7 +99,7 @@ func runStatus(ctx context.Context, w io.Writer, fl *fleet.Fleet) error {
 	view := fl.Snapshot()
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "WORKER\tSTATE\tUPTIME\tINFLIGHT\tRUNS\tERRS\tSHED\tSLO\tVERSION")
+	fmt.Fprintln(tw, "WORKER\tSTATE\tUPTIME\tINFLIGHT\tRUNS\tERRS\tSHED\tCACHE\tSLO\tVERSION")
 	for _, wk := range view.Workers {
 		state := "down"
 		if wk.Up {
@@ -117,11 +117,12 @@ func runStatus(ctx context.Context, w io.Writer, fl *fleet.Fleet) error {
 			if rev != "" {
 				version += "@" + rev
 			}
-			fmt.Fprintf(tw, "%s\t%s\t%s\t%.0f\t%d\t%d\t%d\t%s\t%s\n",
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%.0f\t%d\t%d\t%d\t%s\t%s\t%s\n",
 				wk.URL, state, (time.Duration(wk.UptimeSeconds) * time.Second).String(),
-				wk.JobsInflight, wk.RunsTotal, wk.RunErrors, wk.Shed, wk.SLOHealth, version)
+				wk.JobsInflight, wk.RunsTotal, wk.RunErrors, wk.Shed,
+				formatCache(wk), wk.SLOHealth, version)
 		} else {
-			fmt.Fprintf(tw, "%s\t%s\t-\t-\t-\t-\t-\t-\t%s\n", wk.URL, state, wk.Err)
+			fmt.Fprintf(tw, "%s\t%s\t-\t-\t-\t-\t-\t-\t-\t%s\n", wk.URL, state, wk.Err)
 		}
 	}
 	if err := tw.Flush(); err != nil {
@@ -174,6 +175,12 @@ func runTop(ctx context.Context, w io.Writer, fl *fleet.Fleet, n int) error {
 	if err := tw.Flush(); err != nil {
 		return err
 	}
+	if hits, misses := view.Merged.Counters["acstab_cache_hits_total"],
+		view.Merged.Counters["acstab_cache_misses_total"]; hits+misses > 0 {
+		fmt.Fprintf(w, "fleet cache: %d hits / %d lookups (%.1f%% hit rate), %.0f entries resident\n",
+			hits, hits+misses, 100*float64(hits)/float64(hits+misses),
+			view.Merged.Gauges["acstab_cache_entries"])
+	}
 
 	names := make([]string, 0, len(view.Merged.Histograms))
 	for name := range view.Merged.Histograms {
@@ -210,6 +217,16 @@ func runTail(ctx context.Context, w io.Writer, fl *fleet.Fleet, interval time.Du
 		case <-time.After(interval):
 		}
 	}
+}
+
+// formatCache renders a worker's compiled-system cache column as
+// "hits/lookups (entries)", or "-" for a cacheless worker.
+func formatCache(wk fleet.WorkerView) string {
+	lookups := wk.CacheHits + wk.CacheMisses
+	if lookups == 0 && wk.CacheEntries == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d/%d (%d)", wk.CacheHits, lookups, wk.CacheEntries)
 }
 
 // formatWindow renders a window length in seconds the way operators say

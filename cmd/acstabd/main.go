@@ -1,6 +1,9 @@
 // Command acstabd is a stability-analysis farm worker: the remote
 // simulation capability the paper lists under future development. It
 // serves POST /run (netlist + options JSON in, rendered report out),
+// POST /batch (wire v2: one netlist + N variants in, an NDJSON stream of
+// per-variant results out, amortized by the worker's content-addressed
+// compile cache — size it with -cache-entries),
 // GET /healthz, GET /metrics (Prometheus text exposition; ?format=json
 // for the full-fidelity export fleet federation merges), GET /statusz
 // (JSON status snapshot with build identity and SLO scores), GET
@@ -59,12 +62,18 @@ func main() {
 		"latency objective: a /run answered within this counts as fast for the SLO")
 	sloSuccess := flag.Float64("slo-success-target", 0.99,
 		"availability objective: the fraction of /run requests that must succeed")
+	cacheEntries := flag.Int("cache-entries", farm.DefaultCacheEntries,
+		"compiled-system cache capacity (content-addressed LRU; 0 disables caching)")
 	flag.Parse()
 	cfg := farm.Config{
 		MaxConcurrent: *maxConc,
 		MaxTimeout:    *reqTimeout,
 		RecentRuns:    *recentRuns,
 		SLO:           obs.SLOConfig{LatencyObjective: *sloLatency, SuccessTarget: *sloSuccess},
+		CacheEntries:  *cacheEntries,
+	}
+	if *cacheEntries == 0 {
+		cfg.CacheEntries = -1
 	}
 	if err := serve(*listen, *pprofOn, *drain, cfg, obs.StderrEvents, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "acstabd: %v\n", err)

@@ -4,6 +4,7 @@ import (
 	"acstab/internal/farm"
 	"acstab/internal/obs"
 	"bytes"
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -118,4 +119,71 @@ func TestDebugRunsThroughDaemonHandler(t *testing.T) {
 		t.Fatalf("pprof next to /debug/runs: %v %v", resp, err)
 	}
 	resp.Body.Close()
+}
+
+// TestBatchEndpointSmoke is the CI smoke test for wire v2: a 3-corner
+// batch against a live daemon must stream 3 NDJSON items and the shared
+// compile cache must score at least one hit.
+func TestBatchEndpointSmoke(t *testing.T) {
+	var logBuf bytes.Buffer
+	events := obs.NewEventLogger(&logBuf)
+
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- serve("127.0.0.1:0", false, 5*time.Second, farm.Config{}, events, ready) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not come up")
+	}
+	c := &farm.Client{BaseURL: "http://" + addr}
+	results, err := c.SubmitBatch(context.Background(), &farm.BatchRequest{
+		Netlist: "smoke tank\n.param rq=318\nR1 t 0 {rq}\nL1 t 0 25.33u\nC1 t 0 1n\n",
+		Node:    "t",
+		Variants: []farm.Variant{
+			{Label: "nom"},
+			{Label: "hi_r", Variables: map[string]float64{"rq": 1000}},
+			{Label: "nom_rerun"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	hits := 0
+	for i, res := range results {
+		if res.Err != nil {
+			t.Errorf("corner %d (%s): %v", i, res.Label, res.Err)
+		}
+		if len(res.Body) == 0 {
+			t.Errorf("corner %d (%s): empty body", i, res.Label)
+		}
+		if res.CacheHit {
+			hits++
+		}
+	}
+	if hits < 1 {
+		t.Errorf("cache hits = %d, want >= 1 (nom_rerun shares nom's content address)", hits)
+	}
+	// Shut the daemon down before reading its log buffer: the serve
+	// goroutine writes lifecycle events until it returns.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down after SIGTERM")
+	}
+	// The daemon narrated the batch as wide events.
+	logs := logBuf.String()
+	if !strings.Contains(logs, `"event":"batch"`) || !strings.Contains(logs, `"event":"batch_item"`) {
+		t.Errorf("missing batch wide events:\n%s", logs)
+	}
 }

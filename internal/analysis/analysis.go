@@ -177,6 +177,23 @@ func (sh *acShared) ensureDiagPlan(sym *sparse.Symbolic, nodes []int) (*sparse.D
 	return plan, nil
 }
 
+// ACChecksum returns the structural checksum of the cached AC stamp
+// pattern and whether the symbolic analysis is currently warm. It reports
+// (0, false) before the first sparse sweep builds the symbolic state and
+// again after pattern drift invalidates it. The farm's compiled-system
+// cache compares this fingerprint across requests: a warm entry whose
+// checksum moved is not the circuit it was cached as and must be
+// recompiled from source.
+func (s *Sim) ACChecksum() (uint64, bool) {
+	sh := s.acShared()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.pat == nil || sh.sym == nil {
+		return 0, false
+	}
+	return sh.pat.Checksum(), true
+}
+
 func equalInts(a, b []int) bool {
 	if len(a) != len(b) {
 		return false

@@ -148,6 +148,10 @@ type Config struct {
 	// 95% latency target, 5m/1h windows). Scores are served in /statusz
 	// and as acstab_slo_* gauges.
 	SLO obs.SLOConfig
+	// CacheEntries bounds the content-addressed compiled-system cache. 0
+	// selects DefaultCacheEntries; negative disables caching (every
+	// request compiles from scratch, the pre-cache behavior).
+	CacheEntries int
 }
 
 // withDefaults fills zero fields with the documented defaults.
@@ -167,6 +171,9 @@ func (c Config) withDefaults() Config {
 	if c.Log == nil {
 		c.Log = obs.StderrEvents
 	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = DefaultCacheEntries
+	}
 	return c
 }
 
@@ -180,6 +187,9 @@ type server struct {
 	slo   *obs.SLOTracker
 	build obs.BuildInfo
 	start time.Time
+	// cache is the content-addressed compiled-system cache shared by /run
+	// and /batch; nil when caching is disabled.
+	cache *Cache
 }
 
 // Handler returns a farm worker handler with default Config.
@@ -187,6 +197,7 @@ func Handler() http.Handler { return NewHandler(Config{}) }
 
 // NewHandler returns the HTTP handler of a farm worker: POST /run
 // executes a job under the concurrency limiter and per-request deadline,
+// POST /batch executes a wire-v2 variant batch streaming NDJSON results,
 // GET /healthz reports liveness, GET /metrics serves the Prometheus
 // exposition of the process registry, and GET /statusz serves a JSON
 // status snapshot (jobs in flight, shed/abort counters, per-phase
@@ -204,9 +215,13 @@ func NewHandler(cfg Config) http.Handler {
 	s.log = s.cfg.Log
 	s.slo = obs.NewSLOTracker(s.cfg.SLO)
 	s.build = obs.RegisterBuildInfo()
+	if s.cfg.CacheEntries > 0 {
+		s.cache = NewCache(s.cfg.CacheEntries)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", handleHealthz)
 	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/batch", s.handleBatch)
 	// SLO gauges are recomputed at scrape time so a quiet worker's scores
 	// age out instead of freezing at the last request's values.
 	mux.Handle("/metrics", s.refreshSLO(obs.MetricsHandler()))
@@ -240,15 +255,18 @@ type ErrorBody struct {
 }
 
 // ErrorDetail carries the machine-readable failure code and the human
-// message.
+// message. Field names the offending wire field for bad_option
+// rejections.
 type ErrorDetail struct {
 	Code    string `json:"code"`
+	Field   string `json:"field,omitempty"`
 	Message string `json:"message"`
 }
 
 // Error codes returned in ErrorBody.
 const (
 	CodeBadJSON            = "bad_json"
+	CodeBadOption          = "bad_option"
 	CodeUnsupportedVersion = "unsupported_version"
 	CodeMethodNotAllowed   = "method_not_allowed"
 	CodeOverloaded         = "overloaded"
@@ -268,21 +286,12 @@ func writeErr(w http.ResponseWriter, status int, code, message string) {
 	json.NewEncoder(w).Encode(ErrorBody{Error: ErrorDetail{Code: code, Message: message}})
 }
 
-// decodeRequest parses a job, rejecting unknown fields and unsupported
-// wire versions so schema drift surfaces as a 400 instead of a silently
-// ignored option.
-func decodeRequest(body []byte) (*Request, int, string, error) {
-	dec := json.NewDecoder(bytes.NewReader(body))
-	dec.DisallowUnknownFields()
-	var req Request
-	if err := dec.Decode(&req); err != nil {
-		return nil, http.StatusBadRequest, CodeBadJSON, fmt.Errorf("bad request JSON: %w", err)
-	}
-	if req.V != 0 && req.V != WireVersion {
-		return nil, http.StatusBadRequest, CodeUnsupportedVersion,
-			fmt.Errorf("unsupported wire version %d (worker speaks %d)", req.V, WireVersion)
-	}
-	return &req, 0, "", nil
+// writeWireErr sends a decode rejection, preserving the field attribution
+// of bad_option errors.
+func writeWireErr(w http.ResponseWriter, we *WireError) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(we.Status)
+	json.NewEncoder(w).Encode(ErrorBody{Error: we.Detail})
 }
 
 // runEvent accumulates the fields of the one canonical wide event a /run
@@ -299,6 +308,7 @@ type runEvent struct {
 	run        *obs.Run
 	req        *Request
 	retryAfter time.Duration
+	cacheHit   bool
 }
 
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -348,12 +358,12 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, CodeBadJSON, err.Error())
 		return
 	}
-	req, status, code, err := decodeRequest(body)
-	if err != nil {
+	req, opts, we := DecodeRequest(body)
+	if we != nil {
 		rec := s.rec.Begin("run", "", nil)
-		rec.Finish(code)
-		ev.requestID, ev.outcome, ev.status, ev.errMsg = rec.ID(), code, status, err.Error()
-		writeErr(w, status, code, err.Error())
+		rec.Finish(we.Detail.Code)
+		ev.requestID, ev.outcome, ev.status, ev.errMsg = rec.ID(), we.Detail.Code, we.Status, we.Detail.Message
+		writeWireErr(w, we)
 		return
 	}
 	ev.req, ev.traceID = req, req.TraceID
@@ -376,7 +386,8 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	run := obs.StartRun("farm/run")
 	rec := s.rec.Begin("run", req.TraceID, run)
 	ev.requestID, ev.run = rec.ID(), run
-	out, contentType, err := runTraced(ctx, req, run)
+	out, contentType, hit, err := runCached(ctx, s.cache, req, opts, run)
+	ev.cacheHit = hit
 	run.Finish()
 	if err != nil {
 		status, code := classifyRunError(r, err)
@@ -422,7 +433,9 @@ func (s *server) emitRunEvent(ev *runEvent, dur time.Duration) {
 		attrs = append(attrs, slog.String("trace_id", ev.traceID))
 	}
 	if ev.req != nil {
-		attrs = append(attrs, slog.Int("netlist_bytes", len(ev.req.Netlist)))
+		attrs = append(attrs,
+			slog.Int("netlist_bytes", len(ev.req.Netlist)),
+			slog.Bool("cache_hit", ev.cacheHit))
 		if ev.req.Node != "" {
 			attrs = append(attrs, slog.String("node", ev.req.Node))
 		}
@@ -575,18 +588,26 @@ func (s *server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 // classifyRunError maps a job failure to its HTTP status and error code,
-// counting sheds of the deadline/disconnect kind.
+// counting aborts of the disconnect kind.
 func classifyRunError(r *http.Request, err error) (int, string) {
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		mDeadline.Inc()
-		return http.StatusGatewayTimeout, CodeDeadlineExceeded
-	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
+	if errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) && r.Context().Err() != nil {
 		// The client hung up; nobody reads this response, but the
 		// status keeps the request log and metrics honest. 499 is the
 		// de-facto "client closed request" code.
 		mCanceled.Inc()
 		return 499, CodeClientClosed
+	}
+	return errorCode(err)
+}
+
+// errorCode maps a job failure to its HTTP status and error code without
+// reference to the carrying request — the shared classification for /run
+// responses and per-item batch errors. Deadline aborts are counted here.
+func errorCode(err error) (int, string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		mDeadline.Inc()
+		return http.StatusGatewayTimeout, CodeDeadlineExceeded
 	case errors.Is(err, acerr.ErrUnknownNode):
 		return http.StatusUnprocessableEntity, CodeUnknownNode
 	case errors.Is(err, acerr.ErrNoConvergence):
@@ -598,19 +619,33 @@ func classifyRunError(r *http.Request, err error) (int, string) {
 	}
 }
 
-// Run executes one job locally (the server calls this; tests can too).
-// A canceled or deadline-expired ctx aborts the solve within one linear
+// Run executes one job locally (tests and the CLI's local corner driver
+// call this; the server goes through runCached with its cache). A
+// canceled or deadline-expired ctx aborts the solve within one linear
 // solve with an error wrapping acerr.ErrCanceled plus the context's own
 // error.
 func Run(ctx context.Context, req *Request) (body []byte, contentType string, err error) {
-	return runTraced(ctx, req, nil)
+	if err := checkFormat(req.Format); err != nil {
+		return nil, "", err
+	}
+	opts, err := req.Options.Normalize()
+	if err != nil {
+		return nil, "", err
+	}
+	body, contentType, _, err = runCached(ctx, nil, req, opts, nil)
+	return body, contentType, err
 }
 
-// runTraced is Run with the job executed under the given run trace (nil
-// for untraced execution): phase spans and solver counters land in run,
-// which the worker returns to the client and keeps in its flight
-// recorder.
-func runTraced(ctx context.Context, req *Request, run *obs.Run) (body []byte, contentType string, err error) {
+// runCached executes one job against the compiled-system cache: the
+// (netlist, variables) content address is looked up and only a miss pays
+// for parse → flatten → MNA compile (single-flight: concurrent identical
+// submissions share one compile). A hit forks the cached artifact and
+// goes straight to numeric refactorization and the sweep — the parse,
+// flatten, mna_assembly, and op phase spans are absent from the run
+// trace, which is how a warm run is recognized in the flight recorder. A
+// nil cache compiles every request from scratch. opts must come from the
+// request's Options.Normalize (the handler already has it from decode).
+func runCached(ctx context.Context, cache *Cache, req *Request, opts tool.Options, run *obs.Run) (body []byte, contentType string, cacheHit bool, err error) {
 	mRunsTotal.Inc()
 	defer func() {
 		if err != nil {
@@ -618,62 +653,57 @@ func runTraced(ctx context.Context, req *Request, run *obs.Run) (body []byte, co
 		}
 	}()
 	if len(req.Netlist) > MaxNetlistBytes {
-		return nil, "", fmt.Errorf("farm: netlist larger than %d bytes", MaxNetlistBytes)
+		return nil, "", false, fmt.Errorf("farm: netlist larger than %d bytes", MaxNetlistBytes)
 	}
-	sp := obs.StartPhase(run, "parse")
-	ckt, err := netlist.Parse(req.Netlist)
-	sp.End()
-	if err != nil {
-		return nil, "", err
-	}
-	for k, v := range req.Variables {
-		if _, ok := ckt.Params[k]; !ok {
-			return nil, "", fmt.Errorf("farm: unknown design variable %q", k)
-		}
-		ckt.Params[k] = v
-	}
-	opts := tool.DefaultOptions()
 	opts.Trace = run
-	if o := req.Options; true {
-		if o.FStartHz > 0 {
-			opts.FStart = o.FStartHz
+
+	compile := func() (*tool.Compiled, error) {
+		sp := obs.StartPhase(run, "parse")
+		ckt, err := netlist.Parse(req.Netlist)
+		sp.End()
+		if err != nil {
+			return nil, err
 		}
-		if o.FStopHz > 0 {
-			opts.FStop = o.FStopHz
+		for k, v := range req.Variables {
+			if _, ok := ckt.Params[k]; !ok {
+				return nil, fmt.Errorf("farm: unknown design variable %q", k)
+			}
+			ckt.Params[k] = v
 		}
-		if o.PointsPerDecade > 0 {
-			opts.PointsPerDecade = o.PointsPerDecade
-		}
-		if o.LoopTol > 0 {
-			opts.LoopTol = o.LoopTol
-		}
-		opts.Workers = o.Workers
-		opts.Naive = o.Naive
-		opts.SkipNodes = o.SkipNodes
-		opts.OnlySubckt = o.OnlySubckt
+		return tool.Compile(ckt, opts)
 	}
-	t, err := tool.New(ckt, opts)
+
+	var c *tool.Compiled
+	if cache != nil {
+		c, cacheHit, err = cache.Get(ctx, KeyFor(req.Netlist, req.Variables), compile)
+	} else {
+		c, err = compile()
+	}
 	if err != nil {
-		return nil, "", err
+		return nil, "", false, err
+	}
+	t, err := tool.NewFromCompiled(c, opts)
+	if err != nil {
+		return nil, "", false, err
 	}
 
 	var buf bytes.Buffer
 	if req.Node != "" {
 		nr, err := t.SingleNode(ctx, req.Node)
 		if err != nil {
-			return nil, "", err
+			return nil, "", cacheHit, err
 		}
 		enc := json.NewEncoder(&buf)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(singleNodeJSON(nr)); err != nil {
-			return nil, "", err
+			return nil, "", cacheHit, err
 		}
-		return buf.Bytes(), "application/json", nil
+		return buf.Bytes(), "application/json", cacheHit, nil
 	}
 
 	rep, err := t.AllNodes(ctx)
 	if err != nil {
-		return nil, "", err
+		return nil, "", cacheHit, err
 	}
 	switch req.Format {
 	case "", "text":
@@ -689,12 +719,12 @@ func runTraced(ctx context.Context, req *Request, run *obs.Run) (body []byte, co
 		err = report.Annotate(&buf, t.Flat, rep)
 		contentType = "text/plain; charset=utf-8"
 	default:
-		return nil, "", fmt.Errorf("farm: unknown format %q", req.Format)
+		return nil, "", cacheHit, fmt.Errorf("farm: unknown format %q", req.Format)
 	}
 	if err != nil {
-		return nil, "", err
+		return nil, "", cacheHit, err
 	}
-	return buf.Bytes(), contentType, nil
+	return buf.Bytes(), contentType, cacheHit, nil
 }
 
 // Statusz is the JSON document served at GET /statusz: a human- and
@@ -717,6 +747,10 @@ type Statusz struct {
 	// solves, Newton iterations, operating-point solves, MNA compiles).
 	Solver  map[string]int64 `json:"solver,omitempty"`
 	Workers StatuszWorkers   `json:"workers"`
+	// Cache reports the compiled-system cache: occupancy, capacity, and
+	// the cumulative hit/miss/eviction/invalidation counters. Nil when
+	// caching is disabled.
+	Cache *CacheStats `json:"cache,omitempty"`
 	// Build identifies the binary (version, toolchain, VCS revision) so a
 	// fleet poller can tell mixed-version fleets apart.
 	Build obs.BuildInfo `json:"build"`
@@ -817,6 +851,10 @@ func (s *server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	st := statuszFrom(obs.Default.Snapshot(), time.Since(s.start), s.cfg)
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		st.Cache = &cs
+	}
 	st.DebugRunsURL = "/debug/runs"
 	st.DebugEventsURL = "/debug/events"
 	st.Build = s.build

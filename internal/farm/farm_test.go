@@ -160,10 +160,11 @@ func TestHandlerErrorPaths(t *testing.T) {
 	if code, body := postJSON(t, srv, "{not json"); code != http.StatusBadRequest {
 		t.Errorf("malformed JSON: status %d, body %q", code, body)
 	}
-	// Unknown format is a job-level failure.
+	// Unknown format is rejected at decode time with a typed field error.
 	req, _ := json.Marshal(&Request{Netlist: tankNetlist, Format: "yaml"})
-	if code, body := postJSON(t, srv, string(req)); code != http.StatusUnprocessableEntity ||
-		!strings.Contains(body, "unknown format") {
+	if code, body := postJSON(t, srv, string(req)); code != http.StatusBadRequest ||
+		!strings.Contains(body, `"code":"bad_option"`) ||
+		!strings.Contains(body, `"field":"format"`) {
 		t.Errorf("unknown format: status %d, body %q", code, body)
 	}
 	// Oversized netlist: the declared size exceeds MaxNetlistBytes. The

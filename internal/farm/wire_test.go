@@ -1,0 +1,57 @@
+package farm
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNormalizeDefaults(t *testing.T) {
+	opts, err := (RequestOptions{}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.FStart <= 0 || opts.FStop <= opts.FStart || opts.PointsPerDecade <= 0 {
+		t.Errorf("zero options did not take defaults: %+v", opts)
+	}
+	// Explicit values pass through.
+	opts, err = (RequestOptions{FStartHz: 10, FStopHz: 1e6, PointsPerDecade: 7,
+		Workers: 2, Naive: true, SkipNodes: []string{"x"}}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.FStart != 10 || opts.FStop != 1e6 || opts.PointsPerDecade != 7 ||
+		opts.Workers != 2 || !opts.Naive || len(opts.SkipNodes) != 1 {
+		t.Errorf("explicit options mangled: %+v", opts)
+	}
+}
+
+func TestNormalizeFieldErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		in    RequestOptions
+		field string
+	}{
+		{"negative fstart", RequestOptions{FStartHz: -1}, "fstart_hz"},
+		{"negative fstop", RequestOptions{FStopHz: -1}, "fstop_hz"},
+		{"inverted range", RequestOptions{FStartHz: 1e6, FStopHz: 10}, "fstop_hz"},
+		{"negative ppd", RequestOptions{PointsPerDecade: -1}, "points_per_decade"},
+		{"negative loop_tol", RequestOptions{LoopTol: -0.1}, "loop_tol"},
+		{"negative workers", RequestOptions{Workers: -1}, "workers"},
+	} {
+		_, err := tc.in.Normalize()
+		var fe *FieldError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s: err = %v, want *FieldError", tc.name, err)
+			continue
+		}
+		if fe.Field != tc.field {
+			t.Errorf("%s: field %q, want %q", tc.name, fe.Field, tc.field)
+		}
+		// The wire mapping turns the field error into a 400 bad_option with
+		// the field attributed.
+		we := wireErrorFrom(err)
+		if we.Status != 400 || we.Detail.Code != CodeBadOption || we.Detail.Field != tc.field {
+			t.Errorf("%s: wire error %+v", tc.name, we)
+		}
+	}
+}

@@ -188,6 +188,11 @@ type WorkerView struct {
 	RunsTotal     int64   `json:"runs_total,omitempty"`
 	RunErrors     int64   `json:"run_errors_total,omitempty"`
 	Shed          int64   `json:"shed_total,omitempty"`
+	// CacheHits/CacheMisses/CacheEntries mirror the worker's
+	// compiled-system cache stats (zero when the worker runs cacheless).
+	CacheHits    int64 `json:"cache_hits_total,omitempty"`
+	CacheMisses  int64 `json:"cache_misses_total,omitempty"`
+	CacheEntries int   `json:"cache_entries,omitempty"`
 	// Build identifies the worker's binary; a fleet of mixed revisions is
 	// visible here.
 	Build obs.BuildInfo `json:"build"`
@@ -249,6 +254,11 @@ func (f *Fleet) Snapshot() View {
 			wv.Shed = st.Overload.Shed
 			wv.Build = st.Build
 			wv.SLOHealth = st.SLO.Health
+			if st.Cache != nil {
+				wv.CacheHits = st.Cache.Hits
+				wv.CacheMisses = st.Cache.Misses
+				wv.CacheEntries = st.Cache.Entries
+			}
 
 			for name, v := range w.export.Counters {
 				view.Merged.Counters[name] += v

@@ -60,7 +60,7 @@ func (w *statusWriter) Flush() {
 // grow the metric space without bound.
 func labelPath(p string) string {
 	switch {
-	case p == "/run", p == "/healthz", p == "/metrics", p == "/statusz":
+	case p == "/run", p == "/batch", p == "/healthz", p == "/metrics", p == "/statusz":
 		return p
 	case p == "/debug/runs" || strings.HasPrefix(p, "/debug/runs/"):
 		return "/debug/runs"
@@ -76,10 +76,10 @@ func labelPath(p string) string {
 // Middleware wraps an HTTP handler with request observability: a request
 // counter and latency histogram per (path, status), request/response byte
 // counters, an in-flight gauge, and one "http" wide event per request
-// carrying a process-unique request ID. Requests to /run are metered but
-// not logged here — the run handler emits the single canonical "run" wide
-// event for them, and one request must produce exactly one event. A nil
-// log selects StderrEvents.
+// carrying a process-unique request ID. Requests to /run and /batch are
+// metered but not logged here — those handlers emit the single canonical
+// "run"/"batch" wide event for them, and one request must produce exactly
+// one event. A nil log selects StderrEvents.
 func Middleware(next http.Handler, log *EventLogger) http.Handler {
 	if log == nil {
 		log = StderrEvents
@@ -105,7 +105,7 @@ func Middleware(next http.Handler, log *EventLogger) http.Handler {
 			bytesIn.Add(r.ContentLength)
 		}
 		bytesOut.Add(sw.bytes)
-		if path == "/run" {
+		if path == "/run" || path == "/batch" {
 			return
 		}
 		log.Event("http",

@@ -53,6 +53,13 @@ type Pattern struct {
 // N returns the matrix dimension.
 func (p *Pattern) N() int { return p.n }
 
+// Checksum returns the FNV-1a structural checksum of the recorded stamp
+// stream. Two circuits whose assembly passes issue the same (i, j) call
+// sequence share a checksum, and a circuit whose stamping changed (drift)
+// does not — which makes it the content fingerprint the worker's
+// compiled-system cache validates entries against.
+func (p *Pattern) Checksum() uint64 { return p.sig }
+
 // NNZ returns the number of distinct structural positions.
 func (p *Pattern) NNZ() int { return len(p.col) }
 

@@ -118,55 +118,51 @@ type Tool struct {
 	Sim  *analysis.Sim
 	Opts Options
 	op   *mna.OpPoint
+	// shared is the compiled artifact this Tool was built from (nil for
+	// tools compiled directly by New). When set, the operating point is
+	// computed once on the artifact and reused by every Tool sharing it.
+	shared *Compiled
 }
 
 // New flattens and compiles the circuit and prepares the solver. The
 // original circuit is not modified: auto-zeroing operates on the
 // flattened copy.
 func New(ckt *netlist.Circuit, opts Options) (*Tool, error) {
-	if opts.FStart <= 0 || opts.FStop <= opts.FStart {
-		return nil, fmt.Errorf("tool: bad frequency range [%g, %g]", opts.FStart, opts.FStop)
-	}
-	if opts.PointsPerDecade <= 0 {
-		opts.PointsPerDecade = 40
-	}
-	if opts.LoopTol <= 0 {
-		opts.LoopTol = 0.12
-	}
-	sp := obs.StartPhase(opts.Trace, "flatten")
-	flat, err := netlist.Flatten(ckt)
-	sp.End()
+	opts, err := withRunDefaults(opts)
 	if err != nil {
 		return nil, err
 	}
-	if opts.AutoZeroAC {
-		flat.ZeroACSources()
-	}
-	sp = obs.StartPhase(opts.Trace, "mna_assembly")
-	sys, err := mna.Compile(flat)
-	sp.End()
+	c, err := Compile(ckt, opts)
 	if err != nil {
 		return nil, err
 	}
-	sim := analysis.New(sys)
-	if opts.Analysis != nil {
-		sim.Opt = *opts.Analysis
-	}
+	sim := c.base.Fork()
 	sim.Trace = opts.Trace
-	return &Tool{Ckt: ckt, Flat: flat, Sys: sys, Sim: sim, Opts: opts}, nil
+	return &Tool{Ckt: ckt, Flat: c.Flat, Sys: c.Sys, Sim: sim, Opts: opts, shared: c}, nil
 }
 
-// ensureOP computes and caches the operating point.
+// ensureOP computes and caches the operating point. Tools built over a
+// shared compiled artifact store the point on the artifact, so corners
+// and batch variants of one circuit pay for Newton once.
 func (t *Tool) ensureOP(ctx context.Context) (*mna.OpPoint, error) {
-	if t.op == nil {
-		sp := obs.StartPhase(t.Opts.Trace, "op")
-		op, err := t.Sim.OP(ctx)
-		sp.End()
+	if t.op != nil {
+		return t.op, nil
+	}
+	if t.shared != nil {
+		op, err := t.shared.ensureOP(ctx, t.Sim, t.Opts.Trace)
 		if err != nil {
-			return nil, fmt.Errorf("tool: operating point: %w", err)
+			return nil, err
 		}
 		t.op = op
+		return t.op, nil
 	}
+	sp := obs.StartPhase(t.Opts.Trace, "op")
+	op, err := t.Sim.OP(ctx)
+	sp.End()
+	if err != nil {
+		return nil, fmt.Errorf("tool: operating point: %w", err)
+	}
+	t.op = op
 	return t.op, nil
 }
 
