@@ -36,6 +36,7 @@ import (
 	"acstab/internal/num"
 	"acstab/internal/obs"
 	"acstab/internal/report"
+	"acstab/internal/shard"
 	"acstab/internal/tool"
 	"acstab/internal/wave"
 )
@@ -76,7 +77,8 @@ func runWith(args []string, out, errOut io.Writer) error {
 		sigmas    multiFlag
 		stateIn   = fs.String("state", "", "load run setup from a saved state file")
 		stateOut  = fs.String("save-state", "", "save the run setup to a state file")
-		remote    = fs.String("remote", "", "submit the run to a remote acstabd worker (URL)")
+		remote    = fs.String("remote", "", "submit the run to remote acstabd worker(s): one URL, or a comma-separated fleet for a sharded all-nodes run")
+		shards    = fs.Int("shards", 0, "split a -remote all-nodes run into this many node-range shards (0 = one per worker; sharding engages with >1 worker or an explicit count)")
 		sets      multiFlag
 		diagFile  = fs.String("diag", "", "write a diagnostic report file on completion")
 		stats     = fs.Bool("stats", false, "print phase timings and solver counters to stderr")
@@ -204,10 +206,16 @@ func runWith(args []string, out, errOut io.Writer) error {
 		}
 	}
 
+	sharded := *remote != "" && (strings.Contains(*remote, ",") || *shards > 0)
 	var runErr error
 	switch {
 	case *corners != "":
+		if sharded {
+			return fmt.Errorf("-corners takes a single -remote worker (the batch is one wire-v2 submission)")
+		}
 		runErr = runCorners(ctx, out, *remote, src, opts, *node, *format, *timeout, trace, *corners)
+	case sharded:
+		runErr = runSharded(ctx, out, *remote, *shards, src, opts, *node, *format, *timeout)
 	case *remote != "":
 		runErr = runRemote(ctx, out, *remote, src, opts, *node, *format, *timeout, trace)
 	case *mcRuns > 0:
@@ -451,6 +459,44 @@ func runRemote(ctx context.Context, out io.Writer, url, src string, opts tool.Op
 	}
 	_, err = out.Write(body)
 	return err
+}
+
+// runSharded fans the all-nodes run out over a worker fleet: the shard
+// coordinator splits the planned node list into node-range shards (one
+// per worker unless -shards says otherwise), races stragglers with
+// hedged duplicates, re-dispatches shed or failed shards, and merges the
+// per-shard reports into the same report an unsharded run would print.
+// The merged run trace (opts.Trace) carries every winning worker's
+// grafted spans, so -stats shows the whole fleet's work.
+func runSharded(ctx context.Context, out io.Writer, remotes string, shards int, src string,
+	opts tool.Options, node, format string, timeout time.Duration) error {
+	if node != "" {
+		return fmt.Errorf("-shards splits all-nodes runs; use a single -remote worker for -node")
+	}
+	var workers []string
+	for _, w := range strings.Split(remotes, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			workers = append(workers, w)
+		}
+	}
+	coord, err := shard.New(shard.Config{Workers: workers, Shards: shards, Timeout: timeout})
+	if err != nil {
+		return err
+	}
+	rep, err := coord.AllNodes(ctx, src, opts)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "text":
+		return report.Text(out, rep)
+	case "csv":
+		return report.CSV(out, rep)
+	case "json":
+		return report.JSON(out, rep)
+	default:
+		return fmt.Errorf("unknown format %q for a sharded run", format)
+	}
 }
 
 // runCorners drives a corner batch from a corners file: every corner is

@@ -565,3 +565,40 @@ func TestCornersFileErrors(t *testing.T) {
 		t.Errorf("malformed pair should fail with line attribution, got: %v", err)
 	}
 }
+
+// TestShardedCLI drives the -remote fleet + -shards path end to end: a
+// sharded all-nodes run over two local workers must print exactly what
+// the local (unsharded) run prints, in every format.
+func TestShardedCLI(t *testing.T) {
+	quiet := obs.NewEventLogger(nil)
+	srv1 := httptest.NewServer(farm.NewHandler(farm.Config{Log: quiet}))
+	defer srv1.Close()
+	srv2 := httptest.NewServer(farm.NewHandler(farm.Config{Log: quiet}))
+	defer srv2.Close()
+	fleet := srv1.URL + "," + srv2.URL
+	path := writeNetlist(t, opampNetlist)
+
+	for _, format := range []string{"text", "json"} {
+		var local, sharded bytes.Buffer
+		if err := run([]string{"-i", path, "-format", format}, &local); err != nil {
+			t.Fatal(err)
+		}
+		if err := run([]string{"-i", path, "-format", format,
+			"-remote", fleet, "-shards", "3"}, &sharded); err != nil {
+			t.Fatal(err)
+		}
+		if sharded.String() != local.String() {
+			t.Errorf("%s: sharded output differs from local\n--- sharded ---\n%s\n--- local ---\n%s",
+				format, sharded.String(), local.String())
+		}
+	}
+
+	// Guard rails: single-node mode and corner batches do not shard.
+	var out bytes.Buffer
+	if err := run([]string{"-i", path, "-node", "output", "-remote", fleet}, &out); err == nil {
+		t.Error("-node with a worker fleet should fail")
+	}
+	if err := run([]string{"-i", path, "-corners", path, "-remote", fleet}, &out); err == nil {
+		t.Error("-corners with a worker fleet should fail")
+	}
+}

@@ -178,6 +178,12 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		rec := s.rec.Begin("batch", "", nil)
 		rec.Finish("shed")
 		ev.requestID, ev.outcome, ev.status = rec.ID(), "shed", http.StatusTooManyRequests
+		// Batch sheds burn the error budget exactly like /run sheds do
+		// (farm.go scores them in its deferred outcome hook): a worker
+		// shedding every batch must not keep scoring healthy. The served
+		// items are scored per-item below, so this is the only batch-level
+		// Record call.
+		s.slo.Record(false, time.Since(start))
 		w.Header().Set("Retry-After",
 			strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 		writeErr(w, http.StatusTooManyRequests, CodeOverloaded,
@@ -186,10 +192,12 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	mJobsInflight.Inc()
 	defer mJobsInflight.Dec()
-	body, err := io.ReadAll(io.LimitReader(r.Body, MaxNetlistBytes+1<<20))
-	if err != nil {
-		ev.outcome, ev.status, ev.errMsg = CodeBadJSON, http.StatusBadRequest, err.Error()
-		writeErr(w, http.StatusBadRequest, CodeBadJSON, err.Error())
+	body, we := readBody(r, maxBatchRequestBytes)
+	if we != nil {
+		rec := s.rec.Begin("batch", "", nil)
+		rec.Finish(we.Detail.Code)
+		ev.requestID, ev.outcome, ev.status, ev.errMsg = rec.ID(), we.Detail.Code, we.Status, we.Detail.Message
+		writeWireErr(w, we)
 		return
 	}
 	req, opts, we := DecodeBatchRequest(body)
@@ -216,7 +224,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
-	err = RunBatch(r.Context(), s.cache, req, opts, itemTimeout, run, func(it BatchItem) {
+	err := RunBatch(r.Context(), s.cache, req, opts, itemTimeout, run, func(it BatchItem) {
 		ev.items++
 		if it.Error != nil {
 			ev.itemErrs++

@@ -109,7 +109,12 @@ type TracedResponse struct {
 	Trace *obs.Trace `json:"trace,omitempty"`
 }
 
-// RequestOptions mirrors the CLI sweep flags.
+// RequestOptions mirrors the CLI sweep flags. Workers is a tuning hint
+// clamped server-side to MaxWireWorkers. OnlyNodes is the shard
+// coordinator's partitioning handle: it restricts an all-nodes run to
+// exactly the named nodes (exact case-insensitive match, unlike the
+// substring-matched SkipNodes), so one whole analysis splits into
+// node-range shards riding the ordinary v1 wire.
 type RequestOptions struct {
 	FStartHz        float64  `json:"fstart_hz,omitempty"`
 	FStopHz         float64  `json:"fstop_hz,omitempty"`
@@ -118,11 +123,24 @@ type RequestOptions struct {
 	Workers         int      `json:"workers,omitempty"`
 	Naive           bool     `json:"naive,omitempty"`
 	SkipNodes       []string `json:"skip_nodes,omitempty"`
+	OnlyNodes       []string `json:"only_nodes,omitempty"`
 	OnlySubckt      string   `json:"only_subckt,omitempty"`
 }
 
-// MaxNetlistBytes bounds request size.
+// MaxNetlistBytes bounds the decoded netlist size.
 const MaxNetlistBytes = 4 << 20
+
+// maxRunRequestBytes and maxBatchRequestBytes bound the raw request
+// bodies. JSON string escaping can inflate a netlist to roughly twice its
+// size on the wire (every newline becomes \n), so the body budget is
+// double the netlist budget plus headroom for options (and, for batches,
+// the variant list). A body exceeding its budget is answered 413
+// payload_too_large — never silently truncated into a confusing
+// bad_json rejection.
+const (
+	maxRunRequestBytes   = 2*MaxNetlistBytes + 64<<10
+	maxBatchRequestBytes = 2*MaxNetlistBytes + 1<<20
+)
 
 // Config tunes a farm worker's request path.
 type Config struct {
@@ -267,6 +285,7 @@ type ErrorDetail struct {
 const (
 	CodeBadJSON            = "bad_json"
 	CodeBadOption          = "bad_option"
+	CodePayloadTooLarge    = "payload_too_large"
 	CodeUnsupportedVersion = "unsupported_version"
 	CodeMethodNotAllowed   = "method_not_allowed"
 	CodeOverloaded         = "overloaded"
@@ -278,6 +297,25 @@ const (
 	CodeSingularMatrix     = "singular_matrix"
 	CodeRunFailed          = "run_failed"
 )
+
+// readBody reads the request body up to limit bytes. A body exceeding
+// the limit is rejected as 413 payload_too_large: an io.LimitReader alone
+// would silently truncate the JSON document and the decoder would then
+// misreport the cut-off as a bad_json 400, pointing the client at its
+// (valid) JSON instead of its size.
+func readBody(r *http.Request, limit int64) ([]byte, *WireError) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		return nil, &WireError{Status: http.StatusBadRequest,
+			Detail: ErrorDetail{Code: CodeBadJSON, Message: err.Error()}}
+	}
+	if int64(len(body)) > limit {
+		return nil, &WireError{Status: http.StatusRequestEntityTooLarge,
+			Detail: ErrorDetail{Code: CodePayloadTooLarge,
+				Message: fmt.Sprintf("request body exceeds %d bytes", limit)}}
+	}
+	return body, nil
+}
 
 // writeErr sends a structured error body with the given status.
 func writeErr(w http.ResponseWriter, status int, code, message string) {
@@ -350,12 +388,12 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	mJobsInflight.Inc()
 	defer mJobsInflight.Dec()
-	body, err := io.ReadAll(io.LimitReader(r.Body, MaxNetlistBytes+4096))
-	if err != nil {
+	body, we := readBody(r, maxRunRequestBytes)
+	if we != nil {
 		rec := s.rec.Begin("run", "", nil)
-		rec.Finish(CodeBadJSON)
-		ev.requestID, ev.outcome, ev.status, ev.errMsg = rec.ID(), CodeBadJSON, http.StatusBadRequest, err.Error()
-		writeErr(w, http.StatusBadRequest, CodeBadJSON, err.Error())
+		rec.Finish(we.Detail.Code)
+		ev.requestID, ev.outcome, ev.status, ev.errMsg = rec.ID(), we.Detail.Code, we.Status, we.Detail.Message
+		writeWireErr(w, we)
 		return
 	}
 	req, opts, we := DecodeRequest(body)
@@ -941,7 +979,8 @@ func (e *StatusError) Retryable() bool {
 // final failure is returned as a *StatusError (HTTP-level) or transport
 // error. ctx bounds the whole call including backoff waits.
 func (c *Client) Submit(ctx context.Context, req *Request) ([]byte, error) {
-	return c.submit(ctx, req, nil)
+	body, _, err := c.submit(ctx, req, nil, false)
+	return body, err
 }
 
 // SubmitTraced is Submit with distributed tracing: it asks the worker to
@@ -950,10 +989,20 @@ func (c *Client) Submit(ctx context.Context, req *Request) ([]byte, error) {
 // annotated with the attempt number so retried submissions stay
 // distinguishable. A nil run behaves exactly like Submit.
 func (c *Client) SubmitTraced(ctx context.Context, req *Request, run *obs.Run) ([]byte, error) {
-	return c.submit(ctx, req, run)
+	body, _, err := c.submit(ctx, req, run, false)
+	return body, err
 }
 
-func (c *Client) submit(ctx context.Context, req *Request, run *obs.Run) ([]byte, error) {
+// SubmitCollect posts the job asking the worker for its run trace and
+// returns that trace to the caller instead of grafting it. The shard
+// coordinator uses this: it races hedged duplicate submissions of one
+// shard, and only the winning attempt's trace may be grafted into the
+// run — a submit-time graft would splice the loser in too.
+func (c *Client) SubmitCollect(ctx context.Context, req *Request) ([]byte, *obs.Trace, error) {
+	return c.submit(ctx, req, nil, true)
+}
+
+func (c *Client) submit(ctx context.Context, req *Request, run *obs.Run, collect bool) ([]byte, *obs.Trace, error) {
 	hc := c.HTTPClient
 	if hc == nil {
 		t := c.Timeout
@@ -966,7 +1015,7 @@ func (c *Client) submit(ctx context.Context, req *Request, run *obs.Run) ([]byte
 	if wire.V == 0 {
 		wire.V = WireVersion
 	}
-	if run != nil {
+	if run != nil || collect {
 		wire.CollectTrace = true
 		if wire.TraceID == "" {
 			wire.TraceID = newTraceID()
@@ -974,7 +1023,7 @@ func (c *Client) submit(ctx context.Context, req *Request, run *obs.Run) ([]byte
 	}
 	payload, err := json.Marshal(&wire)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	base := c.RetryBaseDelay
 	if base <= 0 {
@@ -1002,11 +1051,11 @@ func (c *Client) submit(ctx context.Context, req *Request, run *obs.Run) ([]byte
 			if run != nil && tr != nil {
 				run.GraftRemote(*tr, attemptStart, time.Since(attemptStart), attempt+1)
 			}
-			return body, nil
+			return body, tr, nil
 		}
 		lastErr = err
 		if attempt >= retries || !retryable(err) || ctx.Err() != nil {
-			return nil, lastErr
+			return nil, nil, lastErr
 		}
 		delay := backoffDelay(base, maxDelay, attempt)
 		var se *StatusError
@@ -1016,7 +1065,7 @@ func (c *Client) submit(ctx context.Context, req *Request, run *obs.Run) ([]byte
 		select {
 		case <-time.After(delay):
 		case <-ctx.Done():
-			return nil, fmt.Errorf("farm: %w (last attempt: %v)", ctx.Err(), lastErr)
+			return nil, nil, fmt.Errorf("farm: %w (last attempt: %v)", ctx.Err(), lastErr)
 		}
 	}
 }

@@ -1,0 +1,142 @@
+package farm
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"acstab/internal/obs"
+)
+
+// oversizedBody returns a request body just past limit: syntactically it
+// would be valid JSON if read whole, so any rejection proves the size
+// check fired rather than the JSON decoder.
+func oversizedBody(limit int64) string {
+	pad := strings.Repeat("x", int(limit))
+	b, _ := json.Marshal(map[string]any{"v": 1, "netlist": pad})
+	return string(b)
+}
+
+// TestRunPayloadTooLarge pins the /run oversize behavior: a body past
+// the read budget answers 413 payload_too_large. Before the explicit
+// check, io.LimitReader silently truncated the document and the decoder
+// blamed the client's JSON (bad_json 400) — pointing at the wrong bug.
+func TestRunPayloadTooLarge(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Config{Log: obs.NewEventLogger(nil)}))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/run", "application/json",
+		strings.NewReader(oversizedBody(maxRunRequestBytes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Code != CodePayloadTooLarge {
+		t.Errorf("code %q, want %q", eb.Error.Code, CodePayloadTooLarge)
+	}
+}
+
+// TestBatchPayloadTooLarge is the same contract on the v2 endpoint.
+func TestBatchPayloadTooLarge(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Config{Log: obs.NewEventLogger(nil)}))
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/batch", "application/json",
+		strings.NewReader(oversizedBody(maxBatchRequestBytes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Code != CodePayloadTooLarge {
+		t.Errorf("code %q, want %q", eb.Error.Code, CodePayloadTooLarge)
+	}
+}
+
+// TestRunUnderLimitStillServed guards the budget math: a legal netlist
+// near MaxNetlistBytes whose JSON escaping inflates it past the old
+// MaxNetlistBytes+4k read cap must still decode (and fail on substance,
+// not size or truncation).
+func TestRunUnderLimitStillServed(t *testing.T) {
+	// ~1M of comment lines: every newline escapes to two bytes on the
+	// wire, so wire size ≈ 2x netlist size — over the old cap's headroom
+	// but far under MaxNetlistBytes itself.
+	var sb strings.Builder
+	sb.WriteString("escape blowup\n")
+	line := "* " + strings.Repeat("c", 6) + "\n"
+	for sb.Len() < 1<<20 {
+		sb.WriteString(line)
+	}
+	sb.WriteString("R1 a 0 1k\nC1 a 0 1n\nL1 a 0 1m\n")
+
+	srv := httptest.NewServer(NewHandler(Config{Log: obs.NewEventLogger(nil)}))
+	defer srv.Close()
+	payload, _ := json.Marshal(&Request{V: 1, Netlist: sb.String()})
+	resp, err := http.Post(srv.URL+"/run", "application/json", strings.NewReader(string(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (escaped body must fit the budget)", resp.StatusCode)
+	}
+}
+
+// TestBatchShedScoresSLO pins the fix for the unscored batch shed: a
+// /batch request shed at admission must burn the SLO error budget
+// exactly like a /run shed does. Before the fix the shed path returned
+// without recording, so a worker shedding every batch kept scoring
+// perfectly healthy.
+func TestBatchShedScoresSLO(t *testing.T) {
+	s := &server{cfg: Config{MaxConcurrent: 1, RetryAfter: time.Second}.withDefaults(),
+		start: time.Now()}
+	s.sem = make(chan struct{}, 1)
+	s.sem <- struct{}{} // saturate admission
+	s.slo = obs.NewSLOTracker(obs.SLOConfig{})
+	before := sloTotal(t, s)
+
+	payload, _ := json.Marshal(&BatchRequest{V: WireV2, Netlist: tankNetlist,
+		Node: "t", Variants: []Variant{{Label: "a"}}})
+	rec := httptest.NewRecorder()
+	s.handleBatch(rec, httptest.NewRequest(http.MethodPost, "/batch", strings.NewReader(string(payload))))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", rec.Code)
+	}
+
+	after := sloTotal(t, s)
+	if after.total != before.total+1 {
+		t.Errorf("SLO total moved %d -> %d, want +1 (shed not scored)", before.total, after.total)
+	}
+	if after.good != before.good {
+		t.Errorf("SLO good moved %d -> %d, want unchanged (shed must burn budget)", before.good, after.good)
+	}
+}
+
+type sloTally struct{ total, good int64 }
+
+// sloTotal sums the tracker's shortest window tallies.
+func sloTotal(t *testing.T, s *server) sloTally {
+	t.Helper()
+	snap := s.slo.Snapshot()
+	if len(snap.Windows) == 0 {
+		t.Fatal("no SLO windows")
+	}
+	w := snap.Windows[0]
+	return sloTally{total: w.Total, good: w.Good}
+}

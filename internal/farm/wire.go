@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 
 	"acstab/internal/tool"
 )
@@ -47,13 +48,13 @@ func (e *FieldError) Error() string {
 func (o RequestOptions) Normalize() (tool.Options, error) {
 	opts := tool.DefaultOptions()
 	if o.FStartHz < 0 {
-		return opts, &FieldError{Field: "fstart_hz", Reason: "must be > 0"}
+		return opts, &FieldError{Field: "fstart_hz", Reason: "must be >= 0 (0 = server default)"}
 	}
 	if o.FStartHz > 0 {
 		opts.FStart = o.FStartHz
 	}
 	if o.FStopHz < 0 {
-		return opts, &FieldError{Field: "fstop_hz", Reason: "must be > 0"}
+		return opts, &FieldError{Field: "fstop_hz", Reason: "must be >= 0 (0 = server default)"}
 	}
 	if o.FStopHz > 0 {
 		opts.FStop = o.FStopHz
@@ -78,11 +79,24 @@ func (o RequestOptions) Normalize() (tool.Options, error) {
 		return opts, &FieldError{Field: "workers", Reason: "must be >= 0 (0 = GOMAXPROCS)"}
 	}
 	opts.Workers = o.Workers
+	// The worker count is wire-supplied: without a ceiling a remote caller
+	// can demand millions of sweep goroutines per job. Sweep workers are
+	// CPU-bound, so anything beyond the CPU count only burns memory; the
+	// ask is clamped silently (it is a tuning hint, not a contract).
+	if max := MaxWireWorkers(); opts.Workers > max {
+		opts.Workers = max
+	}
 	opts.Naive = o.Naive
 	opts.SkipNodes = o.SkipNodes
+	opts.OnlyNodes = o.OnlyNodes
 	opts.OnlySubckt = o.OnlySubckt
 	return opts, nil
 }
+
+// MaxWireWorkers is the server-side ceiling on the wire-supplied sweep
+// worker count: GOMAXPROCS, the point beyond which additional CPU-bound
+// sweep workers stop helping. Normalize clamps larger asks to it.
+func MaxWireWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // checkFormat validates the response-format selector shared by Request
 // and BatchRequest.

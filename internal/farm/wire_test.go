@@ -2,6 +2,7 @@ package farm
 
 import (
 	"errors"
+	"strings"
 	"testing"
 )
 
@@ -13,15 +14,62 @@ func TestNormalizeDefaults(t *testing.T) {
 	if opts.FStart <= 0 || opts.FStop <= opts.FStart || opts.PointsPerDecade <= 0 {
 		t.Errorf("zero options did not take defaults: %+v", opts)
 	}
-	// Explicit values pass through.
+	// Explicit values pass through (Workers: 1 is under the wire cap on
+	// any machine).
 	opts, err = (RequestOptions{FStartHz: 10, FStopHz: 1e6, PointsPerDecade: 7,
-		Workers: 2, Naive: true, SkipNodes: []string{"x"}}).Normalize()
+		Workers: 1, Naive: true, SkipNodes: []string{"x"}}).Normalize()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if opts.FStart != 10 || opts.FStop != 1e6 || opts.PointsPerDecade != 7 ||
-		opts.Workers != 2 || !opts.Naive || len(opts.SkipNodes) != 1 {
+		opts.Workers != 1 || !opts.Naive || len(opts.SkipNodes) != 1 {
 		t.Errorf("explicit options mangled: %+v", opts)
+	}
+}
+
+// TestNormalizeWorkerClamp pins the server-side ceiling on wire-supplied
+// worker counts: an absurd ask must not size a worker pool.
+func TestNormalizeWorkerClamp(t *testing.T) {
+	opts, err := (RequestOptions{Workers: 1 << 20}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max := MaxWireWorkers(); opts.Workers != max {
+		t.Errorf("workers = %d, want clamped to MaxWireWorkers() = %d", opts.Workers, max)
+	}
+	// An ask at or under the cap passes through untouched.
+	opts, err = (RequestOptions{Workers: 1}).Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Workers != 1 {
+		t.Errorf("workers = %d, want 1 (under the cap)", opts.Workers)
+	}
+}
+
+// TestNormalizeRejectionMessages pins the wording of range rejections:
+// every knob that accepts 0 as "server default" must say ">= 0" — the
+// fstart_hz/fstop_hz messages used to claim "must be > 0" while the
+// check only rejected negatives, telling a caller who sent a legal 0
+// that their request was invalid.
+func TestNormalizeRejectionMessages(t *testing.T) {
+	for _, in := range []RequestOptions{
+		{FStartHz: -1},
+		{FStopHz: -1},
+		{PointsPerDecade: -1},
+		{LoopTol: -0.1},
+	} {
+		_, err := in.Normalize()
+		if err == nil {
+			t.Fatalf("%+v: no error", in)
+		}
+		var fe *FieldError
+		if !errors.As(err, &fe) {
+			t.Fatalf("%+v: err = %v, want *FieldError", in, err)
+		}
+		if !strings.Contains(fe.Reason, "must be >= 0") {
+			t.Errorf("%s: message %q does not say \"must be >= 0\"", fe.Field, fe.Reason)
+		}
 	}
 }
 

@@ -212,6 +212,83 @@ func toJSONPeak(p stab.Peak) *jsonPeak {
 	return jp
 }
 
+// fromJSONPeak inverts toJSONPeak. The damping trio is omitted from the
+// wire when it is NaN (zero peaks, paper footnote 2); a genuine zeta of
+// exactly 0 cannot occur for a finite peak value (depth is -1/zeta², so
+// zeta→0 means an infinite peak, and a zero zeta would print a 100%
+// overshoot, not 0), so an all-zero trio decodes back to NaN.
+func fromJSONPeak(jp jsonPeak) (stab.Peak, error) {
+	typ, err := stab.ParsePeakType(jp.Type)
+	if err != nil {
+		return stab.Peak{}, err
+	}
+	p := stab.Peak{
+		Freq: jp.FreqHz, Value: jp.Value, Type: typ, IsZero: jp.IsZero,
+		Zeta: jp.Zeta, PhaseMarginDeg: jp.PhaseMarginDeg, OvershootPct: jp.OvershootPct,
+	}
+	if jp.Zeta == 0 && jp.PhaseMarginDeg == 0 && jp.OvershootPct == 0 {
+		p.Zeta, p.PhaseMarginDeg, p.OvershootPct = math.NaN(), math.NaN(), math.NaN()
+	}
+	return p, nil
+}
+
+// ParseJSON reads a report previously written by JSON back into a
+// tool.Report — the shard coordinator's merge input: each worker answers
+// its node-range shard in `format: "json"` and the coordinator
+// reconstructs the partial reports before re-clustering the union of
+// peaks. Waveforms (per-node impedance and stability plots) are not part
+// of the JSON schema, so the parsed report carries peaks and loop
+// structure only — exactly what the text, CSV, JSON, and annotate
+// renderers consume. Loop membership is rebuilt by joining the loop's
+// node names against the nodes' dominant peaks; float values round-trip
+// exactly (encoding/json emits shortest-round-trip representations).
+func ParseJSON(r io.Reader) (*tool.Report, error) {
+	var in jsonReport
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("report: parse json: %w", err)
+	}
+	rep := &tool.Report{CircuitTitle: in.Circuit, Temp: in.TempC}
+	best := map[string]*stab.Peak{}
+	for _, jn := range in.Nodes {
+		nr := tool.NodeResult{Node: jn.Node, Skipped: jn.Skipped, SkipReason: jn.SkipReason}
+		if jn.Best != nil {
+			p, err := fromJSONPeak(*jn.Best)
+			if err != nil {
+				return nil, fmt.Errorf("report: node %s: %w", jn.Node, err)
+			}
+			nr.Best = &p
+			best[jn.Node] = &p
+		}
+		if len(jn.Peaks) > 0 {
+			res := &stab.Result{}
+			for _, jp := range jn.Peaks {
+				p, err := fromJSONPeak(jp)
+				if err != nil {
+					return nil, fmt.Errorf("report: node %s: %w", jn.Node, err)
+				}
+				res.Peaks = append(res.Peaks, p)
+			}
+			nr.Stab = res
+		}
+		rep.Nodes = append(rep.Nodes, nr)
+	}
+	for _, jl := range in.Loops {
+		l := stab.Loop{
+			ID: jl.ID, Freq: jl.FreqHz, WorstPeak: jl.WorstPeak,
+			Zeta: jl.Zeta, PhaseMarginDeg: jl.PhaseMarginDeg, OvershootPct: jl.OvershootPct,
+		}
+		for _, name := range jl.Nodes {
+			p, ok := best[name]
+			if !ok {
+				return nil, fmt.Errorf("report: loop %d references node %q with no dominant peak", jl.ID, name)
+			}
+			l.Nodes = append(l.Nodes, stab.NodePeak{Node: name, Peak: *p})
+		}
+		rep.Loops = append(rep.Loops, l)
+	}
+	return rep, nil
+}
+
 // Annotate writes the flattened netlist with per-node stability results as
 // comments next to each element — the text substitute for annotating
 // results onto the schematic (paper Fig. 5).

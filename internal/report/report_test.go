@@ -6,6 +6,7 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"errors"
+	"math"
 	"strings"
 	"testing"
 
@@ -162,5 +163,58 @@ func TestDiagnostic(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "status: ok") {
 		t.Error("success diagnostic wrong")
+	}
+}
+
+// TestParseJSONRoundTrip pins the shard coordinator's merge input
+// contract: a report rendered with JSON and read back with ParseJSON
+// must re-render to the identical JSON document. Go's encoding/json
+// emits shortest-round-trip float representations, so equality here is
+// exact byte equality, not approximate.
+func TestParseJSONRoundTrip(t *testing.T) {
+	_, rep := table2Report(t)
+	var first bytes.Buffer
+	if err := JSON(&first, rep); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseJSON(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := JSON(&second, parsed); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("JSON round-trip not stable:\n--- first ---\n%s\n--- second ---\n%s",
+			first.String(), second.String())
+	}
+	// Zero peaks ship without the damping trio; the parse must restore
+	// NaN (not 0) so downstream rendering keeps omitting it.
+	for _, n := range parsed.Nodes {
+		if n.Stab == nil {
+			continue
+		}
+		for _, p := range n.Stab.Peaks {
+			if p.IsZero && !math.IsNaN(p.Zeta) {
+				t.Errorf("node %s: zero peak parsed with zeta %v, want NaN", n.Node, p.Zeta)
+			}
+		}
+	}
+}
+
+// TestParseJSONRejectsGarbage covers the error paths a coordinator can
+// hit on worker-version skew.
+func TestParseJSONRejectsGarbage(t *testing.T) {
+	if _, err := ParseJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ParseJSON(strings.NewReader(
+		`{"nodes":[{"node":"a","best":{"freq_hz":1,"value":-2,"type":"martian"}}]}`)); err == nil {
+		t.Error("unknown peak type accepted")
+	}
+	if _, err := ParseJSON(strings.NewReader(
+		`{"loops":[{"id":1,"freq_hz":1,"nodes":["ghost"]}]}`)); err == nil {
+		t.Error("loop referencing unknown node accepted")
 	}
 }

@@ -1,0 +1,334 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"acstab/internal/circuits"
+	"acstab/internal/farm"
+	"acstab/internal/netlist"
+	"acstab/internal/obs"
+	"acstab/internal/report"
+	"acstab/internal/tool"
+)
+
+// startWorkers spins up n real farm workers (quiet logs).
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	var urls []string
+	for i := 0; i < n; i++ {
+		srv := httptest.NewServer(farm.NewHandler(farm.Config{Log: obs.NewEventLogger(nil)}))
+		t.Cleanup(srv.Close)
+		urls = append(urls, srv.URL)
+	}
+	return urls
+}
+
+// localReport runs the unsharded all-nodes analysis for src.
+func localReport(t *testing.T, src string, opts tool.Options) *tool.Report {
+	t.Helper()
+	ckt, err := netlist.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := tool.New(ckt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tl.AllNodes(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// renderAll renders a report in every machine-comparable format.
+func renderAll(t *testing.T, rep *tool.Report) (text, csv, js string) {
+	t.Helper()
+	var tb, cb, jb bytes.Buffer
+	if err := report.Text(&tb, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.CSV(&cb, rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.JSON(&jb, rep); err != nil {
+		t.Fatal(err)
+	}
+	return tb.String(), cb.String(), jb.String()
+}
+
+func testOpts() tool.Options {
+	opts := tool.DefaultOptions()
+	opts.FStart = 1e4
+	opts.FStop = 1e8
+	opts.PointsPerDecade = 20
+	return opts
+}
+
+// TestShardedMatchesUnsharded is the merge-equivalence property test: a
+// run split into K node-range shards over N workers must reproduce the
+// unsharded report byte-for-byte — same node rows, same loop clustering,
+// same loop IDs, same worst-peak numbers — for every format.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	for _, tc := range []struct {
+		loops, workers, shards int
+	}{
+		{2, 2, 0},  // one shard per worker
+		{3, 2, 5},  // more shards than workers (queueing)
+		{4, 3, 2},  // fewer shards than workers
+		{1, 4, 99}, // shard count capped at node count
+	} {
+		src := netlist.Format(circuits.ResonatorField(tc.loops, 1e6, 0.25))
+		opts := testOpts()
+		want := localReport(t, src, opts)
+
+		coord, err := New(Config{
+			Workers: startWorkers(t, tc.workers),
+			Shards:  tc.shards,
+			Log:     obs.NewEventLogger(nil),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := coord.AllNodes(context.Background(), src, opts)
+		if err != nil {
+			t.Fatalf("loops=%d workers=%d shards=%d: %v", tc.loops, tc.workers, tc.shards, err)
+		}
+
+		wt, wc, wj := renderAll(t, want)
+		gt, gc, gj := renderAll(t, got)
+		if gt != wt {
+			t.Errorf("loops=%d workers=%d shards=%d: text report differs\n--- sharded ---\n%s\n--- local ---\n%s",
+				tc.loops, tc.workers, tc.shards, gt, wt)
+		}
+		if gc != wc {
+			t.Errorf("loops=%d workers=%d shards=%d: csv report differs", tc.loops, tc.workers, tc.shards)
+		}
+		if gj != wj {
+			t.Errorf("loops=%d workers=%d shards=%d: json report differs\n--- sharded ---\n%s\n--- local ---\n%s",
+				tc.loops, tc.workers, tc.shards, gj, wj)
+		}
+	}
+}
+
+// countEvents tallies ring events by name.
+func countEvents(log *obs.EventLogger) map[string]int {
+	out := map[string]int{}
+	for _, se := range log.Events(0, 10000) {
+		s := string(se.Event)
+		if i := strings.Index(s, `"event":"`); i >= 0 {
+			s = s[i+len(`"event":"`):]
+			if j := strings.Index(s, `"`); j >= 0 {
+				out[s[:j]]++
+			}
+		}
+	}
+	return out
+}
+
+// TestShardRedispatchOnShed injects a worker that sheds every job with
+// 429: shards landing on it must be re-dispatched to the healthy worker
+// and the merged report must still match the unsharded run.
+func TestShardRedispatchOnShed(t *testing.T) {
+	shedder := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		http.Error(w, `{"error":{"code":"overloaded","message":"always full"}}`,
+			http.StatusTooManyRequests)
+	}))
+	defer shedder.Close()
+	good := startWorkers(t, 1)
+
+	src := netlist.Format(circuits.ResonatorField(3, 1e6, 0.3))
+	opts := testOpts()
+	want := localReport(t, src, opts)
+
+	log := obs.NewEventLogger(nil)
+	coord, err := New(Config{
+		Workers:   []string{shedder.URL, good[0]},
+		Shards:    2,
+		RetryBase: time.Millisecond,
+		Log:       log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := obs.StartRun("test")
+	opts.Trace = run
+	got, err := coord.AllNodes(context.Background(), src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Trace = nil
+	run.Finish()
+
+	wt, _, _ := renderAll(t, want)
+	gt, _, _ := renderAll(t, got)
+	if gt != wt {
+		t.Errorf("report with shedding worker differs from local:\n--- sharded ---\n%s\n--- local ---\n%s", gt, wt)
+	}
+	ev := countEvents(log)
+	if ev["shard_redispatch"] == 0 {
+		t.Errorf("no shard_redispatch events despite a shedding worker: %v", ev)
+	}
+	// Shard 0's primary hit the shedder; its win must come from a later
+	// launch, tagged with that attempt ordinal in the grafted trace.
+	tr := run.Trace()
+	attempts := map[int]bool{}
+	for _, sp := range tr.Phases {
+		if sp.Attempt > 0 {
+			attempts[sp.Attempt] = true
+		}
+	}
+	if !attempts[2] {
+		t.Errorf("no grafted span with attempt 2 after a re-dispatch; attempts seen: %v", attempts)
+	}
+}
+
+// TestShardHedgeOnHang injects a worker that accepts /run and then hangs
+// until the request is canceled: the hedge must fire after HedgeAfter,
+// win on the healthy worker, and the run must complete with a coherent
+// grafted trace (the loser contributes nothing).
+func TestShardHedgeOnHang(t *testing.T) {
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body so the server starts its background read and
+		// notices the hedge winner canceling this request; without it the
+		// context never fires and Close would wait on this handler forever.
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+	}))
+	defer hung.Close()
+	good := startWorkers(t, 1)
+
+	src := netlist.Format(circuits.ResonatorField(2, 1e6, 0.3))
+	opts := testOpts()
+	want := localReport(t, src, opts)
+
+	log := obs.NewEventLogger(nil)
+	coord, err := New(Config{
+		Workers:    []string{hung.URL, good[0]},
+		Shards:     1, // single shard: its primary lands on the hung worker
+		HedgeAfter: 20 * time.Millisecond,
+		Log:        log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := obs.StartRun("test")
+	opts.Trace = run
+	done := make(chan struct{})
+	var got *tool.Report
+	go func() {
+		defer close(done)
+		got, err = coord.AllNodes(context.Background(), src, opts)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("sharded run hung: hedge never rescued the stalled shard")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Trace = nil
+	run.Finish()
+
+	wt, _, wj := renderAll(t, want)
+	gt, _, gj := renderAll(t, got)
+	if gt != wt || gj != wj {
+		t.Errorf("report with hung worker differs from local:\n--- sharded ---\n%s\n--- local ---\n%s", gt, wt)
+	}
+	ev := countEvents(log)
+	if ev["shard_hedge"] != 1 {
+		t.Errorf("shard_hedge events = %d, want 1: %v", ev["shard_hedge"], ev)
+	}
+	// Exactly one worker trace was grafted (the winner's): its
+	// sweep_nodes counter equals the full node count once, not twice.
+	tr := run.Trace()
+	ckt, _ := netlist.Parse(src)
+	tl, _ := tool.New(ckt, testOpts())
+	if n := int64(len(tl.PlanNodes())); tr.Counters["sweep_nodes"] != n {
+		t.Errorf("grafted sweep_nodes = %d, want %d (winner only)", tr.Counters["sweep_nodes"], n)
+	}
+	// The winning spans carry the hedge's launch ordinal.
+	seen := map[int]bool{}
+	for _, sp := range tr.Phases {
+		if sp.Attempt > 0 {
+			seen[sp.Attempt] = true
+		}
+	}
+	if !seen[2] || seen[1] {
+		t.Errorf("grafted attempts = %v, want only the hedge (attempt 2)", seen)
+	}
+}
+
+// TestShardGraftedCounters checks the healthy-path trace merge: the
+// grafted worker traces' sweep_nodes must sum to the full node count
+// (every node swept exactly once across shards).
+func TestShardGraftedCounters(t *testing.T) {
+	src := netlist.Format(circuits.ResonatorField(3, 1e6, 0.3))
+	opts := testOpts()
+	coord, err := New(Config{Workers: startWorkers(t, 2), Log: obs.NewEventLogger(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := obs.StartRun("test")
+	opts.Trace = run
+	if _, err := coord.AllNodes(context.Background(), src, opts); err != nil {
+		t.Fatal(err)
+	}
+	run.Finish()
+
+	ckt, _ := netlist.Parse(src)
+	tl, _ := tool.New(ckt, testOpts())
+	want := int64(len(tl.PlanNodes()))
+	if got := run.Trace().Counters["sweep_nodes"]; got != want {
+		t.Errorf("summed grafted sweep_nodes = %d, want %d", got, want)
+	}
+}
+
+// TestShardNonRetryableFails pins fail-fast semantics: a 4xx rejection
+// (here: a netlist the workers refuse) must fail the run, not spin
+// through re-dispatches.
+func TestShardNonRetryableFails(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":{"code":"bad_option","message":"no"}}`, http.StatusBadRequest)
+	}))
+	defer bad.Close()
+
+	src := netlist.Format(circuits.ResonatorField(2, 1e6, 0.3))
+	coord, err := New(Config{Workers: []string{bad.URL, bad.URL}, Log: obs.NewEventLogger(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.AllNodes(context.Background(), src, testOpts()); err == nil {
+		t.Fatal("run against 400-answering workers succeeded, want error")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d", "e"}
+	parts := partition(nodes, 3)
+	if len(parts) != 3 {
+		t.Fatalf("partition count = %d, want 3", len(parts))
+	}
+	var flat []string
+	for _, p := range parts {
+		if len(p) == 0 {
+			t.Error("empty shard")
+		}
+		flat = append(flat, p...)
+	}
+	if strings.Join(flat, ",") != strings.Join(nodes, ",") {
+		t.Errorf("partition reorders or drops nodes: %v", parts)
+	}
+	if len(parts[0]) != 2 || len(parts[1]) != 2 || len(parts[2]) != 1 {
+		t.Errorf("unbalanced partition: %v", parts)
+	}
+}

@@ -82,6 +82,22 @@ func (t PeakType) String() string {
 	return fmt.Sprintf("peaktype(%d)", int(t))
 }
 
+// ParsePeakType is the inverse of String: it maps a serialized peak-type
+// name (as written by the JSON report) back to its PeakType, so a
+// coordinator can reconstruct peaks from per-shard machine-readable
+// reports.
+func ParsePeakType(s string) (PeakType, error) {
+	switch s {
+	case "normal":
+		return PeakNormal, nil
+	case "end-of-range":
+		return PeakEndOfRange, nil
+	case "min/max":
+		return PeakMinMax, nil
+	}
+	return 0, fmt.Errorf("stab: unknown peak type %q", s)
+}
+
 // Peak is one detected stability-plot extremum.
 type Peak struct {
 	// Freq is the natural frequency in the x unit of the input waveform

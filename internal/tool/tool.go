@@ -56,6 +56,13 @@ type Options struct {
 	// SkipNodes lists node-name substrings to exclude from all-nodes runs
 	// (e.g. supply rails).
 	SkipNodes []string
+	// OnlyNodes restricts an all-nodes run to exactly these node names
+	// (case-insensitive exact match, applied after SkipNodes/OnlySubckt).
+	// This is the shard coordinator's partitioning handle: a coordinator
+	// plans the full node list once, then ships each worker one slice of
+	// it, so the union of shard runs probes exactly the nodes one
+	// unsharded run would. Empty = no restriction.
+	OnlyNodes []string
 	// OnlySubckt restricts the all-nodes run to the nodes of one
 	// subcircuit instance (the paper's "all nodes in a circuit/
 	// sub-circuit" mode): give the instance path prefix, e.g. "x1" or
@@ -253,8 +260,18 @@ func (t *Tool) nodeList() (idx []int, names []string) {
 	if t.Opts.OnlySubckt != "" {
 		scope = t.subcktNodes(strings.ToLower(t.Opts.OnlySubckt))
 	}
+	var only map[string]bool
+	if len(t.Opts.OnlyNodes) > 0 {
+		only = make(map[string]bool, len(t.Opts.OnlyNodes))
+		for _, n := range t.Opts.OnlyNodes {
+			only[strings.ToLower(n)] = true
+		}
+	}
 	for i, name := range t.Sys.NodeNames {
 		if scope != nil && !scope[name] {
+			continue
+		}
+		if only != nil && !only[name] {
 			continue
 		}
 		skip := false
@@ -270,6 +287,16 @@ func (t *Tool) nodeList() (idx []int, names []string) {
 		}
 	}
 	return idx, names
+}
+
+// PlanNodes returns the node names an all-nodes run with this Tool's
+// options would probe, in sweep order, without running anything. The
+// shard coordinator calls it to partition one all-nodes run into
+// node-range shards whose OnlyNodes lists union back to exactly this
+// plan.
+func (t *Tool) PlanNodes() []string {
+	_, names := t.nodeList()
+	return names
 }
 
 // subcktNodes collects every node touched by elements of the given
