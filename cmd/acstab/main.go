@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"acstab/internal/analysis"
 	"acstab/internal/farm"
 	"acstab/internal/netlist"
 	"acstab/internal/num"
@@ -67,6 +68,7 @@ func runWith(args []string, out, errOut io.Writer) error {
 		workers   = fs.Int("workers", 0, "parallel sweep workers (0 = all CPUs)")
 		naive     = fs.Bool("naive", false, "one AC run per node (paper's original flow)")
 		loopTol   = fs.Float64("loop-tol", 0.12, "relative tolerance for loop clustering")
+		resTol    = fs.Float64("residual-tol", 0, "scale-relative residual above which a solve is refined (0 = default 1e-9, negative disables the numerics observatory)")
 		skip      = fs.String("skip", "", "comma-separated node-name substrings to skip")
 		subckt    = fs.String("subckt", "", "restrict all-nodes mode to one subcircuit instance (e.g. x1)")
 		temps     = fs.String("temps", "", "comma-separated temperatures (C) for a sweep")
@@ -175,6 +177,11 @@ func runWith(args []string, out, errOut io.Writer) error {
 	opts.Workers = *workers
 	opts.Naive = *naive
 	opts.LoopTol = *loopTol
+	if *resTol != 0 {
+		aopts := analysis.DefaultOptions()
+		aopts.ResidualThreshold = *resTol
+		opts.Analysis = &aopts
+	}
 	if *skip != "" {
 		opts.SkipNodes = strings.Split(*skip, ",")
 	}

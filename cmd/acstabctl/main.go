@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/signal"
 	"sort"
@@ -99,7 +100,7 @@ func runStatus(ctx context.Context, w io.Writer, fl *fleet.Fleet) error {
 	view := fl.Snapshot()
 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "WORKER\tSTATE\tUPTIME\tINFLIGHT\tRUNS\tERRS\tSHED\tCACHE\tSLO\tVERSION")
+	fmt.Fprintln(tw, "WORKER\tSTATE\tUPTIME\tINFLIGHT\tRUNS\tERRS\tSHED\tCACHE\tNUMERICS\tSLO\tVERSION")
 	for _, wk := range view.Workers {
 		state := "down"
 		if wk.Up {
@@ -117,12 +118,12 @@ func runStatus(ctx context.Context, w io.Writer, fl *fleet.Fleet) error {
 			if rev != "" {
 				version += "@" + rev
 			}
-			fmt.Fprintf(tw, "%s\t%s\t%s\t%.0f\t%d\t%d\t%d\t%s\t%s\t%s\n",
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%.0f\t%d\t%d\t%d\t%s\t%s\t%s\t%s\n",
 				wk.URL, state, (time.Duration(wk.UptimeSeconds) * time.Second).String(),
 				wk.JobsInflight, wk.RunsTotal, wk.RunErrors, wk.Shed,
-				formatCache(wk), wk.SLOHealth, version)
+				formatCache(wk), formatNumerics(wk), wk.SLOHealth, version)
 		} else {
-			fmt.Fprintf(tw, "%s\t%s\t-\t-\t-\t-\t-\t-\t-\t%s\n", wk.URL, state, wk.Err)
+			fmt.Fprintf(tw, "%s\t%s\t-\t-\t-\t-\t-\t-\t-\t-\t%s\n", wk.URL, state, wk.Err)
 		}
 	}
 	if err := tw.Flush(); err != nil {
@@ -131,8 +132,8 @@ func runStatus(ctx context.Context, w io.Writer, fl *fleet.Fleet) error {
 	fmt.Fprintf(w, "\nfleet: %d/%d up, slo health %s", view.UpCount, len(view.Workers), view.SLO.Health)
 	for _, win := range view.SLO.Windows {
 		fmt.Fprintf(w, "  [%s: %d reqs, %.2f%% ok, burn %.2f]",
-			formatWindow(win.Window), win.Total, 100*win.SuccessRatio,
-			max(win.ErrorBurnRate, win.LatencyBurnRate))
+			formatWindow(win.Window), win.Total, 100*finiteOrZero(win.SuccessRatio, 1),
+			finiteOrZero(max(win.ErrorBurnRate, win.LatencyBurnRate), 0))
 	}
 	fmt.Fprintln(w)
 	if len(view.UnmergeableHistograms) > 0 {
@@ -178,8 +179,16 @@ func runTop(ctx context.Context, w io.Writer, fl *fleet.Fleet, n int) error {
 	if hits, misses := view.Merged.Counters["acstab_cache_hits_total"],
 		view.Merged.Counters["acstab_cache_misses_total"]; hits+misses > 0 {
 		fmt.Fprintf(w, "fleet cache: %d hits / %d lookups (%.1f%% hit rate), %.0f entries resident\n",
-			hits, hits+misses, 100*float64(hits)/float64(hits+misses),
+			hits, hits+misses, 100*ratio(hits, hits+misses),
 			view.Merged.Gauges["acstab_cache_entries"])
+	}
+	// Fleet residual quantiles come from the bucket-merged histogram, so
+	// they are exact across workers, not averages of per-worker estimates.
+	if h, ok := view.Merged.Histograms["acstab_ac_residual"]; ok && h.Count > 0 {
+		fmt.Fprintf(w, "fleet residual: %d points, p50 %.2e, p90 %.2e, p99 %.2e; %d refinements, %d breaches\n",
+			h.Count, h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99),
+			view.Merged.Counters["acstab_ac_refinements_total"],
+			view.Merged.Counters["acstab_ac_residual_breaches_total"])
 	}
 
 	names := make([]string, 0, len(view.Merged.Histograms))
@@ -227,6 +236,35 @@ func formatCache(wk fleet.WorkerView) string {
 		return "-"
 	}
 	return fmt.Sprintf("%d/%d (%d)", wk.CacheHits, lookups, wk.CacheEntries)
+}
+
+// formatNumerics renders a worker's numerical-health column as
+// "p99 <residual>/<refinements>", or "-" before the worker has measured
+// any sweep point.
+func formatNumerics(wk fleet.WorkerView) string {
+	if wk.Numerics == nil || wk.Numerics.Residual.Count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("p99 %.1e/%d", wk.Numerics.Residual.P99, wk.Numerics.Refinements)
+}
+
+// ratio is a/b guarded against the cold-start zero denominator: it
+// returns 0 rather than NaN when nothing has been counted yet.
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// finiteOrZero pins a derived ratio for display: NaN and ±Inf (a zero or
+// degenerate denominator upstream) render as fallback instead of
+// poisoning the status line.
+func finiteOrZero(v, fallback float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fallback
+	}
+	return v
 }
 
 // formatWindow renders a window length in seconds the way operators say

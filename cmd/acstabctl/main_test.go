@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"math"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -121,5 +122,104 @@ func TestSplitWorkers(t *testing.T) {
 	got := splitWorkers(" http://a:1 , ,http://b:2,")
 	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
 		t.Errorf("splitWorkers = %v", got)
+	}
+}
+
+// TestDerivedRatioGuards pins the zero-denominator behavior of every
+// derived ratio the console prints: a cold fleet (no requests, no cache
+// lookups, no sweeps) must render real numbers, never NaN or Inf.
+func TestDerivedRatioGuards(t *testing.T) {
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"ratio zero denominator", ratio(0, 0), 0},
+		{"ratio cold hits", ratio(5, 0), 0},
+		{"ratio normal", ratio(1, 4), 0.25},
+		{"finiteOrZero NaN", finiteOrZero(math.NaN(), 1), 1},
+		{"finiteOrZero +Inf", finiteOrZero(math.Inf(1), 0), 0},
+		{"finiteOrZero -Inf", finiteOrZero(math.Inf(-1), 0), 0},
+		{"finiteOrZero finite", finiteOrZero(0.75, 0), 0.75},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestFormatColumns pins the per-worker table cells: dashes before any
+// activity, real numbers after.
+func TestFormatColumns(t *testing.T) {
+	var cold fleet.WorkerView
+	if got := formatCache(cold); got != "-" {
+		t.Errorf("cold cache cell = %q, want -", got)
+	}
+	if got := formatNumerics(cold); got != "-" {
+		t.Errorf("cold numerics cell = %q, want -", got)
+	}
+	warm := fleet.WorkerView{CacheHits: 3, CacheMisses: 1, CacheEntries: 2}
+	if got := formatCache(warm); got != "3/4 (2)" {
+		t.Errorf("warm cache cell = %q, want 3/4 (2)", got)
+	}
+	warm.Numerics = &farm.StatuszNumerics{
+		Residual:    obs.HistogramSnapshot{Count: 40, P99: 2.5e-13},
+		Refinements: 3,
+	}
+	if got := formatNumerics(warm); got != "p99 2.5e-13/3" {
+		t.Errorf("warm numerics cell = %q, want p99 2.5e-13/3", got)
+	}
+	// A numerics block with no measured points still renders the dash.
+	warm.Numerics = &farm.StatuszNumerics{}
+	if got := formatNumerics(warm); got != "-" {
+		t.Errorf("empty numerics cell = %q, want -", got)
+	}
+}
+
+// TestStatusColdStartNoNaN renders status and top against workers that
+// have served nothing: every derived ratio must be pinned, so the output
+// carries no NaN or Inf anywhere.
+func TestStatusColdStartNoNaN(t *testing.T) {
+	_, _, fl := twoWorkers(t)
+	var out bytes.Buffer
+	if err := runStatus(context.Background(), &out, fl); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "NUMERICS") {
+		t.Errorf("status header missing NUMERICS column:\n%s", text)
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(text, bad) {
+			t.Errorf("cold status output contains %s:\n%s", bad, text)
+		}
+	}
+	out.Reset()
+	if err := runTop(context.Background(), &out, fl, 10); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(out.String(), bad) {
+			t.Errorf("cold top output contains %s:\n%s", bad, out.String())
+		}
+	}
+}
+
+// TestTopFleetResidualLine: after a run, top prints the fleet-wide
+// residual quantile line sourced from the exact bucket-merged histogram.
+func TestTopFleetResidualLine(t *testing.T) {
+	a, _, fl := twoWorkers(t)
+	postRun(t, a)
+	var out bytes.Buffer
+	if err := runTop(context.Background(), &out, fl, 10); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "fleet residual:") {
+		t.Errorf("top output missing the fleet residual line:\n%s", text)
+	}
+	if !strings.Contains(text, "refinements") || !strings.Contains(text, "breaches") {
+		t.Errorf("fleet residual line missing counters:\n%s", text)
 	}
 }

@@ -29,6 +29,12 @@ var (
 	// ErrUnknownNode marks a reference to a node the circuit does not
 	// have.
 	ErrUnknownNode = errors.New("unknown node")
+	// ErrAccuracy marks a linear solve whose scale-relative residual
+	// stayed above the configured threshold even after iterative
+	// refinement and a fresh full factorization — the result is finite
+	// but numerically untrustworthy, which the stability analysis (a
+	// double differentiation) must not silently consume.
+	ErrAccuracy = errors.New("solution exceeds residual tolerance")
 )
 
 // Canceled wraps the context's error (which must be non-nil) with

@@ -47,6 +47,38 @@ var (
 	mACDiagSolves    = obs.GetCounter("acstab_ac_diag_solves_total")
 	mACDiagRows      = obs.GetCounter("acstab_ac_diag_rows_visited_total")
 	mACDiagFallbacks = obs.GetCounter("acstab_ac_diag_fallbacks_total")
+	// Numerical-health observatory: per-point scale-relative residuals and
+	// pivot-growth factors land in log-scale histograms (the default obs
+	// buckets are duration-oriented, so these carry explicit decade
+	// bounds), refinement/breach volume in counters. All of it federates
+	// exactly across the fleet — counters sum, histogram buckets merge.
+	mACResidual         = obs.Default.HistogramBuckets("acstab_ac_residual", decadeBounds(-18, 0))
+	mACPivotGrowth      = obs.Default.HistogramBuckets("acstab_ac_pivot_growth", decadeBounds(-2, 12))
+	mACCondEst          = obs.Default.HistogramBuckets("acstab_ac_cond_estimate", decadeBounds(0, 18))
+	mACRefinements      = obs.GetCounter("acstab_ac_refinements_total")
+	mACResidualBreaches = obs.GetCounter("acstab_ac_residual_breaches_total")
+)
+
+// decadeBounds returns per-decade log-scale histogram upper bounds
+// 10^lo .. 10^hi inclusive.
+func decadeBounds(lo, hi int) []float64 {
+	b := make([]float64, 0, hi-lo+1)
+	for d := lo; d <= hi; d++ {
+		b = append(b, math.Pow(10, float64(d)))
+	}
+	return b
+}
+
+// Numerics defaults: a healthy double-precision solve sits near 1e-15
+// scale-relative, so a 1e-9 threshold (matching the CI accuracy gate and
+// the solver property tests) never triggers refinement on a well-behaved
+// sweep — the observatory is pure telemetry until something actually
+// degrades. The diag-kernel probe stride keeps the full-solve residual
+// probe under the <5% sweep-overhead budget.
+const (
+	defResidualThreshold  = 1e-9
+	defResidualProbeEvery = 16
+	defCondSamples        = 2
 )
 
 // Options tunes the solvers.
@@ -66,6 +98,22 @@ type Options struct {
 	// SparseThreshold is the system size above which auto mode picks the
 	// sparse solver.
 	SparseThreshold int
+	// ResidualThreshold is the scale-relative backward-error level
+	// ‖A·x−b‖∞/(‖A‖∞‖x‖∞+‖b‖∞) above which a frequency point triggers the
+	// refinement escalation ladder. 0 selects the built-in default (1e-9);
+	// a negative value disables the numerical-health observatory entirely
+	// (no residual SpMV, no refinement, no telemetry).
+	ResidualThreshold float64
+	// ResidualProbeEvery is the diag-kernel probe stride: every Nth
+	// frequency point of a diagonal-only sweep runs one full solve so its
+	// residual can be measured (the batched kernel produces only Z_kk and
+	// has no full solution vector to verify). 0 selects the default (16);
+	// negative disables probing.
+	ResidualProbeEvery int
+	// CondSamples is how many Hager/Higham 1-norm condition estimates to
+	// take per sweep, evenly spaced. 0 selects the default (2); negative
+	// disables condition sampling.
+	CondSamples int
 }
 
 // MatrixMode selects the AC linear solver.
@@ -494,9 +542,34 @@ type acFactorizer struct {
 	dm  *linalg.CMatrix
 	clu *linalg.CLU
 
+	// Numerical-health observatory state (per sweep). resThreshold <= 0
+	// disables the whole residual path (no extra SpMV, no scratch); rmat
+	// is the pre-Factor clone of the fallback matrix (Factor consumes its
+	// argument, so the residual needs its own copy of the stamped values).
+	resThreshold float64
+	probeEvery   int
+	condSamples  int
+	condBudget   int
+	rmat         *sparse.Matrix
+	r, d         []complex128 // residual + refinement-correction scratch, lazy
+	cv, cz       []complex128 // condition-estimate scratch, lazy
+
 	refactors int64
 	fulls     int64
 	solves    int64
+
+	// Numerics tallies, flushed with the counters: refinement steps taken,
+	// threshold breaches, points measured, the per-decade residual digest
+	// (decades obs.ResidualDecadeMin..Max), sweep maxima, and the
+	// worst-residual health points for slow-point capture.
+	refines    int64
+	breaches   int64
+	resPoints  int64
+	resDecades [obs.ResidualDecadeMax - obs.ResidualDecadeMin + 1]int64
+	resMax     float64
+	growthMax  float64
+	condMax    float64
+	health     []obs.SlowPoint
 
 	// Diagonal-kernel tallies (ImpedanceDiagSweep only): batched
 	// SolveDiagInto calls, rows those calls visited, and frequencies
@@ -525,6 +598,9 @@ const (
 	// reach-restricted batched diagonal kernel rather than full
 	// substitutions.
 	solveKindDiag = "diag"
+	// solveKindResidualEscalation tags points where a residual breach
+	// escalated past in-place refinement to a fresh full factorization.
+	solveKindResidualEscalation = "residual_escalation"
 )
 
 // newACFactorizer prepares the per-sweep solver state. A failed symbolic
@@ -532,6 +608,28 @@ const (
 // frequency (the pre-split behavior) and each point reports its own error.
 func (s *Sim) newACFactorizer(omega0 float64, op *mna.OpPoint) *acFactorizer {
 	fz := &acFactorizer{s: s, op: op, sparse: s.useSparse()}
+	switch {
+	case s.Opt.ResidualThreshold > 0:
+		fz.resThreshold = s.Opt.ResidualThreshold
+	case s.Opt.ResidualThreshold == 0:
+		fz.resThreshold = defResidualThreshold
+	}
+	if fz.resThreshold > 0 {
+		switch {
+		case s.Opt.ResidualProbeEvery > 0:
+			fz.probeEvery = s.Opt.ResidualProbeEvery
+		case s.Opt.ResidualProbeEvery == 0:
+			fz.probeEvery = defResidualProbeEvery
+		}
+		switch {
+		case s.Opt.CondSamples > 0:
+			fz.condSamples = s.Opt.CondSamples
+		case s.Opt.CondSamples == 0:
+			fz.condSamples = defCondSamples
+		}
+		fz.condBudget = fz.condSamples
+		fz.health = make([]obs.SlowPoint, 0, obs.MaxHealthPoints)
+	}
 	if fz.sparse {
 		if pat, sym, err := s.ensureSymbolic(omega0, op); err == nil {
 			fz.pat, fz.sym = pat, sym
@@ -577,6 +675,13 @@ func (fz *acFactorizer) at(omega float64, b []complex128) (cSolver, error) {
 		} else if err := fz.num.Refactor(fz.vals.Values()); err == nil {
 			fz.refactors++
 			fz.kind = solveKindRefactor
+			if fz.resThreshold > 0 {
+				g := fz.num.PivotGrowth()
+				mACPivotGrowth.Observe(g)
+				if g > fz.growthMax {
+					fz.growthMax = g
+				}
+			}
 			return fz.num, nil
 		} else {
 			// Collapsed pivot under the frozen order; retry this single
@@ -586,24 +691,207 @@ func (fz *acFactorizer) at(omega float64, b []complex128) (cSolver, error) {
 			fz.kind = solveKindRefactorFallback
 		}
 	}
+	return fz.fullAt(omega, b)
+}
+
+// fullAt stamps the AC system into the map-based fallback matrix and runs
+// a full factorization with a fresh pivot search — the path taken when the
+// two-phase guards bounce a point and when the residual ladder escalates
+// past refinement. When b is non-nil it is re-zeroed and stamped with the
+// RHS excitation (the refactor attempt may already have stamped it). With
+// the observatory on, the stamped matrix is cloned before sparse.Factor
+// consumes it so the point's residual remains computable.
+func (fz *acFactorizer) fullAt(omega float64, b []complex128) (cSolver, error) {
+	s := fz.s
 	if fz.smat == nil {
 		fz.smat = sparse.New(s.Sys.NumUnknowns())
 	} else {
 		fz.smat.Zero()
 	}
 	if b != nil {
-		// The refactor attempt may already have stamped the RHS.
 		for i := range b {
 			b[i] = 0
 		}
 	}
 	s.Sys.StampAC(fz.smat, b, omega, fz.op)
+	if fz.resThreshold > 0 {
+		fz.rmat = fz.smat.Clone()
+	}
 	lu, err := sparse.Factor(fz.smat)
 	if err != nil {
 		return nil, err
 	}
 	fz.fulls++
 	return lu, nil
+}
+
+// pointResidual computes the scale-relative backward error of the solve
+// (x, b) the current solver path just produced, leaving the residual
+// vector in fz.r for a possible refinement step. ok reports whether a
+// matrix snapshot was available for the path (the full-factor fallback
+// only keeps one when the observatory is on).
+func (fz *acFactorizer) pointResidual(x, b []complex128) (eta float64, ok bool) {
+	if fz.r == nil {
+		n := fz.s.Sys.NumUnknowns()
+		fz.r = make([]complex128, n)
+		fz.d = make([]complex128, n)
+	}
+	var err error
+	switch {
+	case fz.kind == solveKindDense:
+		eta, err = fz.dm.ResidualInf(x, b, fz.r)
+	case fz.kind == solveKindRefactor:
+		eta, err = fz.pat.ResidualInf(fz.vals.Values(), x, b, fz.r)
+	case fz.rmat != nil:
+		eta, err = fz.rmat.ResidualInf(x, b, fz.r)
+	default:
+		return 0, false
+	}
+	return eta, err == nil
+}
+
+// verify runs the residual check and refinement-escalation ladder on one
+// representative solve of the current frequency point: slv·x = b with b
+// still holding the right-hand side it was solved against. On a breach it
+// (1) refines x once reusing the existing factorization, (2) escalates to
+// a fresh full factorization plus one more refinement (refactor path
+// only; restampRHS selects whether b is re-stamped as the circuit's AC
+// excitation or preserved as a caller-managed injection vector), and
+// (3) reports an error wrapping acerr.ErrAccuracy if even that leaves the
+// residual above threshold. The returned solver is the one that produced
+// the final x; callers reuse it for the remaining right-hand sides of the
+// same frequency. The point's final residual is recorded either way.
+func (fz *acFactorizer) verify(slv cSolver, omega, freqHz float64, x, b []complex128, restampRHS bool) (cSolver, error) {
+	if fz.resThreshold <= 0 {
+		return slv, nil
+	}
+	eta, ok := fz.pointResidual(x, b)
+	if !ok {
+		return slv, nil
+	}
+	if eta > fz.resThreshold {
+		fz.breaches++
+		// Step 1: one refinement with the existing factorization (fz.r
+		// already holds the residual from pointResidual).
+		if err := slv.SolveInto(fz.d, fz.r); err == nil {
+			for i := range x {
+				x[i] += fz.d[i]
+			}
+			fz.refines++
+			if e, ok := fz.pointResidual(x, b); ok {
+				eta = e
+			}
+		}
+		// Step 2: a fresh full factorization with its own pivot search,
+		// then refine once more on it. Only the refactor path escalates —
+		// the other sparse paths already came from a full factorization
+		// and the dense factorization is as good as dense gets.
+		if eta > fz.resThreshold && fz.kind == solveKindRefactor {
+			var rb []complex128
+			if restampRHS {
+				rb = b
+			}
+			if lu, err := fz.fullAt(omega, rb); err == nil {
+				fz.kind = solveKindResidualEscalation
+				slv = lu
+				if err := slv.SolveInto(x, b); err == nil {
+					if e, ok := fz.pointResidual(x, b); ok {
+						eta = e
+					}
+					if eta > fz.resThreshold {
+						if err := slv.SolveInto(fz.d, fz.r); err == nil {
+							for i := range x {
+								x[i] += fz.d[i]
+							}
+							fz.refines++
+							if e, ok := fz.pointResidual(x, b); ok {
+								eta = e
+							}
+						}
+					}
+				}
+			}
+		}
+		if eta > fz.resThreshold {
+			fz.observeResidual(eta, freqHz)
+			return slv, fmt.Errorf("analysis: residual %.2e above threshold %.2e at %g Hz after refinement and refactorization: %w",
+				eta, fz.resThreshold, freqHz, acerr.ErrAccuracy)
+		}
+	}
+	fz.observeResidual(eta, freqHz)
+	return slv, nil
+}
+
+// observeResidual records one point's final backward error: histogram,
+// per-decade digest, sweep max, and the worst-residual health capture.
+func (fz *acFactorizer) observeResidual(eta, freqHz float64) {
+	fz.resPoints++
+	mACResidual.Observe(eta)
+	if eta > fz.resMax {
+		fz.resMax = eta
+	}
+	d := obs.ResidualDecadeMin
+	switch {
+	case math.IsInf(eta, 1):
+		d = obs.ResidualDecadeMax
+	case eta > 0:
+		if l := int(math.Floor(math.Log10(eta))); l > d {
+			d = l
+		}
+		if d > obs.ResidualDecadeMax {
+			d = obs.ResidualDecadeMax
+		}
+	}
+	fz.resDecades[d-obs.ResidualDecadeMin]++
+	if eta <= 0 {
+		return
+	}
+	// Keep the worst obs.MaxHealthPoints by residual.
+	p := obs.SlowPoint{FreqHz: freqHz, Detail: "residual", Residual: eta}
+	if len(fz.health) < cap(fz.health) {
+		fz.health = append(fz.health, p)
+		return
+	}
+	mi := 0
+	for i := 1; i < len(fz.health); i++ {
+		if fz.health[i].Residual < fz.health[mi].Residual {
+			mi = i
+		}
+	}
+	if len(fz.health) > 0 && eta > fz.health[mi].Residual {
+		fz.health[mi] = p
+	}
+}
+
+// condSampleAt takes one Hager/Higham 1-norm condition estimate when k is
+// one of condSamples evenly spaced points of an n-point sweep. Estimates
+// need the refactor-path factorization (the CSR values feed ‖A‖₁ and the
+// conjugate-transpose solve walks the frozen fill pattern).
+func (fz *acFactorizer) condSampleAt(k, n int) {
+	if fz.condBudget <= 0 || fz.kind != solveKindRefactor || fz.num == nil {
+		return
+	}
+	stride := n / fz.condSamples
+	if stride < 1 {
+		stride = 1
+	}
+	if k%stride != 0 {
+		return
+	}
+	fz.condBudget--
+	if fz.cv == nil {
+		nn := fz.s.Sys.NumUnknowns()
+		fz.cv = make([]complex128, nn)
+		fz.cz = make([]complex128, nn)
+	}
+	est, err := fz.num.CondEst1(fz.vals.Values(), fz.cv, fz.cz)
+	if err != nil || est <= 0 {
+		return
+	}
+	mACCondEst.Observe(est)
+	if est > fz.condMax {
+		fz.condMax = est
+	}
 }
 
 // slowTracker keeps a sweep's worst-K frequency points by factor+solve
@@ -684,6 +972,27 @@ func (fz *acFactorizer) flush() {
 		fz.s.Trace.Add("ac_diag_rows_visited", fz.diagRows)
 		fz.s.Trace.Add("ac_diag_fallbacks", fz.diagFallbacks)
 	}
+	if fz.resPoints != 0 || fz.refines != 0 || fz.breaches != 0 {
+		mACRefinements.Add(fz.refines)
+		mACResidualBreaches.Add(fz.breaches)
+		tr := fz.s.Trace
+		tr.Add("ac_residual_points", fz.resPoints)
+		tr.Add("ac_refinements", fz.refines)
+		tr.Add("ac_residual_breaches", fz.breaches)
+		for i, c := range fz.resDecades {
+			if c != 0 {
+				tr.Add(obs.ResidualDecadeKey(obs.ResidualDecadeMin+i), c)
+			}
+		}
+		tr.StatMax("numerics_residual_max", fz.resMax)
+		tr.StatMax("numerics_pivot_growth_max", fz.growthMax)
+		tr.StatMax("numerics_cond_est_max", fz.condMax)
+		tr.AddSlowPoints(fz.health)
+		fz.refines, fz.breaches, fz.resPoints = 0, 0, 0
+		fz.resMax, fz.growthMax, fz.condMax = 0, 0, 0
+		fz.resDecades = [obs.ResidualDecadeMax - obs.ResidualDecadeMin + 1]int64{}
+		fz.health = fz.health[:0]
+	}
 	fz.fulls, fz.refactors, fz.solves = 0, 0, 0
 	fz.diagSolves, fz.diagRows, fz.diagFallbacks = 0, 0, 0
 }
@@ -724,6 +1033,10 @@ func (s *Sim) AC(ctx context.Context, freqs []float64, op *mna.OpPoint) (*ACResu
 			return nil, fmt.Errorf("analysis: AC at %g Hz: %w", f, err)
 		}
 		fz.solves++
+		if _, err := fz.verify(slv, omega, f, x, b, true); err != nil {
+			return nil, err
+		}
+		fz.condSampleAt(k, len(freqs))
 		if slow != nil {
 			slow.note(f, time.Since(t0), fz.kind)
 		}
@@ -774,13 +1087,26 @@ func (s *Sim) ImpedanceMatrixColumns(ctx context.Context, freqs []float64, op *m
 		for i, idx := range nodeIdx {
 			b[idx] = 1 // 1 A injection into the node
 			err := slv.SolveInto(x, b)
-			b[idx] = 0 // b stays all-zero between solves
 			if err != nil {
+				b[idx] = 0
 				return nil, fmt.Errorf("analysis: impedance at %g Hz: %w", f, err)
 			}
+			if i == 0 {
+				// Verify the frequency's first column while its injection is
+				// still stamped into b; an escalated factorization replaces
+				// slv for the remaining columns.
+				slv2, verr := fz.verify(slv, omega, f, x, b, false)
+				if verr != nil {
+					b[idx] = 0
+					return nil, verr
+				}
+				slv = slv2
+			}
+			b[idx] = 0 // b stays all-zero between solves
 			out[i][k] = x[idx]
 		}
 		fz.solves += int64(len(nodeIdx))
+		fz.condSampleAt(k, len(freqs))
 		if slow != nil {
 			slow.note(f, time.Since(t0), fz.kind)
 		}
@@ -861,6 +1187,45 @@ func (s *Sim) ImpedanceDiagSweep(ctx context.Context, freqs []float64, op *mna.O
 			fz.diagSolves++
 			fz.diagRows += plan.RowsPerSolve()
 			kind = solveKindDiag
+			// Sampled residual probe: the batched kernel produces only the
+			// Z_kk values, so every probeEvery-th frequency runs one full
+			// solve for the first node and verifies it. The kernel and the
+			// full solve perform bitwise-identical arithmetic on the shared
+			// factorization (both skip zero multipliers), so overwriting the
+			// kernel's value with the probe's is exact, not a perturbation.
+			if fz.resThreshold > 0 && fz.probeEvery > 0 && k%fz.probeEvery == 0 {
+				idx0 := nodeIdx[0]
+				b[idx0] = 1
+				perr := num.SolveInto(x, b)
+				if perr != nil {
+					b[idx0] = 0
+					return nil, fmt.Errorf("analysis: impedance at %g Hz: %w", f, perr)
+				}
+				slv2, verr := fz.verify(num, omega, f, x, b, false)
+				b[idx0] = 0
+				if verr != nil {
+					return nil, verr
+				}
+				out[0][k] = x[idx0]
+				if slv2 != cSolver(num) {
+					// The ladder escalated to a fresh full factorization:
+					// the kernel's values for this frequency came from the
+					// degraded one, so redo the whole point on the new
+					// solver with full substitutions.
+					kind = fz.kind
+					fz.diagFallbacks++
+					for i, idx := range nodeIdx {
+						b[idx] = 1
+						serr := slv2.SolveInto(x, b)
+						b[idx] = 0
+						if serr != nil {
+							return nil, fmt.Errorf("analysis: impedance at %g Hz: %w", f, serr)
+						}
+						out[i][k] = x[idx]
+					}
+				}
+			}
+			fz.condSampleAt(k, len(freqs))
 		} else {
 			// Fallback factorization (collapsed pivot, drift, or a failed
 			// symbolic build): its pivot order is its own, so the frozen
@@ -869,10 +1234,20 @@ func (s *Sim) ImpedanceDiagSweep(ctx context.Context, freqs []float64, op *mna.O
 			for i, idx := range nodeIdx {
 				b[idx] = 1 // 1 A injection into the node
 				err := slv.SolveInto(x, b)
-				b[idx] = 0 // b stays all-zero between solves
 				if err != nil {
+					b[idx] = 0
 					return nil, fmt.Errorf("analysis: impedance at %g Hz: %w", f, err)
 				}
+				if i == 0 {
+					slv2, verr := fz.verify(slv, omega, f, x, b, false)
+					if verr != nil {
+						b[idx] = 0
+						return nil, verr
+					}
+					slv = slv2
+					kind = fz.kind
+				}
+				b[idx] = 0 // b stays all-zero between solves
 				out[i][k] = x[idx]
 			}
 		}

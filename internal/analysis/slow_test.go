@@ -26,26 +26,48 @@ func TestACSlowPointCapture(t *testing.T) {
 	run.Finish()
 
 	tr := run.Trace()
-	if len(tr.SlowPoints) == 0 || len(tr.SlowPoints) > obs.MaxSlowPoints {
-		t.Fatalf("slow points = %d, want 1..%d", len(tr.SlowPoints), obs.MaxSlowPoints)
+	if len(tr.SlowPoints) == 0 || len(tr.SlowPoints) > obs.MaxSlowPoints+obs.MaxHealthPoints {
+		t.Fatalf("slow points = %d, want 1..%d", len(tr.SlowPoints), obs.MaxSlowPoints+obs.MaxHealthPoints)
 	}
 	valid := map[string]bool{
 		"dense": true, "full": true, "refactor": true,
 		"refactor_fallback": true, "pattern_drift": true, "diag": true,
 	}
+	wall, health := 0, 0
+	prevWall := int64(0)
 	for i, p := range tr.SlowPoints {
-		if p.WallNS <= 0 {
-			t.Errorf("slow[%d] has non-positive wall time: %+v", i, p)
-		}
 		if p.FreqHz < freqs[0] || p.FreqHz > freqs[len(freqs)-1] {
 			t.Errorf("slow[%d] frequency %g outside the sweep", i, p.FreqHz)
+		}
+		if p.Detail == "residual" {
+			// Worst-residual health capture rides along with its own quota,
+			// sorted after the wall-time points.
+			health++
+			if p.Residual <= 0 {
+				t.Errorf("slow[%d] residual point without residual: %+v", i, p)
+			}
+			continue
+		}
+		wall++
+		if health > 0 {
+			t.Errorf("slow[%d] wall point after a residual point", i)
+		}
+		if p.WallNS <= 0 {
+			t.Errorf("slow[%d] has non-positive wall time: %+v", i, p)
 		}
 		if !valid[p.Detail] {
 			t.Errorf("slow[%d] solver path = %q, not a known kind", i, p.Detail)
 		}
-		if i > 0 && p.WallNS > tr.SlowPoints[i-1].WallNS {
+		if wall > 1 && p.WallNS > prevWall {
 			t.Errorf("slow points not sorted worst-first at %d", i)
 		}
+		prevWall = p.WallNS
+	}
+	if wall == 0 || wall > obs.MaxSlowPoints {
+		t.Errorf("wall slow points = %d, want 1..%d", wall, obs.MaxSlowPoints)
+	}
+	if health > obs.MaxHealthPoints {
+		t.Errorf("health points = %d, want <=%d", health, obs.MaxHealthPoints)
 	}
 
 	// Untraced: the impedance path with no trace attached must stay silent.
@@ -68,7 +90,7 @@ func TestImpedanceSlowPointCapture(t *testing.T) {
 	}
 	run.Finish()
 	tr := run.Trace()
-	if len(tr.SlowPoints) == 0 || len(tr.SlowPoints) > obs.MaxSlowPoints {
-		t.Fatalf("slow points = %d, want 1..%d", len(tr.SlowPoints), obs.MaxSlowPoints)
+	if len(tr.SlowPoints) == 0 || len(tr.SlowPoints) > obs.MaxSlowPoints+obs.MaxHealthPoints {
+		t.Fatalf("slow points = %d, want 1..%d", len(tr.SlowPoints), obs.MaxSlowPoints+obs.MaxHealthPoints)
 	}
 }

@@ -295,6 +295,7 @@ const (
 	CodeUnknownRun         = "unknown_run"
 	CodeNoConvergence      = "no_convergence"
 	CodeSingularMatrix     = "singular_matrix"
+	CodeAccuracy           = "accuracy"
 	CodeRunFailed          = "run_failed"
 )
 
@@ -490,19 +491,43 @@ func (s *server) emitRunEvent(ev *runEvent, dur time.Duration) {
 		attrs = append(attrs, slog.String("error", ev.errMsg))
 	}
 	if ev.run != nil {
-		tc := ev.run.Trace().Counters
+		tr := ev.run.Trace()
+		tc := tr.Counters
 		attrs = append(attrs,
 			slog.Int64("nodes", tc["sweep_nodes"]),
 			slog.Int64("freq_points", tc["sweep_freq_points"]),
 			slog.Int64("peaks", tc["peaks"]),
 			slog.Int64("loops", tc["loops"]))
-		solver := map[string]int64{}
+		solver := map[string]any{}
 		for k, v := range tc {
-			switch k {
-			case "sweep_nodes", "sweep_freq_points", "peaks", "loops":
+			switch {
+			case k == "sweep_nodes" || k == "sweep_freq_points" || k == "peaks" || k == "loops":
+			case strings.HasPrefix(k, obs.ResidualDecadePrefix):
+				// The per-decade residual digest is summarized by the
+				// numerics block below, not listed raw.
 			default:
 				solver[k] = v
 			}
+		}
+		// Numerical health: one solver.numerics block per run so "which
+		// runs were degraded" is a log query, not a metric join.
+		if tc["ac_residual_points"] > 0 {
+			num := map[string]any{
+				"points":       tc["ac_residual_points"],
+				"refinements":  tc["ac_refinements"],
+				"breaches":     tc["ac_residual_breaches"],
+				"max_residual": tr.Stats["numerics_residual_max"],
+			}
+			if med, ok := obs.MedianResidual(tc); ok {
+				num["median_residual"] = med
+			}
+			if g := tr.Stats["numerics_pivot_growth_max"]; g > 0 {
+				num["pivot_growth_max"] = g
+			}
+			if ce := tr.Stats["numerics_cond_est_max"]; ce > 0 {
+				num["cond_estimate"] = ce
+			}
+			solver["numerics"] = num
 		}
 		if len(solver) > 0 {
 			attrs = append(attrs, slog.Any("solver", solver))
@@ -526,7 +551,8 @@ func runOutcome(code string) string {
 // recent runs (newest first, in-flight runs marked running) and GET
 // /debug/runs/<id> returns one run's full record including its trace.
 // The listing accepts ?outcome=<ok|error|canceled|deadline|shed> (error
-// matches any error-code outcome) and ?n=<limit>.
+// matches any error-code outcome), ?health=<degraded|ok> (degraded keeps
+// runs with at least one residual-threshold breach), and ?n=<limit>.
 func (s *server) handleDebugRuns(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET only")
@@ -540,6 +566,15 @@ func (s *server) handleDebugRuns(w http.ResponseWriter, r *http.Request) {
 			kept := runs[:0]
 			for _, rs := range runs {
 				if outcomeMatches(rs.Outcome, outcome) {
+					kept = append(kept, rs)
+				}
+			}
+			runs = kept
+		}
+		if health := q.Get("health"); health != "" {
+			kept := runs[:0]
+			for _, rs := range runs {
+				if rs.Degraded == (health == "degraded") {
 					kept = append(kept, rs)
 				}
 			}
@@ -652,6 +687,8 @@ func errorCode(err error) (int, string) {
 		return http.StatusUnprocessableEntity, CodeNoConvergence
 	case errors.Is(err, acerr.ErrSingularMatrix):
 		return http.StatusUnprocessableEntity, CodeSingularMatrix
+	case errors.Is(err, acerr.ErrAccuracy):
+		return http.StatusUnprocessableEntity, CodeAccuracy
 	default:
 		return http.StatusUnprocessableEntity, CodeRunFailed
 	}
@@ -785,6 +822,11 @@ type Statusz struct {
 	// solves, Newton iterations, operating-point solves, MNA compiles).
 	Solver  map[string]int64 `json:"solver,omitempty"`
 	Workers StatuszWorkers   `json:"workers"`
+	// Numerics reports the numerical-health observatory: residual,
+	// pivot-growth, and condition-estimate histogram summaries plus the
+	// cumulative refinement/breach counts. Nil until the first measured
+	// sweep point.
+	Numerics *StatuszNumerics `json:"numerics,omitempty"`
 	// Cache reports the compiled-system cache: occupancy, capacity, and
 	// the cumulative hit/miss/eviction/invalidation counters. Nil when
 	// caching is disabled.
@@ -815,6 +857,17 @@ type StatuszOverload struct {
 	DeadlineExceeded int64 `json:"deadline_exceeded_total"`
 }
 
+// StatuszNumerics reports the worker's cumulative numerical health: the
+// same histograms /metrics exposes as acstab_ac_residual,
+// acstab_ac_pivot_growth, and acstab_ac_cond_estimate, summarized.
+type StatuszNumerics struct {
+	Residual         obs.HistogramSnapshot `json:"residual"`
+	PivotGrowth      obs.HistogramSnapshot `json:"pivot_growth"`
+	CondEstimate     obs.HistogramSnapshot `json:"cond_estimate"`
+	Refinements      int64                 `json:"refinements_total"`
+	ResidualBreaches int64                 `json:"residual_breaches_total"`
+}
+
 // StatuszWorkers reports sweep-pool saturation.
 type StatuszWorkers struct {
 	GOMAXPROCS int `json:"gomaxprocs"`
@@ -839,8 +892,15 @@ func statuszFrom(snap map[string]any, uptime time.Duration, cfg Config) *Statusz
 		reqPrefix   = `acstab_http_requests_total{`
 		solverPre   = "acstab_"
 	)
+	var num StatuszNumerics
 	for name, v := range snap {
 		switch {
+		case name == "acstab_ac_residual":
+			num.Residual, _ = v.(obs.HistogramSnapshot)
+		case name == "acstab_ac_pivot_growth":
+			num.PivotGrowth, _ = v.(obs.HistogramSnapshot)
+		case name == "acstab_ac_cond_estimate":
+			num.CondEstimate, _ = v.(obs.HistogramSnapshot)
 		case strings.HasPrefix(name, phasePrefix):
 			phase := strings.TrimSuffix(strings.TrimPrefix(name, phasePrefix), `"}`)
 			if hs, ok := v.(obs.HistogramSnapshot); ok {
@@ -876,6 +936,11 @@ func statuszFrom(snap map[string]any, uptime time.Duration, cfg Config) *Statusz
 	}
 	if st.Workers.GOMAXPROCS > 0 {
 		st.Workers.Utilization = st.Workers.SweepBusy / float64(st.Workers.GOMAXPROCS)
+	}
+	if num.Residual.Count > 0 {
+		num.Refinements = st.Solver["ac_refinements"]
+		num.ResidualBreaches = st.Solver["ac_residual_breaches"]
+		st.Numerics = &num
 	}
 	return st
 }

@@ -198,6 +198,11 @@ type WorkerView struct {
 	Build obs.BuildInfo `json:"build"`
 	// SLOHealth is the worker's own multi-window verdict.
 	SLOHealth string `json:"slo_health,omitempty"`
+	// Numerics mirrors the worker's /statusz numerical-health block (nil
+	// until the worker has measured at least one sweep point). Fleet-wide
+	// residual quantiles come from the merged acstab_ac_residual histogram
+	// in Merged, not from these per-worker summaries.
+	Numerics *farm.StatuszNumerics `json:"numerics,omitempty"`
 }
 
 // View is the merged fleet snapshot.
@@ -258,6 +263,10 @@ func (f *Fleet) Snapshot() View {
 				wv.CacheHits = st.Cache.Hits
 				wv.CacheMisses = st.Cache.Misses
 				wv.CacheEntries = st.Cache.Entries
+			}
+			if st.Numerics != nil {
+				n := *st.Numerics
+				wv.Numerics = &n
 			}
 
 			for name, v := range w.export.Counters {

@@ -306,3 +306,170 @@ func TestPollEventsCursors(t *testing.T) {
 		t.Errorf("incremental poll saw %d run events, want exactly 1", runs)
 	}
 }
+
+// TestFederationNumericsSameNumbers is the numerics acceptance e2e: one
+// run on worker A must quote the SAME health numbers from every surface —
+// the run's wide event, the worker's /statusz, the /debug/runs flight
+// recorder, and the federated fleet view. Metrics are process-global in
+// this test (see worker), so /statusz comparisons are deltas around the
+// run and the merged fleet histogram is checked against the sum of the
+// actual per-worker scrapes.
+func TestFederationNumericsSameNumbers(t *testing.T) {
+	srvA, logA := worker(t)
+	srvB, _ := worker(t)
+
+	statusz := func(srv *httptest.Server) farm.Statusz {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + "/statusz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st farm.Statusz
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	numCount := func(st farm.Statusz) (points, refinements int64) {
+		if st.Numerics == nil {
+			return 0, 0
+		}
+		return st.Numerics.Residual.Count, st.Numerics.Refinements
+	}
+
+	before := statusz(srvA)
+	pointsBefore, refineBefore := numCount(before)
+	runOn(t, srvA, "tr-numerics-1")
+	after := statusz(srvA)
+	pointsAfter, refineAfter := numCount(after)
+	if after.Numerics == nil {
+		t.Fatal("/statusz has no numerics block after a run")
+	}
+	deltaPoints := pointsAfter - pointsBefore
+	deltaRefine := refineAfter - refineBefore
+	if deltaPoints <= 0 {
+		t.Fatalf("statusz residual count delta = %d, want > 0", deltaPoints)
+	}
+
+	// Surface 1: the run's wide event.
+	var numerics map[string]any
+	for _, se := range logA.Events(0, 0) {
+		var ev map[string]any
+		if err := json.Unmarshal(se.Event, &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev["event"] != "run" || ev["trace_id"] != "tr-numerics-1" {
+			continue
+		}
+		solver, _ := ev["solver"].(map[string]any)
+		numerics, _ = solver["numerics"].(map[string]any)
+	}
+	if numerics == nil {
+		t.Fatal("run wide event carries no solver.numerics block")
+	}
+	evPoints := int64(numerics["points"].(float64))
+	evRefine := int64(numerics["refinements"].(float64))
+	evBreaches := int64(numerics["breaches"].(float64))
+	evMaxRes, _ := numerics["max_residual"].(float64)
+	if evPoints != deltaPoints {
+		t.Errorf("event points = %d, statusz delta = %d — surfaces disagree", evPoints, deltaPoints)
+	}
+	if evRefine != deltaRefine {
+		t.Errorf("event refinements = %d, statusz delta = %d", evRefine, deltaRefine)
+	}
+	if evBreaches != 0 {
+		t.Errorf("healthy tank reported %d breaches", evBreaches)
+	}
+	if evMaxRes <= 0 || evMaxRes > 1e-9 {
+		t.Errorf("event max_residual = %g, want (0, 1e-9]", evMaxRes)
+	}
+
+	// Surface 2: the flight recorder, including the degraded filter.
+	var listing struct {
+		Runs []obs.RunSummary `json:"runs"`
+	}
+	resp, err := srvA.Client().Get(srvA.URL + "/debug/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var rec *obs.RunSummary
+	for i := range listing.Runs {
+		if listing.Runs[i].TraceID == "tr-numerics-1" {
+			rec = &listing.Runs[i]
+		}
+	}
+	if rec == nil {
+		t.Fatal("run missing from /debug/runs")
+	}
+	if rec.MaxResidual != evMaxRes {
+		t.Errorf("recorder max_residual = %g, event says %g", rec.MaxResidual, evMaxRes)
+	}
+	if rec.Refinements != evRefine {
+		t.Errorf("recorder refinements = %d, event says %d", rec.Refinements, evRefine)
+	}
+	if rec.Degraded {
+		t.Error("healthy run marked degraded")
+	}
+	resp, err = srvA.Client().Get(srvA.URL + "/debug/runs?health=degraded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var degradedListing struct {
+		Runs []obs.RunSummary `json:"runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&degradedListing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, r := range degradedListing.Runs {
+		if r.TraceID == "tr-numerics-1" {
+			t.Error("healthy run returned by ?health=degraded")
+		}
+	}
+
+	// Surface 3: the federated fleet view. Per-worker numerics mirror the
+	// worker's own /statusz; the merged residual histogram is the exact
+	// bucket sum of the per-worker scrapes.
+	fl := New(Config{Workers: []string{srvA.URL, srvB.URL}})
+	fl.Poll(context.Background())
+	view := fl.Snapshot()
+	if view.UpCount != 2 {
+		t.Fatalf("up count %d, want 2", view.UpCount)
+	}
+	for _, wk := range view.Workers {
+		if wk.Numerics == nil {
+			t.Fatalf("worker %s has no numerics in the fleet view", wk.URL)
+		}
+		if wk.Numerics.Residual.Count != pointsAfter {
+			t.Errorf("fleet view of %s: residual count %d, statusz says %d",
+				wk.URL, wk.Numerics.Residual.Count, pointsAfter)
+		}
+		if wk.Numerics.Refinements != refineAfter {
+			t.Errorf("fleet view of %s: refinements %d, statusz says %d",
+				wk.URL, wk.Numerics.Refinements, refineAfter)
+		}
+	}
+	exA, exB := scrape(t, srvA), scrape(t, srvB)
+	hA, okA := exA.Histograms["acstab_ac_residual"]
+	hB, okB := exB.Histograms["acstab_ac_residual"]
+	if !okA || !okB {
+		t.Fatal("acstab_ac_residual missing from a worker scrape")
+	}
+	merged, ok := view.Merged.Histograms["acstab_ac_residual"]
+	if !ok {
+		t.Fatal("acstab_ac_residual missing from the merged fleet view")
+	}
+	if merged.Count != hA.Count+hB.Count {
+		t.Errorf("merged residual count %d, want %d (exact bucket federation)",
+			merged.Count, hA.Count+hB.Count)
+	}
+	wantRefine := exA.Counters["acstab_ac_refinements_total"] + exB.Counters["acstab_ac_refinements_total"]
+	if got := view.Merged.Counters["acstab_ac_refinements_total"]; got != wantRefine {
+		t.Errorf("merged refinements counter %d, want %d", got, wantRefine)
+	}
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStatMaxKeepsMaximum(t *testing.T) {
+	r := StartRun("stats")
+	r.StatMax("numerics_residual_max", 1e-14)
+	r.StatMax("numerics_residual_max", 1e-10)
+	r.StatMax("numerics_residual_max", 1e-12) // lower, must not win
+	r.StatMax("ignored", 0)                   // non-positive observations are dropped
+	r.StatMax("ignored", -3)
+	r.Finish()
+	tr := r.Trace()
+	if got := tr.Stats["numerics_residual_max"]; got != 1e-10 {
+		t.Errorf("stat = %g, want 1e-10", got)
+	}
+	if _, ok := tr.Stats["ignored"]; ok {
+		t.Error("non-positive observations must not create a stat")
+	}
+	var nilRun *Run
+	nilRun.StatMax("x", 1) // must not panic
+}
+
+func TestMedianResidualFromDigest(t *testing.T) {
+	counters := map[string]int64{
+		ResidualDecadeKey(-16): 3,
+		ResidualDecadeKey(-15): 2,
+		ResidualDecadeKey(-10): 1,
+		"ac_solves":            99, // unrelated counters are ignored
+	}
+	med, ok := MedianResidual(counters)
+	if !ok {
+		t.Fatal("digest present but ok=false")
+	}
+	// 6 points, median lands in decade -16 (3rd of 6): 10^(-16+0.5).
+	if want := math.Pow(10, -15.5); math.Abs(med-want)/want > 1e-12 {
+		t.Errorf("median = %g, want %g", med, want)
+	}
+	if _, ok := MedianResidual(map[string]int64{"ac_solves": 5}); ok {
+		t.Error("no digest must report ok=false")
+	}
+}
+
+func TestResidualDecadeKeyClamps(t *testing.T) {
+	if got, want := ResidualDecadeKey(-40), ResidualDecadeKey(ResidualDecadeMin); got != want {
+		t.Errorf("below-range decade = %q, want %q", got, want)
+	}
+	if got, want := ResidualDecadeKey(7), ResidualDecadeKey(ResidualDecadeMax); got != want {
+		t.Errorf("above-range decade = %q, want %q", got, want)
+	}
+}
+
+// TestSlowPointHealthQuota: wall-time points and residual health points
+// keep separate quotas in the merge, so a sick-but-fast point always
+// survives, and health points sort after wall points, worst residual
+// first.
+func TestSlowPointHealthQuota(t *testing.T) {
+	r := StartRun("quota")
+	var wall []SlowPoint
+	for i := 0; i < 2*MaxSlowPoints; i++ {
+		wall = append(wall, SlowPoint{FreqHz: float64(i), WallNS: int64(i + 1), Detail: "full"})
+	}
+	r.AddSlowPoints(wall)
+	var health []SlowPoint
+	for i := 0; i < 2*MaxHealthPoints; i++ {
+		health = append(health, SlowPoint{FreqHz: float64(i), Detail: "residual", Residual: float64(i+1) * 1e-12})
+	}
+	r.AddSlowPoints(health)
+	tr := r.Trace()
+	if len(tr.SlowPoints) != MaxSlowPoints+MaxHealthPoints {
+		t.Fatalf("slow points = %d, want %d wall + %d health",
+			len(tr.SlowPoints), MaxSlowPoints, MaxHealthPoints)
+	}
+	for i := 0; i < MaxSlowPoints; i++ {
+		p := tr.SlowPoints[i]
+		if p.Residual != 0 {
+			t.Fatalf("slow[%d] is a health point; wall points must sort first", i)
+		}
+		if want := int64(2*MaxSlowPoints - i); p.WallNS != want {
+			t.Errorf("wall[%d].WallNS = %d, want %d", i, p.WallNS, want)
+		}
+	}
+	for i := 0; i < MaxHealthPoints; i++ {
+		p := tr.SlowPoints[MaxSlowPoints+i]
+		if p.Detail != "residual" {
+			t.Fatalf("tail[%d].Detail = %q, want residual", i, p.Detail)
+		}
+		if want := float64(2*MaxHealthPoints-i) * 1e-12; p.Residual != want {
+			t.Errorf("health[%d].Residual = %g, want %g", i, p.Residual, want)
+		}
+	}
+}
+
+// TestGraftRemoteNumerics: grafting merges "_max" stats by maximum,
+// other stats by sum, the residual decade digest by counter addition, and
+// health points under their own quota.
+func TestGraftRemoteNumerics(t *testing.T) {
+	r := StartRun("graft-numerics")
+	r.StatMax("numerics_residual_max", 1e-13)
+	r.StatMax("numerics_cond_est_max", 1e9)
+	r.Add(ResidualDecadeKey(-14), 2)
+
+	remote := Trace{
+		Name:       "farm/run",
+		DurationNS: int64(time.Millisecond),
+		Counters: map[string]int64{
+			ResidualDecadeKey(-14): 3,
+			ResidualDecadeKey(-11): 1,
+			"ac_refinements":       2,
+		},
+		Stats: map[string]float64{
+			"numerics_residual_max": 1e-11, // larger: wins the max merge
+			"numerics_cond_est_max": 1e6,   // smaller: loses
+			"numerics_points":       5,     // no _max suffix: sums
+		},
+		SlowPoints: []SlowPoint{
+			{FreqHz: 1e6, Detail: "residual", Residual: 1e-11},
+			{FreqHz: 2e6, WallNS: 100, Detail: "full"},
+		},
+	}
+	r.GraftRemote(remote, time.Now(), time.Millisecond, 1)
+	r.GraftRemote(Trace{
+		Stats: map[string]float64{"numerics_points": 7},
+	}, time.Now(), time.Millisecond, 1)
+	r.Finish()
+
+	tr := r.Trace()
+	if got := tr.Stats["numerics_residual_max"]; got != 1e-11 {
+		t.Errorf("residual max merged to %g, want 1e-11", got)
+	}
+	if got := tr.Stats["numerics_cond_est_max"]; got != 1e9 {
+		t.Errorf("cond max merged to %g, want 1e9 (local value must survive)", got)
+	}
+	if got := tr.Stats["numerics_points"]; got != 12 {
+		t.Errorf("non-max stat merged to %g, want 12 (sum)", got)
+	}
+	if got := tr.Counters[ResidualDecadeKey(-14)]; got != 5 {
+		t.Errorf("decade -14 = %d, want 5 (counter sum)", got)
+	}
+	if got := tr.Counters[ResidualDecadeKey(-11)]; got != 1 {
+		t.Errorf("decade -11 = %d, want 1", got)
+	}
+	var sawHealth, sawWall bool
+	for _, p := range tr.SlowPoints {
+		if p.Detail == "residual" && p.Residual == 1e-11 {
+			sawHealth = true
+		}
+		if p.Detail == "full" && p.WallNS == 100 {
+			sawWall = true
+		}
+	}
+	if !sawHealth || !sawWall {
+		t.Errorf("grafted slow points lost (health %v, wall %v): %+v", sawHealth, sawWall, tr.SlowPoints)
+	}
+}
+
+// TestWriteSummaryNumerics: a run with residual telemetry prints the
+// numerical-health block and keeps the decade digest out of the raw
+// counter listing; a run without telemetry prints neither.
+func TestWriteSummaryNumerics(t *testing.T) {
+	r := StartRun("summary-numerics")
+	r.Add("ac_residual_points", 40)
+	r.Add("ac_refinements", 2)
+	r.Add("ac_residual_breaches", 1)
+	r.Add(ResidualDecadeKey(-15), 39)
+	r.Add(ResidualDecadeKey(-8), 1)
+	r.StatMax("numerics_residual_max", 3.2e-8)
+	r.StatMax("numerics_pivot_growth_max", 42)
+	r.StatMax("numerics_cond_est_max", 5e7)
+	r.Finish()
+
+	var buf bytes.Buffer
+	if err := r.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"numerical health:",
+		"residual max",
+		"3.20e-08",
+		"residual median",
+		"refinements",
+		"residual breaches",
+		"pivot growth max",
+		"condition estimate",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, ResidualDecadePrefix) {
+		t.Errorf("raw decade digest leaked into the summary:\n%s", out)
+	}
+
+	r2 := StartRun("no-numerics")
+	r2.Add("ac_solves", 3)
+	r2.Finish()
+	buf.Reset()
+	if err := r2.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "numerical health:") {
+		t.Errorf("health block printed without telemetry:\n%s", buf.String())
+	}
+}

@@ -115,6 +115,13 @@ type RunSummary struct {
 	// sweep_nodes / sweep_freq_points counters).
 	Nodes      int64 `json:"nodes,omitempty"`
 	FreqPoints int64 `json:"freq_points,omitempty"`
+	// Numerical health: the run's worst scale-relative residual, how many
+	// refinement steps the escalation ladder took, and whether any point
+	// breached the residual threshold ("degraded" — what the
+	// /debug/runs?health=degraded filter selects).
+	MaxResidual float64 `json:"max_residual,omitempty"`
+	Refinements int64   `json:"refinements,omitempty"`
+	Degraded    bool    `json:"degraded,omitempty"`
 }
 
 // RunDetail is the full GET /debug/runs/<id> document: the summary plus a
@@ -144,9 +151,15 @@ func (rec *RunRecord) summary() RunSummary {
 	} else {
 		s.DurationNS = end.Sub(s.Start).Nanoseconds()
 	}
-	if c := rec.run.Trace().Counters; c != nil {
+	tr := rec.run.Trace()
+	if c := tr.Counters; c != nil {
 		s.Nodes = c["sweep_nodes"]
 		s.FreqPoints = c["sweep_freq_points"]
+		s.Refinements = c["ac_refinements"]
+		s.Degraded = c["ac_residual_breaches"] > 0
+	}
+	if tr.Stats != nil {
+		s.MaxResidual = tr.Stats["numerics_residual_max"]
 	}
 	return s
 }

@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +22,12 @@ const maxSpans = 4096
 // only the worst K frequency points by solve wall time.
 const MaxSlowPoints = 8
 
+// MaxHealthPoints bounds the residual-tagged entries of the slow-point
+// capture: points carrying a Residual compete on backward error among
+// themselves (worst residual first) in a separate quota, so a numerically
+// sick point is never crowded out by merely slow ones.
+const MaxHealthPoints = 4
+
 // Run is one traced stability run: an ordered list of phase spans plus
 // named solver counters. A nil *Run is valid everywhere — every method is
 // a no-op on nil — so instrumented code can thread an optional trace
@@ -30,6 +39,7 @@ type Run struct {
 	end      time.Time
 	spans    []PhaseSpan
 	counters map[string]int64
+	stats    map[string]float64
 	dropped  int64
 	slow     []SlowPoint
 }
@@ -58,8 +68,13 @@ type SlowPoint struct {
 	// WallNS is the wall time of the point's factor+solve step.
 	WallNS int64 `json:"wall_ns"`
 	// Detail names the solver path the point took (e.g. "refactor",
-	// "refactor_fallback": this point fell back to a full factorization).
+	// "refactor_fallback": this point fell back to a full factorization),
+	// or "residual" for worst-residual health points.
 	Detail string `json:"detail,omitempty"`
+	// Residual is the scale-relative backward error of the point, set only
+	// on worst-residual health points. Such points are ranked by Residual
+	// in their own MaxHealthPoints quota of the capture.
+	Residual float64 `json:"residual,omitempty"`
 }
 
 // Trace is the machine-readable snapshot of a finished (or in-flight) run,
@@ -71,8 +86,13 @@ type Trace struct {
 	Counters     map[string]int64 `json:"counters,omitempty"`
 	DroppedSpans int64            `json:"dropped_spans,omitempty"`
 	// SlowPoints lists the worst MaxSlowPoints frequency points of the
-	// run's sweeps by linear-solve wall time, worst first.
+	// run's sweeps by linear-solve wall time, worst first, followed by up
+	// to MaxHealthPoints worst-residual points (Residual set).
 	SlowPoints []SlowPoint `json:"slow_points,omitempty"`
+	// Stats holds named float-valued numerics statistics (max residual,
+	// pivot growth, condition estimate). Keys ending in "_max" merge by
+	// maximum across grafted remote traces; all others merge by sum.
+	Stats map[string]float64 `json:"stats,omitempty"`
 }
 
 // StartRun begins a trace.
@@ -100,6 +120,82 @@ func (r *Run) Add(name string, n int64) {
 	r.mu.Lock()
 	r.counters[name] += n
 	r.mu.Unlock()
+}
+
+// StatMax records a float-valued statistic, keeping the maximum of all
+// observations (use keys ending in "_max" so remote grafts merge the same
+// way). Non-positive values are ignored — every numerics statistic this
+// repo tracks is positive when meaningful.
+func (r *Run) StatMax(name string, v float64) {
+	if r == nil || v <= 0 {
+		return
+	}
+	r.mu.Lock()
+	if r.stats == nil {
+		r.stats = map[string]float64{}
+	}
+	if v > r.stats[name] {
+		r.stats[name] = v
+	}
+	r.mu.Unlock()
+}
+
+// ResidualDecadePrefix prefixes the trace-counter keys of the per-run
+// residual digest: ResidualDecadeKey(d) counts the frequency points whose
+// scale-relative backward error landed in [10^d, 10^(d+1)). The digest
+// rides the ordinary int64 counter map, so remote grafting and shard
+// merging sum it exactly; display layers filter the prefix out of plain
+// counter listings and reconstruct a median from it (MedianResidual).
+const ResidualDecadePrefix = "ac_residual_decade_"
+
+// ResidualDecadeBuckets spans decades [-18, 0]; errors outside clamp in.
+const (
+	ResidualDecadeMin = -18
+	ResidualDecadeMax = 0
+)
+
+// ResidualDecadeKey returns the digest counter key for decade d (clamped
+// to [ResidualDecadeMin, ResidualDecadeMax]).
+func ResidualDecadeKey(d int) string {
+	if d < ResidualDecadeMin {
+		d = ResidualDecadeMin
+	}
+	if d > ResidualDecadeMax {
+		d = ResidualDecadeMax
+	}
+	return fmt.Sprintf("%s%d", ResidualDecadePrefix, d)
+}
+
+// MedianResidual estimates the median scale-relative residual from a
+// counter map carrying the per-decade digest. The estimate is the
+// geometric midpoint of the decade holding the median observation —
+// decade resolution, which is exactly the granularity a health readout
+// needs. ok is false when the map holds no digest.
+func MedianResidual(counters map[string]int64) (med float64, ok bool) {
+	var total int64
+	counts := make(map[int]int64)
+	for k, v := range counters {
+		if !strings.HasPrefix(k, ResidualDecadePrefix) {
+			continue
+		}
+		d, err := strconv.Atoi(k[len(ResidualDecadePrefix):])
+		if err != nil {
+			continue
+		}
+		counts[d] += v
+		total += v
+	}
+	if total == 0 {
+		return 0, false
+	}
+	var seen int64
+	for d := ResidualDecadeMin; d <= ResidualDecadeMax; d++ {
+		seen += counts[d]
+		if 2*seen >= total {
+			return math.Pow(10, float64(d)+0.5), true
+		}
+	}
+	return 0, false
 }
 
 // Span is an open phase; End closes it. A nil *Span is valid and End is a
@@ -176,6 +272,12 @@ func (r *Run) Trace() Trace {
 			t.Counters[k] = v
 		}
 	}
+	if len(r.stats) > 0 {
+		t.Stats = make(map[string]float64, len(r.stats))
+		for k, v := range r.stats {
+			t.Stats[k] = v
+		}
+	}
 	return t
 }
 
@@ -194,10 +296,29 @@ func (r *Run) AddSlowPoints(pts []SlowPoint) {
 
 func (r *Run) mergeSlowPointsLocked(pts []SlowPoint) {
 	r.slow = append(r.slow, pts...)
-	sort.SliceStable(r.slow, func(i, j int) bool { return r.slow[i].WallNS > r.slow[j].WallNS })
-	if len(r.slow) > MaxSlowPoints {
-		r.slow = r.slow[:MaxSlowPoints]
+	// Wall-time points and residual-tagged health points keep separate
+	// quotas: wall points rank by WallNS (worst MaxSlowPoints), health
+	// points (Residual > 0) rank by Residual (worst MaxHealthPoints) and
+	// sort after the wall points. A sick-but-fast point therefore always
+	// survives the merge.
+	wall := r.slow[:0]
+	var health []SlowPoint
+	for _, p := range r.slow {
+		if p.Residual > 0 {
+			health = append(health, p)
+		} else {
+			wall = append(wall, p)
+		}
 	}
+	sort.SliceStable(wall, func(i, j int) bool { return wall[i].WallNS > wall[j].WallNS })
+	if len(wall) > MaxSlowPoints {
+		wall = wall[:MaxSlowPoints]
+	}
+	sort.SliceStable(health, func(i, j int) bool { return health[i].Residual > health[j].Residual })
+	if len(health) > MaxHealthPoints {
+		health = health[:MaxHealthPoints]
+	}
+	r.slow = append(wall, health...)
 }
 
 // GraftRemote merges a remote worker's trace into the run as a subtree of
@@ -236,6 +357,23 @@ func (r *Run) GraftRemote(t Trace, reqStart time.Time, reqDur time.Duration, att
 	}
 	for k, v := range t.Counters {
 		r.counters[k] += v
+	}
+	// Float stats: "_max" keys keep the fleet-wide maximum, everything
+	// else sums — the same semantics the per-decade residual digest gets
+	// for free from the counter merge above.
+	if len(t.Stats) > 0 {
+		if r.stats == nil {
+			r.stats = make(map[string]float64, len(t.Stats))
+		}
+		for k, v := range t.Stats {
+			if strings.HasSuffix(k, "_max") {
+				if v > r.stats[k] {
+					r.stats[k] = v
+				}
+			} else {
+				r.stats[k] += v
+			}
+		}
 	}
 	r.dropped += t.DroppedSpans
 	r.mergeSlowPointsLocked(t.SlowPoints)
@@ -298,27 +436,87 @@ func (r *Run) WriteSummary(w io.Writer) error {
 	if len(t.Counters) > 0 {
 		names := make([]string, 0, len(t.Counters))
 		for k := range t.Counters {
-			names = append(names, k)
-		}
-		sort.Strings(names)
-		if _, err := fmt.Fprintln(w, "solver counters:"); err != nil {
-			return err
-		}
-		for _, k := range names {
-			if _, err := fmt.Fprintf(w, "  %-24s %d\n", k, t.Counters[k]); err != nil {
-				return err
+			// The residual digest feeds the numerics block below, not the
+			// raw counter listing.
+			if !strings.HasPrefix(k, ResidualDecadePrefix) {
+				names = append(names, k)
 			}
 		}
+		sort.Strings(names)
+		if len(names) > 0 {
+			if _, err := fmt.Fprintln(w, "solver counters:"); err != nil {
+				return err
+			}
+			for _, k := range names {
+				if _, err := fmt.Fprintf(w, "  %-24s %d\n", k, t.Counters[k]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := writeNumericsSummary(w, t); err != nil {
+		return err
 	}
 	if len(t.SlowPoints) > 0 {
 		if _, err := fmt.Fprintln(w, "slowest frequency points:"); err != nil {
 			return err
 		}
 		for _, p := range t.SlowPoints {
+			detail := p.Detail
+			if p.Residual > 0 {
+				detail = fmt.Sprintf("%s (residual %.2e)", p.Detail, p.Residual)
+			}
 			if _, err := fmt.Fprintf(w, "  %12.4g Hz  %12s  %s\n",
-				p.FreqHz, time.Duration(p.WallNS).Round(time.Microsecond), p.Detail); err != nil {
+				p.FreqHz, time.Duration(p.WallNS).Round(time.Microsecond), detail); err != nil {
 				return err
 			}
+		}
+	}
+	return nil
+}
+
+// writeNumericsSummary prints the numerical-health block of a run summary:
+// max/median scale-relative residual, refinement/breach/fallback counts,
+// pivot growth, and the sampled condition estimate. Silent when the run
+// carried no residual telemetry (numerics disabled or no AC sweep).
+func writeNumericsSummary(w io.Writer, t Trace) error {
+	points := t.Counters["ac_residual_points"]
+	if points == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintln(w, "numerical health:"); err != nil {
+		return err
+	}
+	if max := t.Stats["numerics_residual_max"]; max > 0 {
+		if _, err := fmt.Fprintf(w, "  %-24s %.2e\n", "residual max", max); err != nil {
+			return err
+		}
+	}
+	if med, ok := MedianResidual(t.Counters); ok {
+		if _, err := fmt.Fprintf(w, "  %-24s %.2e (over %d points)\n", "residual median", med, points); err != nil {
+			return err
+		}
+	}
+	for _, row := range []struct {
+		label string
+		key   string
+	}{
+		{"refinements", "ac_refinements"},
+		{"residual breaches", "ac_residual_breaches"},
+		{"refactor fallbacks", "ac_refactor_fallbacks"},
+	} {
+		if _, err := fmt.Fprintf(w, "  %-24s %d\n", row.label, t.Counters[row.key]); err != nil {
+			return err
+		}
+	}
+	if g := t.Stats["numerics_pivot_growth_max"]; g > 0 {
+		if _, err := fmt.Fprintf(w, "  %-24s %.3g\n", "pivot growth max", g); err != nil {
+			return err
+		}
+	}
+	if c := t.Stats["numerics_cond_est_max"]; c > 0 {
+		if _, err := fmt.Fprintf(w, "  %-24s %.3g\n", "condition estimate", c); err != nil {
+			return err
 		}
 	}
 	return nil

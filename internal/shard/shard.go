@@ -257,12 +257,30 @@ func (c *Coordinator) AllNodes(ctx context.Context, src string, opts tool.Option
 	merged.Loops = stab.ClusterLoops(union, t.Opts.LoopTol)
 	run.Add("shard_peaks", int64(len(union)))
 	run.Add("shard_loops", int64(len(merged.Loops)))
-	c.cfg.Log.Event("shard_merge",
+	mergeAttrs := []slog.Attr{
 		slog.String("trace_id", traceID),
 		slog.Int("shards", len(shards)),
 		slog.Int("nodes", len(merged.Nodes)),
 		slog.Int("peaks", len(union)),
-		slog.Int("loops", len(merged.Loops)))
+		slog.Int("loops", len(merged.Loops)),
+	}
+	// Numerical health across the shards: each winning attempt's trace was
+	// grafted into the run, so the counters (and the per-decade residual
+	// digest) are sums over shards and the stats are maxima — the same
+	// numbers an unsharded run of the whole node set would report.
+	if tr := run.Trace(); tr.Counters["ac_residual_points"] > 0 {
+		num := map[string]any{
+			"points":       tr.Counters["ac_residual_points"],
+			"refinements":  tr.Counters["ac_refinements"],
+			"breaches":     tr.Counters["ac_residual_breaches"],
+			"max_residual": tr.Stats["numerics_residual_max"],
+		}
+		if med, ok := obs.MedianResidual(tr.Counters); ok {
+			num["median_residual"] = med
+		}
+		mergeAttrs = append(mergeAttrs, slog.Any("numerics", num))
+	}
+	c.cfg.Log.Event("shard_merge", mergeAttrs...)
 	return merged, nil
 }
 

@@ -353,6 +353,11 @@ type Numeric struct {
 	// runtime complex-division path out of the per-node inner loop.
 	udinv []complex128
 	w     []complex128 // dense scatter row, all-zero between calls
+	// growth is the pivot-growth factor of the last successful Refactor:
+	// max over steps of |u_kk| / (input magnitude of the pivot row). Both
+	// factors are already computed by the refill loop, so tracking it is
+	// free; see PivotGrowth.
+	growth float64
 }
 
 // NewNumeric allocates the numeric storage for the pattern.
@@ -379,6 +384,7 @@ func (nm *Numeric) Refactor(vals []complex128) error {
 	}
 	n := sym.n
 	w := nm.w
+	growth := 0.0
 	for k := 0; k < n; k++ {
 		row := sym.perm[k]
 		scale := 0.0
@@ -415,8 +421,14 @@ func (nm *Numeric) Refactor(vals []complex128) error {
 			}
 			return fmt.Errorf("%w (refactor pivot %d collapsed)", ErrSingular, k)
 		}
+		if scale > 0 {
+			if g := ad / scale; g > growth {
+				growth = g
+			}
+		}
 		nm.udinv[k] = 1 / d
 	}
+	nm.growth = growth
 	return nil
 }
 
