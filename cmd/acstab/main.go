@@ -62,6 +62,10 @@ func runWith(args []string, out, errOut io.Writer) error {
 		fstart    = fs.String("fstart", "1k", "sweep start frequency")
 		fstop     = fs.String("fstop", "1g", "sweep stop frequency")
 		ppd       = fs.Int("ppd", 40, "points per decade")
+		coarsePPD = fs.Int("coarse-ppd", 0, "adaptive sweep: coarse pass resolution in points per decade (0 = adaptive off, dense uniform grid)")
+		refinePPD = fs.Int("refine-ppd", 0, "adaptive sweep: refinement resolution cap in points per decade (0 = -ppd)")
+		refineThr = fs.Float64("refine-threshold", 0, "adaptive sweep: |P| level that marks an interval resonant (0 = default 0.5)")
+		freqBatch = fs.Int("freq-batch", 0, "frequencies refactored per batched refill block (0 = default 8, 1 = serial)")
 		format    = fs.String("format", "text", "all-nodes output: text, csv, json")
 		annotate  = fs.Bool("annotate", false, "print the annotated netlist instead of the report")
 		plot      = fs.Bool("plot", false, "render ASCII plots (single-node mode)")
@@ -174,12 +178,18 @@ func runWith(args []string, out, errOut io.Writer) error {
 		return fmt.Errorf("-fstop: %v", err)
 	}
 	opts.PointsPerDecade = *ppd
+	opts.CoarsePointsPerDecade = *coarsePPD
+	opts.RefinePointsPerDecade = *refinePPD
+	opts.RefineThreshold = *refineThr
 	opts.Workers = *workers
 	opts.Naive = *naive
 	opts.LoopTol = *loopTol
-	if *resTol != 0 {
+	if *resTol != 0 || *freqBatch != 0 {
 		aopts := analysis.DefaultOptions()
-		aopts.ResidualThreshold = *resTol
+		if *resTol != 0 {
+			aopts.ResidualThreshold = *resTol
+		}
+		aopts.FreqBatch = *freqBatch
 		opts.Analysis = &aopts
 	}
 	if *skip != "" {
@@ -452,13 +462,16 @@ func runRemote(ctx context.Context, out io.Writer, url, src string, opts tool.Op
 		Node:      node,
 		TimeoutMS: timeout.Milliseconds(),
 		Options: farm.RequestOptions{
-			FStartHz:        opts.FStart,
-			FStopHz:         opts.FStop,
-			PointsPerDecade: opts.PointsPerDecade,
-			LoopTol:         opts.LoopTol,
-			Workers:         opts.Workers,
-			Naive:           opts.Naive,
-			SkipNodes:       opts.SkipNodes,
+			FStartHz:              opts.FStart,
+			FStopHz:               opts.FStop,
+			PointsPerDecade:       opts.PointsPerDecade,
+			CoarsePointsPerDecade: opts.CoarsePointsPerDecade,
+			RefinePointsPerDecade: opts.RefinePointsPerDecade,
+			RefineThreshold:       opts.RefineThreshold,
+			LoopTol:               opts.LoopTol,
+			Workers:               opts.Workers,
+			Naive:                 opts.Naive,
+			SkipNodes:             opts.SkipNodes,
 		},
 	}, trace)
 	if err != nil {
@@ -528,13 +541,16 @@ func runCorners(ctx context.Context, out io.Writer, remote, src string, opts too
 			Node:      node,
 			TimeoutMS: timeout.Milliseconds(),
 			Options: farm.RequestOptions{
-				FStartHz:        opts.FStart,
-				FStopHz:         opts.FStop,
-				PointsPerDecade: opts.PointsPerDecade,
-				LoopTol:         opts.LoopTol,
-				Workers:         opts.Workers,
-				Naive:           opts.Naive,
-				SkipNodes:       opts.SkipNodes,
+				FStartHz:              opts.FStart,
+				FStopHz:               opts.FStop,
+				PointsPerDecade:       opts.PointsPerDecade,
+				CoarsePointsPerDecade: opts.CoarsePointsPerDecade,
+				RefinePointsPerDecade: opts.RefinePointsPerDecade,
+				RefineThreshold:       opts.RefineThreshold,
+				LoopTol:               opts.LoopTol,
+				Workers:               opts.Workers,
+				Naive:                 opts.Naive,
+				SkipNodes:             opts.SkipNodes,
 			},
 			Variants: variants,
 		})

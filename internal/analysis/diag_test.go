@@ -107,7 +107,7 @@ func installSymbolic(s *Sim, pat *sparse.Pattern, sym *sparse.Symbolic) {
 	sh := s.acShared()
 	sh.mu.Lock()
 	sh.pat, sh.sym = pat, sym
-	sh.diag, sh.diagSym, sh.diagNodes = nil, nil, nil
+	sh.diagSym, sh.diagPlans = nil, nil
 	sh.mu.Unlock()
 }
 

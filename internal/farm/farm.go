@@ -116,15 +116,22 @@ type TracedResponse struct {
 // substring-matched SkipNodes), so one whole analysis splits into
 // node-range shards riding the ordinary v1 wire.
 type RequestOptions struct {
-	FStartHz        float64  `json:"fstart_hz,omitempty"`
-	FStopHz         float64  `json:"fstop_hz,omitempty"`
-	PointsPerDecade int      `json:"points_per_decade,omitempty"`
-	LoopTol         float64  `json:"loop_tol,omitempty"`
-	Workers         int      `json:"workers,omitempty"`
-	Naive           bool     `json:"naive,omitempty"`
-	SkipNodes       []string `json:"skip_nodes,omitempty"`
-	OnlyNodes       []string `json:"only_nodes,omitempty"`
-	OnlySubckt      string   `json:"only_subckt,omitempty"`
+	FStartHz        float64 `json:"fstart_hz,omitempty"`
+	FStopHz         float64 `json:"fstop_hz,omitempty"`
+	PointsPerDecade int     `json:"points_per_decade,omitempty"`
+	// CoarsePointsPerDecade > 0 switches the run to the two-level adaptive
+	// sweep: a coarse pass at this resolution plus targeted refinement up
+	// to RefinePointsPerDecade around detected resonances. The grids are
+	// deterministic per node, so sharded runs merge byte-identically.
+	CoarsePointsPerDecade int      `json:"coarse_points_per_decade,omitempty"`
+	RefinePointsPerDecade int      `json:"refine_points_per_decade,omitempty"`
+	RefineThreshold       float64  `json:"refine_threshold,omitempty"`
+	LoopTol               float64  `json:"loop_tol,omitempty"`
+	Workers               int      `json:"workers,omitempty"`
+	Naive                 bool     `json:"naive,omitempty"`
+	SkipNodes             []string `json:"skip_nodes,omitempty"`
+	OnlyNodes             []string `json:"only_nodes,omitempty"`
+	OnlySubckt            string   `json:"only_subckt,omitempty"`
 }
 
 // MaxNetlistBytes bounds the decoded netlist size.

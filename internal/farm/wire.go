@@ -69,6 +69,42 @@ func (o RequestOptions) Normalize() (tool.Options, error) {
 	if o.PointsPerDecade > 0 {
 		opts.PointsPerDecade = o.PointsPerDecade
 	}
+	if o.CoarsePointsPerDecade < 0 {
+		return opts, &FieldError{Field: "coarse_points_per_decade", Reason: "must be >= 0 (0 = adaptive off)"}
+	}
+	if o.CoarsePointsPerDecade > 0 {
+		opts.CoarsePointsPerDecade = o.CoarsePointsPerDecade
+	}
+	if o.RefinePointsPerDecade < 0 {
+		return opts, &FieldError{Field: "refine_points_per_decade", Reason: "must be >= 0 (0 = server default)"}
+	}
+	if o.RefinePointsPerDecade > 0 {
+		if o.CoarsePointsPerDecade <= 0 {
+			return opts, &FieldError{Field: "refine_points_per_decade",
+				Reason: "requires coarse_points_per_decade > 0 (adaptive sweeps only)"}
+		}
+		opts.RefinePointsPerDecade = o.RefinePointsPerDecade
+	}
+	if o.RefineThreshold < 0 {
+		return opts, &FieldError{Field: "refine_threshold", Reason: "must be >= 0 (0 = server default)"}
+	}
+	if o.RefineThreshold > 0 {
+		if o.CoarsePointsPerDecade <= 0 {
+			return opts, &FieldError{Field: "refine_threshold",
+				Reason: "requires coarse_points_per_decade > 0 (adaptive sweeps only)"}
+		}
+		opts.RefineThreshold = o.RefineThreshold
+	}
+	if opts.CoarsePointsPerDecade > 0 {
+		if o.Naive {
+			return opts, &FieldError{Field: "coarse_points_per_decade",
+				Reason: "adaptive sweeps and naive mode are mutually exclusive"}
+		}
+		if opts.RefinePointsPerDecade > 0 && opts.RefinePointsPerDecade < opts.CoarsePointsPerDecade {
+			return opts, &FieldError{Field: "refine_points_per_decade",
+				Reason: fmt.Sprintf("must be >= coarse_points_per_decade (%d)", opts.CoarsePointsPerDecade)}
+		}
+	}
 	if o.LoopTol < 0 {
 		return opts, &FieldError{Field: "loop_tol", Reason: "must be >= 0 (0 = server default)"}
 	}

@@ -427,13 +427,16 @@ func (c *Coordinator) shardRequest(src, traceID string, opts tool.Options, nodes
 		TimeoutMS: c.cfg.Timeout.Milliseconds(),
 		TraceID:   traceID,
 		Options: farm.RequestOptions{
-			FStartHz:        opts.FStart,
-			FStopHz:         opts.FStop,
-			PointsPerDecade: opts.PointsPerDecade,
-			LoopTol:         opts.LoopTol,
-			Workers:         opts.Workers,
-			Naive:           opts.Naive,
-			OnlyNodes:       nodes,
+			FStartHz:              opts.FStart,
+			FStopHz:               opts.FStop,
+			PointsPerDecade:       opts.PointsPerDecade,
+			CoarsePointsPerDecade: opts.CoarsePointsPerDecade,
+			RefinePointsPerDecade: opts.RefinePointsPerDecade,
+			RefineThreshold:       opts.RefineThreshold,
+			LoopTol:               opts.LoopTol,
+			Workers:               opts.Workers,
+			Naive:                 opts.Naive,
+			OnlyNodes:             nodes,
 		},
 	}
 }

@@ -118,6 +118,52 @@ func TestShardedMatchesUnsharded(t *testing.T) {
 	}
 }
 
+// TestShardedAdaptiveMatchesUnsharded extends the merge-equivalence
+// property to adaptive grids: refinement decisions are per-node, so a
+// sharded adaptive run must still reproduce the unsharded report
+// byte-for-byte even though each shard refines its own node subset
+// independently.
+func TestShardedAdaptiveMatchesUnsharded(t *testing.T) {
+	for _, tc := range []struct {
+		loops, workers, shards int
+	}{
+		{2, 2, 0}, // one shard per worker
+		{3, 2, 5}, // more shards than workers (queueing)
+	} {
+		src := netlist.Format(circuits.ResonatorField(tc.loops, 1e6, 0.25))
+		opts := testOpts()
+		opts.CoarsePointsPerDecade = 8
+		want := localReport(t, src, opts)
+
+		coord, err := New(Config{
+			Workers: startWorkers(t, tc.workers),
+			Shards:  tc.shards,
+			Log:     obs.NewEventLogger(nil),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := coord.AllNodes(context.Background(), src, opts)
+		if err != nil {
+			t.Fatalf("loops=%d workers=%d shards=%d: %v", tc.loops, tc.workers, tc.shards, err)
+		}
+
+		wt, wc, wj := renderAll(t, want)
+		gt, gc, gj := renderAll(t, got)
+		if gt != wt {
+			t.Errorf("loops=%d workers=%d shards=%d: adaptive text report differs\n--- sharded ---\n%s\n--- local ---\n%s",
+				tc.loops, tc.workers, tc.shards, gt, wt)
+		}
+		if gc != wc {
+			t.Errorf("loops=%d workers=%d shards=%d: adaptive csv report differs", tc.loops, tc.workers, tc.shards)
+		}
+		if gj != wj {
+			t.Errorf("loops=%d workers=%d shards=%d: adaptive json report differs\n--- sharded ---\n%s\n--- local ---\n%s",
+				tc.loops, tc.workers, tc.shards, gj, wj)
+		}
+	}
+}
+
 // countEvents tallies ring events by name.
 func countEvents(log *obs.EventLogger) map[string]int {
 	out := map[string]int{}

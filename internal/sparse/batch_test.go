@@ -1,0 +1,213 @@
+package sparse
+
+import (
+	"testing"
+)
+
+// batchLaneVals stamps one Vals per omega and returns the value slices,
+// all over the shared pattern.
+func batchLaneVals(t *testing.T, pat *Pattern, n int, omegas []float64) [][]complex128 {
+	t.Helper()
+	lanes := make([][]complex128, len(omegas))
+	for j, om := range omegas {
+		v := pat.NewVals()
+		v.Begin()
+		replay(v, ladderStamp(n, om))
+		if v.Drift() {
+			t.Fatalf("lane %d: unexpected drift", j)
+		}
+		lanes[j] = v.Values()
+	}
+	return lanes
+}
+
+// TestRefactorBatchBitwiseAgreement: every lane of a batched refill must
+// reproduce the serial Refactor of the same values bit for bit — factors,
+// pivot growth, and the reach-restricted diagonal solves computed from
+// them. Batching may only change throughput, never results.
+func TestRefactorBatchBitwiseAgreement(t *testing.T) {
+	const n = 24
+	pat, vals := compile(n, ladderStamp(n, 1e6))
+	sym, err := pat.Analyze(vals.Values())
+	if err != nil {
+		t.Fatal(err)
+	}
+	omegas := []float64{1, 1e3, 1e5, 1e6, 1e8, 1e10, 1e12}
+	lanes := batchLaneVals(t, pat, n, omegas)
+	nb := sym.NewNumericBatch(len(omegas) + 1) // capacity above m: partial blocks must work
+	if err := nb.Refactor(lanes); err != nil {
+		t.Fatal(err)
+	}
+	if nb.Lanes() != len(omegas) {
+		t.Fatalf("Lanes() = %d, want %d", nb.Lanes(), len(omegas))
+	}
+	nodes := []int{0, n / 2, n - 1}
+	plan, err := sym.DiagPlan(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	K := nb.K()
+	diagB := make([]complex128, len(nodes)*K)
+	if err := nb.SolveDiagLanesInto(diagB, plan); err != nil {
+		t.Fatal(err)
+	}
+	serial := sym.NewNumeric()
+	ext := sym.NewNumeric()
+	diagS := make([]complex128, len(nodes))
+	for j, om := range omegas {
+		if !nb.LaneOK(j) {
+			t.Fatalf("lane %d (omega %g) not OK", j, om)
+		}
+		if err := serial.Refactor(lanes[j]); err != nil {
+			t.Fatalf("serial refactor omega %g: %v", om, err)
+		}
+		if g := nb.LaneGrowth(j); g != serial.PivotGrowth() {
+			t.Errorf("lane %d growth %g != serial %g", j, g, serial.PivotGrowth())
+		}
+		if err := nb.ExtractLane(ext, j); err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial.lval {
+			if ext.lval[i] != serial.lval[i] {
+				t.Fatalf("lane %d lval[%d]: %v != %v", j, i, ext.lval[i], serial.lval[i])
+			}
+		}
+		for i := range serial.uval {
+			if ext.uval[i] != serial.uval[i] {
+				t.Fatalf("lane %d uval[%d]: %v != %v", j, i, ext.uval[i], serial.uval[i])
+			}
+		}
+		for i := range serial.udinv {
+			if ext.udinv[i] != serial.udinv[i] {
+				t.Fatalf("lane %d udinv[%d]: %v != %v", j, i, ext.udinv[i], serial.udinv[i])
+			}
+		}
+		if err := serial.SolveDiagInto(diagS, plan); err != nil {
+			t.Fatalf("serial diag omega %g: %v", om, err)
+		}
+		for i := range nodes {
+			if diagB[i*K+j] != diagS[i] {
+				t.Fatalf("lane %d node %d: batch %v != serial %v", j, i, diagB[i*K+j], diagS[i])
+			}
+		}
+	}
+}
+
+// TestRefactorBatchCollapsedPivotLane: a lane whose values make the frozen
+// pivot order collapse mid-block must be flagged via LaneOK without
+// corrupting the surrounding lanes or the scatter-row invariant for the
+// next block.
+func TestRefactorBatchCollapsedPivotLane(t *testing.T) {
+	const n = 16
+	pat, vals := compile(n, ladderStamp(n, 1e6))
+	sym, err := pat.Analyze(vals.Values())
+	if err != nil {
+		t.Fatal(err)
+	}
+	omegas := []float64{1e3, 1e6, 1e9}
+	lanes := batchLaneVals(t, pat, n, omegas)
+	// Kill the middle lane: all-zero values collapse its first pivot while
+	// the neighbors stay healthy.
+	dead := make([]complex128, len(lanes[1]))
+	lanes[1] = dead
+	nb := sym.NewNumericBatch(len(omegas))
+	if err := nb.Refactor(lanes); err != nil {
+		t.Fatal(err)
+	}
+	if nb.LaneOK(1) {
+		t.Fatal("all-zero lane reported OK")
+	}
+	if !nb.LaneOK(0) || !nb.LaneOK(2) {
+		t.Fatal("healthy lanes poisoned by a dead neighbor")
+	}
+	ext := sym.NewNumeric()
+	if err := nb.ExtractLane(ext, 1); err == nil {
+		t.Fatal("ExtractLane accepted a dead lane")
+	}
+	nodes := []int{0, n - 1}
+	plan, err := sym.DiagPlan(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	K := nb.K()
+	diagB := make([]complex128, len(nodes)*K)
+	if err := nb.SolveDiagLanesInto(diagB, plan); err != nil {
+		t.Fatal(err)
+	}
+	serial := sym.NewNumeric()
+	diagS := make([]complex128, len(nodes))
+	for _, j := range []int{0, 2} {
+		if err := serial.Refactor(lanes[j]); err != nil {
+			t.Fatal(err)
+		}
+		if err := serial.SolveDiagInto(diagS, plan); err != nil {
+			t.Fatal(err)
+		}
+		for i := range nodes {
+			if diagB[i*K+j] != diagS[i] {
+				t.Fatalf("lane %d node %d: batch %v != serial %v", j, i, diagB[i*K+j], diagS[i])
+			}
+		}
+	}
+	// The next block over the same workspace must be clean: the dead lane's
+	// Inf/NaN garbage may not leak into a fresh refill.
+	fresh := batchLaneVals(t, pat, n, []float64{1e4, 1e7, 1e10})
+	if err := nb.Refactor(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := nb.SolveDiagLanesInto(diagB, plan); err != nil {
+		t.Fatal(err)
+	}
+	for j := range fresh {
+		if !nb.LaneOK(j) {
+			t.Fatalf("fresh lane %d not OK after dead-lane block", j)
+		}
+		if err := serial.Refactor(fresh[j]); err != nil {
+			t.Fatal(err)
+		}
+		if err := serial.SolveDiagInto(diagS, plan); err != nil {
+			t.Fatal(err)
+		}
+		for i := range nodes {
+			if diagB[i*K+j] != diagS[i] {
+				t.Fatalf("post-dead lane %d node %d: batch %v != serial %v", j, i, diagB[i*K+j], diagS[i])
+			}
+		}
+	}
+}
+
+// TestRefactorBatchAllocationFree: the batched refill and lane solves are
+// on the per-block hot path and must not allocate.
+func TestRefactorBatchAllocationFree(t *testing.T) {
+	const n = 32
+	pat, vals := compile(n, ladderStamp(n, 1e6))
+	sym, err := pat.Analyze(vals.Values())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lanes := batchLaneVals(t, pat, n, []float64{1e3, 1e5, 1e7, 1e9})
+	nb := sym.NewNumericBatch(4)
+	plan, err := sym.DiagPlan([]int{0, n / 2, n - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diagB := make([]complex128, plan.Nodes()*nb.K())
+	ext := sym.NewNumeric()
+	if err := nb.Refactor(lanes); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := nb.Refactor(lanes); err != nil {
+			panic(err)
+		}
+		if err := nb.SolveDiagLanesInto(diagB, plan); err != nil {
+			panic(err)
+		}
+		if err := nb.ExtractLane(ext, 2); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("batched refill allocates %.1f times per block", allocs)
+	}
+}

@@ -213,15 +213,24 @@ func Analyze(mag *wave.Wave, opts Options) (*Result, error) {
 	addPeak := func(i int, isMax bool) {
 		val := p[i]
 		freq := plot.X[i]
-		// Parabolic refinement in (u, P); uniform-enough local spacing.
+		// Parabolic refinement in (u, P) through the three samples around
+		// the extremum, with the actual (possibly non-uniform) spacing:
+		// adaptive grids mix coarse and refined intervals right at a peak,
+		// where the uniform-step formula would bias both the vertex and its
+		// depth. For h0 == h1 the expressions reduce exactly to the
+		// classic uniform ones.
 		if i > 0 && i < n-1 {
-			denom := p[i+1] - 2*p[i] + p[i-1]
-			if denom != 0 {
-				h := (u[i+1] - u[i-1]) / 2
-				du := -h / 2 * (p[i+1] - p[i-1]) / denom
-				du = num.Clamp(du, -h, h)
-				freq = math.Exp(u[i] + du)
-				val = p[i] - (p[i+1]-p[i-1])*(p[i+1]-p[i-1])/(16*denom)*2
+			h0, h1 := u[i]-u[i-1], u[i+1]-u[i]
+			dl, dr := p[i-1]-p[i], p[i+1]-p[i]
+			den := h0 * h1 * (h0 + h1)
+			if den != 0 {
+				c := (h0*dr + h1*dl) / den
+				if c != 0 {
+					b := (h0*h0*dr - h1*h1*dl) / den
+					du := num.Clamp(-b/(2*c), -h0, h1)
+					freq = math.Exp(u[i] + du)
+					val = p[i] - b*b/(4*c)
+				}
 			}
 		}
 		pk := Peak{Freq: freq, Value: val, IsZero: isMax}

@@ -148,5 +148,33 @@ func withRunDefaults(opts Options) (Options, error) {
 	if opts.LoopTol <= 0 {
 		opts.LoopTol = 0.12
 	}
+	if opts.CoarsePointsPerDecade < 0 {
+		return opts, fmt.Errorf("tool: coarse points per decade must be >= 0 (0 = adaptive off), got %d", opts.CoarsePointsPerDecade)
+	}
+	if opts.RefinePointsPerDecade < 0 {
+		return opts, fmt.Errorf("tool: refine points per decade must be >= 0 (0 = points per decade), got %d", opts.RefinePointsPerDecade)
+	}
+	if opts.RefineThreshold < 0 {
+		return opts, fmt.Errorf("tool: refine threshold must be >= 0 (0 = default %g), got %g", defRefineThreshold, opts.RefineThreshold)
+	}
+	if opts.CoarsePointsPerDecade > 0 {
+		if opts.Naive {
+			return opts, fmt.Errorf("tool: adaptive grids and -naive are mutually exclusive (the naive ablation sweeps the dense uniform grid)")
+		}
+		if opts.RefinePointsPerDecade == 0 {
+			opts.RefinePointsPerDecade = opts.PointsPerDecade
+		}
+		if opts.RefinePointsPerDecade < opts.CoarsePointsPerDecade {
+			return opts, fmt.Errorf("tool: refine points per decade (%d) below the coarse resolution (%d)",
+				opts.RefinePointsPerDecade, opts.CoarsePointsPerDecade)
+		}
+		if opts.RefinePointsPerDecade > maxRefinePPD {
+			return opts, fmt.Errorf("tool: refine points per decade %d exceeds the cap %d (unbounded refinement is rejected)",
+				opts.RefinePointsPerDecade, maxRefinePPD)
+		}
+		if opts.RefineThreshold == 0 {
+			opts.RefineThreshold = defRefineThreshold
+		}
+	}
 	return opts, nil
 }

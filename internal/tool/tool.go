@@ -29,17 +29,35 @@ import (
 // `acstab_phase_duration_seconds{phase=...}` histograms; these counters
 // and the worker gauge cover the sweep volume and utilization.
 var (
-	mAllNodesRuns   = obs.GetCounter("acstab_allnodes_runs_total")
-	mSingleNodeRuns = obs.GetCounter("acstab_singlenode_runs_total")
-	mSweepNodes     = obs.GetCounter("acstab_sweep_nodes_total")
-	mSweepPoints    = obs.GetCounter("acstab_sweep_freq_points_total")
-	mWorkersBusy    = obs.GetGauge("acstab_sweep_workers_busy")
+	mAllNodesRuns    = obs.GetCounter("acstab_allnodes_runs_total")
+	mSingleNodeRuns  = obs.GetCounter("acstab_singlenode_runs_total")
+	mSweepNodes      = obs.GetCounter("acstab_sweep_nodes_total")
+	mSweepPoints     = obs.GetCounter("acstab_sweep_freq_points_total")
+	mWorkersBusy     = obs.GetGauge("acstab_sweep_workers_busy")
+	mAdaptiveRounds  = obs.GetCounter("acstab_adaptive_rounds_total")
+	mAdaptiveRefined = obs.GetCounter("acstab_adaptive_refined_points_total")
 )
 
 // Options configures a stability run.
 type Options struct {
 	FStart, FStop   float64 // sweep range in Hz
 	PointsPerDecade int
+	// CoarsePointsPerDecade enables the two-level adaptive sweep: a coarse
+	// uniform pass at this resolution, then recursive bisection of the
+	// intervals whose stability-plot signal exceeds RefineThreshold, down
+	// to RefinePointsPerDecade near detected peaks. 0 disables adaptivity
+	// (every node is swept on the dense PointsPerDecade grid). Refinement
+	// decisions are a pure function of each node's own samples, so sharded
+	// all-nodes runs merge byte-identically regardless of partitioning.
+	CoarsePointsPerDecade int
+	// RefinePointsPerDecade caps the adaptive refinement resolution. 0
+	// selects PointsPerDecade; values below CoarsePointsPerDecade or above
+	// maxRefinePPD are rejected.
+	RefinePointsPerDecade int
+	// RefineThreshold is the |P| level above which an interval counts as
+	// resonant and is refined. 0 selects the default (0.5, the single-
+	// real-pole bound); negative is rejected.
+	RefineThreshold float64
 	Stab            stab.Options
 	// LoopTol is the relative frequency tolerance for loop clustering.
 	LoopTol float64
@@ -200,6 +218,21 @@ func (t *Tool) SingleNode(ctx context.Context, node string) (*NodeResult, error)
 		return nil, err
 	}
 	mSingleNodeRuns.Inc()
+	if t.adaptive() {
+		// The adaptive engine produces the same driving-point values the
+		// full-column sweep would (the diag kernel is bitwise-identical to
+		// full substitutions on the shared factorization), on a per-node
+		// grid focused around this node's resonances.
+		perNode, cols, aerr := t.adaptiveColumns(ctx, op, []int{idx})
+		if aerr != nil {
+			return nil, aerr
+		}
+		mSweepNodes.Inc()
+		mSweepPoints.Add(int64(len(perNode[0])))
+		sp := obs.StartPhase(t.Opts.Trace, "stability")
+		defer sp.End()
+		return t.analyzeColumn(strings.ToLower(node), perNode[0], cols[0])
+	}
 	freqs := t.Grid()
 	sp := obs.StartPhase(t.Opts.Trace, "sweep")
 	cols, err := t.Sim.ImpedanceMatrixColumns(ctx, freqs, op, []int{idx})
@@ -333,23 +366,42 @@ func (t *Tool) AllNodes(ctx context.Context) (*Report, error) {
 		return nil, err
 	}
 	mAllNodesRuns.Inc()
-	freqs := t.Grid()
 	idx, names := t.nodeList()
 	mSweepNodes.Add(int64(len(idx)))
-	mSweepPoints.Add(int64(len(freqs)))
 	t.Opts.Trace.Add("sweep_nodes", int64(len(idx)))
-	t.Opts.Trace.Add("sweep_freq_points", int64(len(freqs)))
 
-	sp := obs.StartPhase(t.Opts.Trace, "sweep")
+	// nodeFreqs returns node i's frequency grid: per-node on the adaptive
+	// path, the shared dense grid otherwise.
 	var cols [][]complex128
-	if t.Opts.Naive {
-		cols, err = t.naiveColumns(ctx, freqs, op, idx)
+	var nodeFreqs func(i int) []float64
+	if t.adaptive() {
+		var perNode [][]float64
+		perNode, cols, err = t.adaptiveColumns(ctx, op, idx)
+		if err != nil {
+			return nil, err
+		}
+		var pts int64
+		for _, f := range perNode {
+			pts += int64(len(f))
+		}
+		mSweepPoints.Add(pts)
+		t.Opts.Trace.Add("sweep_freq_points", pts)
+		nodeFreqs = func(i int) []float64 { return perNode[i] }
 	} else {
-		cols, err = t.parallelColumns(ctx, freqs, op, idx)
-	}
-	sp.End()
-	if err != nil {
-		return nil, err
+		freqs := t.Grid()
+		mSweepPoints.Add(int64(len(freqs)))
+		t.Opts.Trace.Add("sweep_freq_points", int64(len(freqs)))
+		sp := obs.StartPhase(t.Opts.Trace, "sweep")
+		if t.Opts.Naive {
+			cols, err = t.naiveColumns(ctx, freqs, op, idx)
+		} else {
+			cols, err = t.parallelColumns(ctx, freqs, op, idx)
+		}
+		sp.End()
+		if err != nil {
+			return nil, err
+		}
+		nodeFreqs = func(int) []float64 { return freqs }
 	}
 
 	rep := &Report{
@@ -357,14 +409,14 @@ func (t *Tool) AllNodes(ctx context.Context) (*Report, error) {
 		Temp:         t.Flat.Temp,
 		Options:      t.Opts,
 	}
-	sp = obs.StartPhase(t.Opts.Trace, "stability")
+	sp := obs.StartPhase(t.Opts.Trace, "stability")
 	var peaks []stab.NodePeak
 	for i, name := range names {
 		if err := acerr.Ctx(ctx); err != nil {
 			sp.End()
 			return nil, err
 		}
-		nr, err := t.analyzeColumn(name, freqs, cols[i])
+		nr, err := t.analyzeColumn(name, nodeFreqs(i), cols[i])
 		if err != nil {
 			sp.End()
 			return nil, err
